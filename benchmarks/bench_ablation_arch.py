@@ -1,0 +1,16 @@
+"""Ablation benchmark: multi-arch fatbins vs single-arch build (design
+choice 3 in DESIGN.md)."""
+
+from conftest import run_and_check
+
+
+def test_ablation_architecture_bloat(benchmark):
+    run_and_check(
+        benchmark,
+        "ablation_arch",
+        required_pass=(
+            "Single-arch build eliminates Reason I entirely",
+            "Most element bloat is architecture-induced",
+        ),
+        forbid_deviation=True,
+    )

@@ -1,0 +1,16 @@
+"""Ablation benchmark: detector vs NSys overhead scaling with workload
+length (design choice 2 in DESIGN.md)."""
+
+from conftest import run_and_check
+
+
+def test_ablation_detector_scaling(benchmark):
+    run_and_check(
+        benchmark,
+        "ablation_detector_scaling",
+        required_pass=(
+            "Detector absolute overhead is flat in epochs",
+            "NSys overhead grows ~linearly with epochs",
+        ),
+        forbid_deviation=True,
+    )

@@ -1,0 +1,16 @@
+"""Ablation benchmark: whole-element vs exact-kernel retention (design
+choice 1 in DESIGN.md)."""
+
+from conftest import run_and_check
+
+
+def test_ablation_retention_granularity(benchmark):
+    run_and_check(
+        benchmark,
+        "ablation_granularity",
+        required_pass=(
+            "Whole-element retention verifies",
+            "Exact-kernel retention breaks GPU-launching kernels",
+        ),
+        forbid_deviation=True,
+    )

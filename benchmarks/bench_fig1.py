@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 1 (CPU/GPU code share of top PyTorch libs)."""
+
+from conftest import run_and_check
+
+
+def test_fig1_code_distribution(benchmark):
+    run_and_check(
+        benchmark,
+        "fig1",
+        required_pass=("GPU code is the majority of every top library",),
+        forbid_deviation=True,
+    )

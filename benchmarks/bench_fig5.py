@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (reduction distributions)."""
+
+from conftest import run_and_check
+
+
+def test_fig5_distributions(benchmark):
+    run_and_check(
+        benchmark,
+        "fig5",
+        required_pass=(
+            "GPU size-reduction median far above CPU's",
+            "Every GPU library loses >80% of its elements",
+        ),
+        forbid_deviation=True,
+    )

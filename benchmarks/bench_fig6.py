@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 6 (Pareto chart of per-library reduction)."""
+
+from conftest import run_and_check
+
+
+def test_fig6_pareto(benchmark):
+    run_and_check(
+        benchmark,
+        "fig6",
+        required_pass=(
+            "A handful of libraries carries 90% of the reduction",
+            "Top 10% of libraries contribute >90%",
+        ),
+        forbid_deviation=True,
+    )

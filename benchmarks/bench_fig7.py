@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 7 (element-removal reasons)."""
+
+from conftest import run_and_check
+
+
+def test_fig7_reasons(benchmark):
+    run_and_check(
+        benchmark,
+        "fig7",
+        required_pass=("Reason I (arch mismatch) dominates removals",),
+        forbid_deviation=True,
+    )

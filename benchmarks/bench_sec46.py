@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the Section 4.6 overhead comparison."""
+
+from conftest import run_and_check
+
+
+def test_sec46_detector_vs_nsys(benchmark):
+    run_and_check(
+        benchmark,
+        "sec46",
+        required_pass=(
+            "Detector overhead well below NSys",
+            "Detector intercepts once per kernel",
+            "NSys records orders of magnitude more events",
+        ),
+        forbid_deviation=True,
+    )

@@ -1,0 +1,15 @@
+"""Benchmark: the §5 used-bloat analysis (future-work extension)."""
+
+from conftest import run_and_check
+
+
+def test_sec5_used_bloat(benchmark):
+    run_and_check(
+        benchmark,
+        "sec5_used_bloat",
+        required_pass=(
+            "TensorFlow carries far more used bloat than PyTorch",
+            "Startup-only code is a substantial share",
+        ),
+        forbid_deviation=True,
+    )

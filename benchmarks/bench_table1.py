@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 1 (the workload matrix)."""
+
+from conftest import run_and_check
+
+
+def test_table1_workloads(benchmark):
+    out = run_and_check(benchmark, "table1")
+    assert "MobileNetV2" in out and "Llama-2-7b-chat-hf" in out
+    assert "CIFAR10".lower() in out.lower()

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 10 (distributed inference, 8x A100)."""
+
+from conftest import run_and_check
+
+
+def test_table10_distributed(benchmark):
+    run_and_check(
+        benchmark,
+        "table10",
+        required_pass=(
+            "Reductions nearly identical across the nine models",
+            "Distributed inference retains more elements than single-GPU",
+        ),
+        forbid_deviation=True,
+    )

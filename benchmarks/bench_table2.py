@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (per-workload reductions, full pipeline)."""
+
+from conftest import run_and_check
+
+
+def test_table2_overall_reductions(benchmark):
+    run_and_check(
+        benchmark,
+        "table2",
+        required_pass=(
+            "CPU code reduction substantial in all workloads",
+            "GPU code reduction >= CPU-grade in all workloads",
+            "GPU element reduction exceeds 95%",
+            "GPU code is more bloated than CPU code",
+        ),
+    )

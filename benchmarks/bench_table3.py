@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 3 (core-library reductions)."""
+
+from conftest import run_and_check
+
+
+def test_table3_core_libraries(benchmark):
+    out = run_and_check(
+        benchmark,
+        "table3",
+        required_pass=(
+            "TensorFlow's core library keeps far more functions",
+        ),
+    )
+    assert "libtorch_cuda.so" in out
+    assert "libtensorflow_cc.so.2" in out

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 4 (Jaccard similarity in libtorch_cuda.so)."""
+
+from conftest import run_and_check
+
+
+def test_table4_jaccard_torch(benchmark):
+    run_and_check(
+        benchmark,
+        "table4",
+        required_pass=(
+            "Function similarity high for every pair",
+        ),
+    )

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 5 (runtime improvements on the T4)."""
+
+from conftest import run_and_check
+
+
+def test_table5_runtime(benchmark):
+    run_and_check(
+        benchmark,
+        "table5",
+        required_pass=(
+            "PyTorch GPU-memory savings >> TensorFlow/vLLM",
+            "Inference gains a much larger time percentage than training",
+            "Absolute time saving roughly constant across workloads",
+        ),
+        forbid_deviation=True,
+    )

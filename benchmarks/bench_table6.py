@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 6 (H100 size reductions, eager vs lazy)."""
+
+from conftest import run_and_check
+
+
+def test_table6_h100_sizes(benchmark):
+    run_and_check(
+        benchmark,
+        "table6",
+        required_pass=(
+            "vllm: size reductions identical across loading modes",
+            "transformers: size reductions identical across loading modes",
+        ),
+        forbid_deviation=True,
+    )

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 7 (H100 runtime, eager vs lazy)."""
+
+from conftest import run_and_check
+
+
+def test_table7_h100_runtime(benchmark):
+    run_and_check(
+        benchmark,
+        "table7",
+        required_pass=(
+            "vllm: CPU-memory savings collapse under lazy loading",
+            "vllm: GPU-memory savings near zero in both modes",
+            "transformers: execution time improves in both modes",
+        ),
+        forbid_deviation=True,
+    )

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 8 (end-to-end debloating time)."""
+
+from conftest import run_and_check
+
+
+def test_table8_e2e_time(benchmark):
+    run_and_check(
+        benchmark,
+        "table8",
+        required_pass=(
+            "Debloat time scales with workload execution time",
+        ),
+        forbid_deviation=True,
+    )

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 9 (Jaccard similarity in tensorflow_cc.so)."""
+
+from conftest import run_and_check
+
+
+def test_table9_jaccard_tf(benchmark):
+    run_and_check(
+        benchmark,
+        "table9",
+        required_pass=("Function similarity high across TF workloads",),
+    )

@@ -1,0 +1,49 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one paper table/figure through the full
+pipeline at the default experiment scale (0.125 - byte sizes are paper
+magnitude, entity counts 1/8) and asserts its shape checks pass.  The
+pipeline's report cache is shared across benchmarks, so the first benchmark
+touching a workload pays for its pipeline and the rest reuse it; the
+benchmark numbers therefore measure the *regeneration* cost of each
+artifact.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+BENCH_SCALE = 0.125
+
+
+def run_and_check(benchmark, experiment_id: str,
+                  required_pass: tuple[str, ...] = (),
+                  forbid_deviation: bool = False) -> str:
+    """Benchmark one experiment and assert its shape checks."""
+    from repro.experiments.registry import run_experiment
+
+    output = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": BENCH_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(output)
+    for fragment in required_pass:
+        assert f"[PASS] {fragment}" in output, (
+            f"{experiment_id}: expected passing check {fragment!r}"
+        )
+    if forbid_deviation:
+        assert "[DEVIATION]" not in output, f"{experiment_id}: deviation found"
+    return output
+
+
+@pytest.fixture()
+def bench_scale() -> float:
+    return BENCH_SCALE

@@ -1,0 +1,60 @@
+"""Negativa-ML reproduction: detecting and removing bloat in ML frameworks.
+
+Reproduction of *The Hidden Bloat in Machine Learning Systems* (Zhang &
+Ali-Eldin, MLSys 2025).  The package provides:
+
+* the binary substrates (:mod:`repro.elf`, :mod:`repro.fatbin`) and runtime
+  simulators (:mod:`repro.cuda`, :mod:`repro.loader`) real ML shared
+  libraries live on;
+* synthetic but structurally faithful framework builds
+  (:mod:`repro.frameworks`) and the paper's workload matrix
+  (:mod:`repro.workloads`);
+* **Negativa-ML itself** (:mod:`repro.core`): kernel detector, kernel
+  locator, CPU function detector/locator, compactor, verifier;
+* analyses (:mod:`repro.analysis`) and one experiment per paper
+  table/figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import Debloater, get_framework, workload_by_id
+
+    framework = get_framework("pytorch", scale=0.05)
+    report = Debloater(framework).debloat(
+        workload_by_id("pytorch/inference/mobilenetv2")
+    )
+    print(f"{report.file_reduction_pct:.0f}% of library bytes removed")
+"""
+
+from repro.core.compact import Compactor, DebloatedLibrary
+from repro.core.debloat import Debloater, DebloatOptions
+from repro.core.detect import KernelDetector
+from repro.core.locate import KernelLocator, RemovalReason
+from repro.core.nsys import NsysTracer
+from repro.core.report import LibraryReduction, WorkloadDebloatReport
+from repro.errors import ReproError
+from repro.frameworks.catalog import FRAMEWORK_NAMES, get_framework
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import TABLE1_WORKLOADS, WorkloadSpec, workload_by_id
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Compactor",
+    "DebloatOptions",
+    "DebloatedLibrary",
+    "Debloater",
+    "FRAMEWORK_NAMES",
+    "KernelDetector",
+    "KernelLocator",
+    "LibraryReduction",
+    "NsysTracer",
+    "RemovalReason",
+    "ReproError",
+    "TABLE1_WORKLOADS",
+    "WorkloadDebloatReport",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "__version__",
+    "get_framework",
+    "workload_by_id",
+]

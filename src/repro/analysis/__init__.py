@@ -1,0 +1,14 @@
+"""Result analyses: Jaccard similarity, Pareto concentration, reduction
+distributions, and element-removal reason breakdowns (paper §4.2-§4.3)."""
+
+from repro.analysis.distribution import reduction_distributions
+from repro.analysis.jaccard import jaccard_matrix
+from repro.analysis.pareto import library_pareto
+from repro.analysis.reasons import reason_breakdown
+
+__all__ = [
+    "jaccard_matrix",
+    "library_pareto",
+    "reason_breakdown",
+    "reduction_distributions",
+]

@@ -1,0 +1,66 @@
+"""Per-library reduction distributions (paper Fig. 5a/5b).
+
+The paper's violin plots contrast CPU and GPU code: CPU size reductions
+spread widely with a ~25% median (generic libraries are mostly used), while
+GPU size reductions concentrate near 80% and *every* library loses more
+than 80% of its fatbin elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import WorkloadDebloatReport
+from repro.utils.stats import FiveNumberSummary
+
+
+@dataclass
+class ReductionDistributions:
+    """The four Fig. 5 series, per library."""
+
+    cpu_size_reduction: list[float]
+    gpu_size_reduction: list[float]
+    function_count_reduction: list[float]
+    element_count_reduction: list[float]
+
+    def summaries(self) -> dict[str, FiveNumberSummary]:
+        return {
+            "CPU code size reduction": FiveNumberSummary.from_values(
+                self.cpu_size_reduction
+            ),
+            "GPU code size reduction": FiveNumberSummary.from_values(
+                self.gpu_size_reduction
+            ),
+            "Function count reduction": FiveNumberSummary.from_values(
+                self.function_count_reduction
+            ),
+            "Element count reduction": FiveNumberSummary.from_values(
+                self.element_count_reduction
+            ),
+        }
+
+    def min_element_reduction(self) -> float:
+        return min(self.element_count_reduction, default=0.0)
+
+
+def reduction_distributions(
+    reports: list[WorkloadDebloatReport],
+) -> ReductionDistributions:
+    """Pool per-library reductions across workloads (GPU-less libraries are
+    excluded from the GPU series, as in the paper)."""
+    cpu, gpu, funcs, elems = [], [], [], []
+    for report in reports:
+        for lib in report.libraries:
+            if lib.cpu_size > 0:
+                cpu.append(lib.cpu_reduction_pct)
+            if lib.n_functions > 0:
+                funcs.append(lib.function_reduction_pct)
+            if lib.has_gpu_code:
+                gpu.append(lib.gpu_reduction_pct)
+                elems.append(lib.element_reduction_pct)
+    return ReductionDistributions(
+        cpu_size_reduction=cpu,
+        gpu_size_reduction=gpu,
+        function_count_reduction=funcs,
+        element_count_reduction=elems,
+    )

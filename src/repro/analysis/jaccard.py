@@ -1,0 +1,78 @@
+"""Jaccard similarity of used functions/kernels across workloads (Table 4/9).
+
+The paper computes ``J(A,B) = |A n B| / |A u B|`` over the sets of functions
+(respectively kernels) each workload uses *within one shared library* -
+high function similarity and low kernel similarity is the headline finding
+of §4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.stats import jaccard
+
+
+@dataclass
+class JaccardMatrix:
+    """Pairwise similarities between labelled sets."""
+
+    labels: list[str]
+    values: np.ndarray  # symmetric, diagonal = 1
+
+    def at(self, a: str, b: str) -> float:
+        i, j = self.labels.index(a), self.labels.index(b)
+        return float(self.values[i, j])
+
+    def off_diagonal(self) -> list[float]:
+        n = len(self.labels)
+        return [
+            float(self.values[i, j]) for i in range(n) for j in range(n) if i < j
+        ]
+
+    def min_off_diagonal(self) -> float:
+        off = self.off_diagonal()
+        return min(off) if off else 1.0
+
+    def max_off_diagonal(self) -> float:
+        off = self.off_diagonal()
+        return max(off) if off else 1.0
+
+
+def jaccard_matrix(sets_by_label: dict[str, set | frozenset]) -> JaccardMatrix:
+    """Pairwise Jaccard similarity over labelled sets (order preserved)."""
+    labels = list(sets_by_label)
+    n = len(labels)
+    values = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            sim = jaccard(sets_by_label[labels[i]], sets_by_label[labels[j]])
+            values[i, j] = values[j, i] = sim
+    return JaccardMatrix(labels=labels, values=values)
+
+
+def combined_table(
+    function_sets: dict[str, set | frozenset],
+    kernel_sets: dict[str, set | frozenset],
+) -> list[list[str]]:
+    """Render the paper's combined layout: functions in the upper-right
+    triangle, kernels in the lower-left (Table 4/9)."""
+    if list(function_sets) != list(kernel_sets):
+        raise ValueError("label sets must match")
+    fm = jaccard_matrix(function_sets)
+    km = jaccard_matrix(kernel_sets)
+    n = len(fm.labels)
+    rows: list[list[str]] = []
+    for i in range(n):
+        row: list[str] = [fm.labels[i]]
+        for j in range(n):
+            if i == j:
+                row.append("-")
+            elif j > i:
+                row.append(f"{fm.values[i, j]:.2f}")
+            else:
+                row.append(f"{km.values[i, j]:.2f}")
+        rows.append(row)
+    return rows

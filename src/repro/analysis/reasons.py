@@ -1,0 +1,46 @@
+"""Element-removal reason breakdown (paper Fig. 7, §4.3).
+
+Reason I: the element targets a different GPU architecture than the device
+the workload ran on - hardware-induced bloat.  Reason II: the element
+matches the architecture but none of its kernels were used.  The paper
+finds >80% of removals are Reason I across all workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.locate import RemovalReason
+from repro.core.report import WorkloadDebloatReport
+
+
+@dataclass
+class ReasonBreakdown:
+    """Removal reason shares for one workload."""
+
+    workload_id: str
+    removed_total: int
+    reason_i: int
+    reason_ii: int
+
+    @property
+    def reason_i_pct(self) -> float:
+        return 100.0 * self.reason_i / self.removed_total if self.removed_total else 0.0
+
+    @property
+    def reason_ii_pct(self) -> float:
+        return (
+            100.0 * self.reason_ii / self.removed_total if self.removed_total else 0.0
+        )
+
+
+def reason_breakdown(report: WorkloadDebloatReport) -> ReasonBreakdown:
+    removed = [d for d in report.element_decisions() if not d.retained]
+    reason_i = sum(1 for d in removed if d.reason is RemovalReason.ARCH_MISMATCH)
+    reason_ii = sum(1 for d in removed if d.reason is RemovalReason.NO_USED_KERNELS)
+    return ReasonBreakdown(
+        workload_id=report.workload_id,
+        removed_total=len(removed),
+        reason_i=reason_i,
+        reason_ii=reason_ii,
+    )

@@ -1,0 +1,50 @@
+"""Negativa-ML: the paper's contribution.
+
+The pipeline follows Negativa's three phases (paper §2.3/§3), extended to
+GPU code:
+
+1. **Detection** - :class:`~repro.core.detect.KernelDetector` hooks
+   ``cuModuleGetFunction`` through CUPTI and records used kernel names once
+   per kernel (§3.1); :class:`~repro.core.cpu.FunctionDetector` profiles used
+   CPU functions (Negativa's original phase).
+2. **Location** - :class:`~repro.core.locate.KernelLocator` maps used kernels
+   to fatbin elements via ``cuobjdump``-style extraction and decides, per
+   element, retain / remove-Reason-I (architecture mismatch) /
+   remove-Reason-II (no used kernels) (§3.2);
+   :class:`~repro.core.cpu.FunctionLocator` maps used functions to ``.text``
+   file ranges.
+3. **Compaction** - :class:`~repro.core.compact.Compactor` zeroes removed
+   ranges while keeping the library structurally loadable.
+
+:class:`~repro.core.debloat.Debloater` orchestrates the full flow per
+workload (detection run -> locate -> compact -> verify) and produces the
+reports every experiment consumes.
+"""
+
+from repro.core.compact import Compactor, DebloatedLibrary
+from repro.core.cpu import FunctionDetector, FunctionLocator
+from repro.core.debloat import Debloater, DebloatOptions
+from repro.core.detect import KernelDetector
+from repro.core.locate import ElementDecision, KernelLocator, LocateResult, RemovalReason
+from repro.core.nsys import NsysTracer
+from repro.core.report import LibraryReduction, WorkloadDebloatReport
+from repro.core.verify import VerificationResult, verify_debloat
+
+__all__ = [
+    "Compactor",
+    "DebloatOptions",
+    "DebloatedLibrary",
+    "Debloater",
+    "ElementDecision",
+    "FunctionDetector",
+    "FunctionLocator",
+    "KernelDetector",
+    "KernelLocator",
+    "LibraryReduction",
+    "LocateResult",
+    "NsysTracer",
+    "RemovalReason",
+    "VerificationResult",
+    "WorkloadDebloatReport",
+    "verify_debloat",
+]

@@ -1,0 +1,197 @@
+"""Compaction (Negativa's third phase, paper §3.2 "Compaction").
+
+Removed ranges are zeroed in place while the library stays structurally
+loadable: ELF headers, section headers, symbol tables, and fatbin
+region/element headers are never touched, and removed fatbin elements are
+flagged ``ELEMENT_FLAG_REMOVED`` in their headers so loaders skip them
+instead of parsing zeroed cubins.  File offsets of retained code never
+move - the "map file offsets to original memory addresses" property the
+paper inherits from Negativa - while the *on-disk* size drops by the
+removed bytes (holes), which is the file-size reduction the tables report.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.cuda.clock import VirtualClock
+from repro.cuda.costs import DEFAULT_COSTS, CostModel
+from repro.elf.image import SharedLibrary
+from repro.elf.parser import parse_shared_library
+from repro.elf.validate import validate_shared_library
+from repro.errors import CompactionError
+from repro.fatbin import constants as FC
+from repro.core.cpu import FunctionLocateResult
+from repro.core.locate import LocateResult
+from repro.utils.intervals import RangeSet
+
+#: Byte offset of the ``flags`` field inside an element header
+#: (kind/version/header_size/sm_arch: 4 x u16; payload/padded: 2 x u64;
+#: compressed: u32 - then flags).
+_ELEMENT_FLAGS_OFFSET = 8 + 16 + 4
+
+
+@dataclass
+class DebloatedLibrary:
+    """A compacted library plus its removal record."""
+
+    lib: SharedLibrary
+    original: SharedLibrary
+    removed_cpu_ranges: RangeSet
+    removed_gpu_ranges: RangeSet
+    removed_elements: int
+    removed_functions: int
+
+    @property
+    def soname(self) -> str:
+        return self.lib.soname
+
+    @property
+    def removed_cpu_bytes(self) -> int:
+        return self.removed_cpu_ranges.total()
+
+    @property
+    def removed_gpu_bytes(self) -> int:
+        return self.removed_gpu_ranges.total()
+
+    @property
+    def removed_bytes_total(self) -> int:
+        return self.removed_cpu_bytes + self.removed_gpu_bytes
+
+    @cached_property
+    def compacted_file_size(self) -> int:
+        """On-disk size after compaction (holes do not occupy storage)."""
+        return self.original.file_size - self.removed_bytes_total
+
+
+@dataclass
+class Compactor:
+    """Zeroes removed ranges and marks removed elements."""
+
+    costs: CostModel = DEFAULT_COSTS
+
+    def compact(
+        self,
+        lib: SharedLibrary,
+        cpu: FunctionLocateResult | None = None,
+        gpu: LocateResult | None = None,
+        clock: VirtualClock | None = None,
+        validate: bool = True,
+    ) -> DebloatedLibrary:
+        """Produce the debloated library.
+
+        ``cpu`` is the CPU-function locate result (None = keep all CPU
+        code); ``gpu`` the kernel-locate result (None = keep all GPU code).
+        """
+        data = lib.data.copy()
+        removed_cpu = RangeSet.empty()
+        removed_gpu = RangeSet.empty()
+        removed_elements = 0
+        removed_functions = 0
+
+        structural = lib.structural_ranges()
+
+        if gpu is not None and gpu.remove_ranges:
+            image = lib.fatbin
+            if image is None:
+                raise CompactionError(f"{lib.soname}: GPU result without fatbin")
+            removed_gpu = gpu.remove_ranges
+            if structural & removed_gpu:
+                raise CompactionError(
+                    f"{lib.soname}: GPU removal overlaps structural ranges"
+                )
+            removed_index = {d.index for d in gpu.removed}
+            for element in image.elements():
+                if element.index not in removed_index:
+                    continue
+                # Zero the cubin payload, keep the header walkable, flag it.
+                data.zero(element.payload_offset, element.header.padded_payload_size)
+                flags = element.header.flags | FC.ELEMENT_FLAG_REMOVED
+                data.write(
+                    element.header_offset + _ELEMENT_FLAGS_OFFSET,
+                    struct.pack("<I", flags),
+                )
+                removed_elements += 1
+
+        if cpu is not None and cpu.remove_ranges:
+            removed_cpu = cpu.remove_ranges
+            if structural & removed_cpu:
+                raise CompactionError(
+                    f"{lib.soname}: CPU removal overlaps structural ranges"
+                )
+            data.zero_ranges(removed_cpu)
+            removed_functions = cpu.removed_functions
+
+        if clock is not None:
+            processed = removed_cpu.total() + removed_gpu.total()
+            clock.advance(processed / self.costs.compact_bandwidth)
+
+        new_lib = parse_shared_library(data, lib.soname, lib.proprietary)
+        new_lib.tags.update(lib.tags)
+        new_lib.tags["debloated_from"] = lib.soname
+        new_lib.tags["removed_bytes_total"] = (
+            removed_cpu.total() + removed_gpu.total()
+        )
+        if cpu is not None:
+            mask = np.ones(len(lib.symtab), dtype=bool)
+            if cpu.used_indices.size:
+                mask[cpu.used_indices] = False
+            # Non-function symbols (if any) are never removed.
+            mask &= lib.symtab.function_mask()
+            new_lib.tags["removed_function_mask"] = mask
+
+        if validate:
+            findings = validate_shared_library(new_lib)
+            errors = [f for f in findings if f.severity == "error"]
+            if errors:
+                raise CompactionError(
+                    f"{lib.soname}: compaction broke the library: "
+                    + "; ".join(f.message for f in errors)
+                )
+
+        return DebloatedLibrary(
+            lib=new_lib,
+            original=lib,
+            removed_cpu_ranges=removed_cpu,
+            removed_gpu_ranges=removed_gpu,
+            removed_elements=removed_elements,
+            removed_functions=removed_functions,
+        )
+
+
+def exact_kernel_removal(
+    debloated: DebloatedLibrary, used_kernels: frozenset[str]
+) -> SharedLibrary:
+    """ABLATION: additionally remove unused kernels *inside* retained cubins.
+
+    The paper's locator deliberately retains whole elements so GPU-launching
+    kernels (invisible to the detector) survive.  This ablation shows why:
+    it removes every kernel whose name the detector did not record -
+    including the device-side children of used kernels - and the workload
+    then fails at launch with a broken kernel-call graph
+    (``bench_ablation_granularity``).
+    """
+    lib = debloated.lib.copy()
+    lib.tags = dict(debloated.lib.tags)
+    image = lib.fatbin
+    removed: dict[int, set[int]] = {}
+    if image is not None:
+        for element in image.elements():
+            if element.header.flags & FC.ELEMENT_FLAG_REMOVED:
+                continue
+            try:
+                cubin = element.cubin
+            except Exception:  # noqa: BLE001 - zeroed payloads are skipped
+                continue
+            holes = {
+                i for i, name in enumerate(cubin.names)
+                if name not in used_kernels
+            }
+            if holes:
+                removed[element.index] = holes
+    lib.tags["removed_kernels"] = removed
+    return lib

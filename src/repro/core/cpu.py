@@ -1,0 +1,140 @@
+"""CPU-side detection and location (Negativa's original phases).
+
+The paper reuses Negativa (Zhang & Ali-Eldin, 2025) for CPU code: profile
+the workload to find executed functions, locate them through the symbol
+table, and keep only those.  Here the detector wraps the loader's
+function-profiling hook, and the locator turns used symbol indices into
+``.text`` file ranges (under the PIC layout, symbol value == file offset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cuda.clock import VirtualClock
+from repro.cuda.costs import DEFAULT_COSTS, CostModel
+from repro.elf.image import SharedLibrary
+from repro.loader.profiler import FunctionProfiler
+from repro.utils.intervals import Range, RangeSet
+
+
+@dataclass
+class FunctionDetector:
+    """Records CPU functions executed by the profiled workload.
+
+    A thin, named wrapper around :class:`FunctionProfiler`: attach
+    ``detector.profiler`` to the :class:`~repro.loader.process.ProcessImage`
+    before the detection run; the instrumentation slowdown
+    (``CostModel.cpu_profiler_slowdown``) is charged by the loader while
+    attached.
+    """
+
+    profiler: FunctionProfiler = field(default_factory=FunctionProfiler)
+
+    def used_functions(self) -> dict[str, np.ndarray]:
+        return self.profiler.used_functions()
+
+    def used_count(self) -> int:
+        return self.profiler.used_count()
+
+
+@dataclass(frozen=True)
+class FunctionLocateResult:
+    """Used-function geometry for one library."""
+
+    soname: str
+    used_indices: np.ndarray
+    retain_ranges: RangeSet
+    remove_ranges: RangeSet
+    used_bytes: int
+    total_bytes: int
+    total_functions: int
+
+    @property
+    def used_functions(self) -> int:
+        return int(self.used_indices.size)
+
+    @property
+    def removed_functions(self) -> int:
+        return self.total_functions - self.used_functions
+
+    @property
+    def removed_bytes(self) -> int:
+        return self.total_bytes - self.used_bytes
+
+
+@dataclass
+class FunctionLocator:
+    """Maps used function indices to retain/remove ranges in ``.text``."""
+
+    costs: CostModel = DEFAULT_COSTS
+
+    def locate(
+        self,
+        lib: SharedLibrary,
+        used_indices: np.ndarray,
+        clock: VirtualClock | None = None,
+    ) -> FunctionLocateResult:
+        values, sizes = lib.function_file_ranges()
+        n = len(values)
+        if clock is not None:
+            clock.advance(self.costs.locate_per_function * n)
+
+        used = np.zeros(n, dtype=bool)
+        used_indices = np.asarray(used_indices, dtype=np.int64)
+        if used_indices.size:
+            if used_indices.min() < 0 or used_indices.max() >= n:
+                from repro.errors import LocationError
+
+                raise LocationError(
+                    f"{lib.soname}: used function index out of range"
+                )
+            used[used_indices] = True
+
+        text = lib.text
+        if text is None or n == 0:
+            return FunctionLocateResult(
+                soname=lib.soname,
+                used_indices=used_indices,
+                retain_ranges=RangeSet.empty(),
+                remove_ranges=RangeSet.empty(),
+                used_bytes=0,
+                total_bytes=0,
+                total_functions=n,
+            )
+
+        retain = _runs_to_ranges(values, sizes, used)
+        remove = _runs_to_ranges(values, sizes, ~used)
+        return FunctionLocateResult(
+            soname=lib.soname,
+            used_indices=used_indices,
+            retain_ranges=retain,
+            remove_ranges=remove,
+            used_bytes=int(sizes[used].sum()),
+            total_bytes=int(sizes.sum()),
+            total_functions=n,
+        )
+
+
+def _runs_to_ranges(values: np.ndarray, sizes: np.ndarray,
+                    mask: np.ndarray) -> RangeSet:
+    """Merge selected (offset, size) entries into a RangeSet, vectorized.
+
+    Functions are laid out in ascending offset order, so runs of consecutive
+    selected functions collapse into single ranges; a 600k-symbol library
+    yields thousands of ranges, not hundreds of thousands.
+    """
+    if not mask.any():
+        return RangeSet.empty()
+    starts = values[mask]
+    ends = starts + sizes[mask]
+    # Boundaries where the next start does not continue the previous end.
+    breaks = np.flatnonzero(starts[1:] != ends[:-1])
+    run_starts = np.concatenate(([0], breaks + 1))
+    run_ends = np.concatenate((breaks, [len(starts) - 1]))
+    return RangeSet(
+        Range(int(starts[a]), int(ends[b]))
+        for a, b in zip(run_starts, run_ends)
+    )

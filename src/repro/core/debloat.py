@@ -1,0 +1,297 @@
+"""End-to-end Negativa-ML orchestration (paper Fig. 2).
+
+``Debloater.debloat(workload)`` runs the full pipeline:
+
+1. a clean **baseline run** (original runtime metrics for Tables 5/7);
+2. a **kernel-detection run** with the CUPTI hook attached (§3.1);
+3. a **CPU-profiling run** with the function profiler attached (Negativa's
+   CPU detection phase);
+4. per library: **kernel location** (element decisions), **CPU function
+   location**, and **compaction** - all charged to the pipeline clock,
+   which is what Table 8's end-to-end times report;
+5. **verification**: re-run with *all* debloated libraries substituted;
+6. optional **runtime comparison**: re-run with the top-N bloat
+   contributors replaced (the paper replaces the top 8) for Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.compact import Compactor, DebloatedLibrary
+from repro.core.cpu import FunctionLocator
+from repro.core.detect import KernelDetector
+from repro.core.locate import KernelLocator
+from repro.core.report import DebloatTiming, LibraryReduction, WorkloadDebloatReport
+from repro.core.verify import verify_debloat
+from repro.cuda.clock import VirtualClock
+from repro.cuda.costs import DEFAULT_COSTS, CostModel
+from repro.errors import VerificationError
+from repro.frameworks.spec import Framework
+from repro.loader.profiler import FunctionProfiler
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class DebloatOptions:
+    """Pipeline configuration."""
+
+    costs: CostModel = DEFAULT_COSTS
+    #: Re-run the workload on debloated libraries and require identical output.
+    verify: bool = True
+    #: Fail hard if verification fails (tests use this).
+    strict_verify: bool = True
+    #: Re-run with the top-N bloat contributors replaced for the runtime
+    #: comparison (the paper's §4.4 flow uses 8); 0 disables, None replaces
+    #: all libraries.
+    runtime_comparison_top_n: int | None = 8
+    #: Skip CPU-side debloating (GPU-only ablation).
+    debloat_cpu: bool = True
+    #: Skip GPU-side debloating (CPU-only ablation - plain Negativa).
+    debloat_gpu: bool = True
+
+
+@dataclass
+class Debloater:
+    """Negativa-ML."""
+
+    framework: Framework
+    options: DebloatOptions = field(default_factory=DebloatOptions)
+
+    def debloat(self, spec: WorkloadSpec) -> WorkloadDebloatReport:
+        if spec.framework != self.framework.name:
+            raise VerificationError(
+                f"workload targets {spec.framework!r}, debloater holds "
+                f"{self.framework.name!r}"
+            )
+        costs = self.options.costs
+        device_arch = spec.devices()[0].sm_arch
+
+        # 1. Baseline run (original metrics).
+        baseline = WorkloadRunner(spec, self.framework, costs).run()
+
+        # 2. Kernel-detection run.
+        detector = KernelDetector(costs)
+        detection_metrics = WorkloadRunner(
+            spec, self.framework, costs, subscribers=(detector,)
+        ).run()
+
+        # 3. CPU-profiling run.
+        profiler = FunctionProfiler()
+        profiling_metrics = WorkloadRunner(
+            spec, self.framework, costs, profiler=profiler
+        ).run()
+        used_functions = profiler.used_functions()
+
+        # 4. Locate + compact every library the workload loaded.
+        pipeline_clock = VirtualClock()
+        kernel_locator = KernelLocator(costs)
+        function_locator = FunctionLocator(costs)
+        compactor = Compactor(costs)
+
+        debloated: dict[str, DebloatedLibrary] = {}
+        reductions: list[LibraryReduction] = []
+        locate_results = {}
+        locate_elapsed = 0.0
+        for lib in self.framework.libraries_for(spec.features):
+            with pipeline_clock.measure() as elapsed:
+                gpu_res = None
+                if self.options.debloat_gpu:
+                    gpu_res = kernel_locator.locate(
+                        lib,
+                        detector.used_kernels_for(lib.soname),
+                        device_arch,
+                        clock=pipeline_clock,
+                    )
+                    locate_results[lib.soname] = gpu_res
+                cpu_res = None
+                if self.options.debloat_cpu:
+                    cpu_res = function_locator.locate(
+                        lib,
+                        used_functions.get(lib.soname,
+                                           np.zeros(0, dtype=np.int64)),
+                        clock=pipeline_clock,
+                    )
+            locate_elapsed += elapsed()
+            compact_start = pipeline_clock.now
+            d = compactor.compact(lib, cpu_res, gpu_res, clock=pipeline_clock)
+            debloated[lib.soname] = d
+            reductions.append(LibraryReduction.from_debloated(lib, d))
+            del compact_start
+
+        compact_elapsed = pipeline_clock.now - locate_elapsed
+        timing = DebloatTiming(
+            kernel_detection_run_s=detection_metrics.execution_time_s,
+            cpu_profiling_run_s=profiling_metrics.execution_time_s,
+            locate_s=locate_elapsed,
+            compact_s=compact_elapsed,
+        )
+
+        # 5. Verification with all debloated libraries.
+        verification = None
+        if self.options.verify:
+            verification = verify_debloat(
+                spec, self.framework, debloated, baseline, costs
+            )
+            if self.options.strict_verify and not verification.ok:
+                raise VerificationError(
+                    f"{spec.workload_id}: {verification.error}"
+                )
+
+        # 6. Runtime comparison with the top-N contributors replaced.
+        debloated_run = None
+        top_n = self.options.runtime_comparison_top_n
+        if top_n != 0:
+            ranked = sorted(
+                reductions, key=lambda r: r.file_reduction_bytes, reverse=True
+            )
+            chosen = ranked if top_n is None else ranked[:top_n]
+            overrides = {
+                r.soname: debloated[r.soname].lib for r in chosen
+            }
+            debloated_run = WorkloadRunner(
+                spec, self.framework, costs, overrides=overrides
+            ).run()
+
+        report = WorkloadDebloatReport(
+            workload_id=spec.workload_id,
+            device_arch=device_arch,
+            libraries=reductions,
+            locate_results=locate_results,
+            timing=timing,
+            baseline=baseline,
+            detection=detection_metrics,
+            debloated_run=debloated_run,
+            verification=verification,
+        )
+        report_extras = {
+            "detector_interceptions": detector.interceptions,
+            "detected_kernels": detector.total_detected(),
+            "profiled_functions": profiler.used_count(),
+        }
+        baseline.counters.update(report_extras)
+        self.debloated_libraries = debloated
+        return report
+
+    # -- multi-workload debloating (paper §5 extension) ---------------------------
+
+    def debloat_many(
+        self, specs: list[WorkloadSpec]
+    ) -> "MultiWorkloadReport":
+        """Debloat one library set against the *union* of several workloads.
+
+        The paper's discussion (§5) observes that code unused by one
+        workload is likely unnecessary for others; this extension makes
+        that actionable: detection runs once per workload, usage sets are
+        unioned, each library is located/compacted once, and the result is
+        verified against *every* workload.  The report exposes the marginal
+        retention growth per added workload - how quickly the "needed" set
+        saturates.
+        """
+        if not specs:
+            raise VerificationError("debloat_many needs at least one workload")
+        costs = self.options.costs
+        arch = specs[0].devices()[0].sm_arch
+        for spec in specs:
+            if spec.framework != self.framework.name:
+                raise VerificationError(
+                    f"{spec.workload_id} targets {spec.framework!r}"
+                )
+            if spec.devices()[0].sm_arch != arch:
+                raise VerificationError(
+                    "multi-workload debloating requires one device architecture"
+                )
+
+        union_kernels: dict[str, set[str]] = {}
+        union_functions: dict[str, set[int]] = {}
+        baselines: list = []
+        marginal_kernels: list[int] = []
+        for spec in specs:
+            detector = KernelDetector(costs)
+            profiler = FunctionProfiler()
+            baselines.append(
+                WorkloadRunner(
+                    spec, self.framework, costs,
+                    subscribers=(detector,), profiler=profiler,
+                ).run()
+            )
+            before = sum(len(v) for v in union_kernels.values())
+            for soname, names in detector.used_kernels().items():
+                union_kernels.setdefault(soname, set()).update(names)
+            for soname, idx in profiler.used_functions().items():
+                union_functions.setdefault(soname, set()).update(idx.tolist())
+            marginal_kernels.append(
+                sum(len(v) for v in union_kernels.values()) - before
+            )
+
+        features = frozenset().union(*(spec.features for spec in specs))
+        kernel_locator = KernelLocator(costs)
+        function_locator = FunctionLocator(costs)
+        compactor = Compactor(costs)
+        debloated: dict[str, DebloatedLibrary] = {}
+        reductions: list[LibraryReduction] = []
+        for lib in self.framework.libraries_for(features):
+            gpu_res = kernel_locator.locate(
+                lib, frozenset(union_kernels.get(lib.soname, ())), arch
+            )
+            used = np.asarray(
+                sorted(union_functions.get(lib.soname, ())), dtype=np.int64
+            )
+            cpu_res = function_locator.locate(lib, used)
+            d = compactor.compact(lib, cpu_res, gpu_res)
+            debloated[lib.soname] = d
+            reductions.append(LibraryReduction.from_debloated(lib, d))
+
+        verifications = []
+        if self.options.verify:
+            for spec, baseline in zip(specs, baselines):
+                result = verify_debloat(
+                    spec, self.framework, debloated, baseline, costs
+                )
+                verifications.append(result)
+                if self.options.strict_verify and not result.ok:
+                    raise VerificationError(
+                        f"{spec.workload_id}: {result.error}"
+                    )
+        self.debloated_libraries = debloated
+        return MultiWorkloadReport(
+            workload_ids=[spec.workload_id for spec in specs],
+            libraries=reductions,
+            verifications=verifications,
+            marginal_new_kernels=marginal_kernels,
+        )
+
+
+@dataclass
+class MultiWorkloadReport:
+    """Result of debloating against a workload set (union of usage)."""
+
+    workload_ids: list[str]
+    libraries: list[LibraryReduction]
+    verifications: list
+    marginal_new_kernels: list[int]
+
+    @property
+    def all_verified(self) -> bool:
+        return all(v.ok for v in self.verifications)
+
+    @property
+    def total_file_size(self) -> int:
+        return sum(lib.file_size for lib in self.libraries)
+
+    @property
+    def total_file_size_after(self) -> int:
+        return sum(lib.file_size_after for lib in self.libraries)
+
+    @property
+    def file_reduction_pct(self) -> float:
+        from repro.utils.units import pct_reduction
+
+        return pct_reduction(self.total_file_size, self.total_file_size_after)
+
+    def saturation_series(self) -> list[tuple[str, int]]:
+        """(workload, new kernels it added) - how fast usage saturates."""
+        return list(zip(self.workload_ids, self.marginal_new_kernels))

@@ -1,0 +1,94 @@
+"""Report serialization: JSON export for dashboards/CI consumption.
+
+``report_to_dict`` flattens a :class:`WorkloadDebloatReport` into plain
+JSON-serializable types (the exact numbers the paper's tables print), so a
+deployment pipeline can gate on e.g. "file reduction >= 40%" or archive
+per-library reductions next to the debloated artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.report import LibraryReduction, WorkloadDebloatReport
+
+
+def library_to_dict(lib: LibraryReduction) -> dict[str, Any]:
+    return {
+        "soname": lib.soname,
+        "file_size": lib.file_size,
+        "file_size_after": lib.file_size_after,
+        "file_reduction_pct": round(lib.file_reduction_pct, 2),
+        "cpu_size": lib.cpu_size,
+        "cpu_size_after": lib.cpu_size_after,
+        "cpu_reduction_pct": round(lib.cpu_reduction_pct, 2),
+        "functions": lib.n_functions,
+        "functions_after": lib.n_functions_after,
+        "function_reduction_pct": round(lib.function_reduction_pct, 2),
+        "gpu_size": lib.gpu_size,
+        "gpu_size_after": lib.gpu_size_after,
+        "gpu_reduction_pct": round(lib.gpu_reduction_pct, 2),
+        "elements": lib.n_elements,
+        "elements_after": lib.n_elements_after,
+        "element_reduction_pct": round(lib.element_reduction_pct, 2),
+    }
+
+
+def report_to_dict(report: WorkloadDebloatReport) -> dict[str, Any]:
+    """Flatten a debloat report (library rows + totals + runtime + timing)."""
+    reasons = {
+        reason.value: round(share, 2)
+        for reason, share in report.removal_reason_shares().items()
+    }
+    out: dict[str, Any] = {
+        "workload_id": report.workload_id,
+        "device_arch": report.device_arch,
+        "n_libraries": report.n_libraries,
+        "totals": {
+            "file_size": report.total_file_size,
+            "file_size_after": report.total_file_size_after,
+            "file_reduction_pct": round(report.file_reduction_pct, 2),
+            "cpu_size": report.total_cpu_size,
+            "cpu_reduction_pct": round(report.cpu_reduction_pct, 2),
+            "functions": report.total_functions,
+            "function_reduction_pct": round(report.function_reduction_pct, 2),
+            "gpu_size": report.total_gpu_size,
+            "gpu_reduction_pct": round(report.gpu_reduction_pct, 2),
+            "elements": report.total_elements,
+            "element_reduction_pct": round(report.element_reduction_pct, 2),
+        },
+        "removal_reasons_pct": reasons,
+        "timing_s": {
+            "kernel_detection_run": round(report.timing.kernel_detection_run_s, 3),
+            "cpu_profiling_run": round(report.timing.cpu_profiling_run_s, 3),
+            "locate": round(report.timing.locate_s, 3),
+            "compact": round(report.timing.compact_s, 3),
+            "total": round(report.timing.total_s, 3),
+        },
+        "libraries": [library_to_dict(lib) for lib in report.libraries],
+    }
+    if report.verification is not None:
+        out["verification"] = {
+            "ok": report.verification.ok,
+            "error": report.verification.error,
+        }
+    if report.debloated_run is not None:
+        base, after = report.baseline, report.debloated_run
+        out["runtime"] = {
+            "execution_time_s": [
+                round(base.execution_time_s, 3),
+                round(after.execution_time_s, 3),
+            ],
+            "peak_cpu_mem_bytes": [
+                base.peak_cpu_mem_bytes, after.peak_cpu_mem_bytes
+            ],
+            "peak_gpu_mem_bytes": [
+                base.peak_gpu_mem_bytes, after.peak_gpu_mem_bytes
+            ],
+        }
+    return out
+
+
+def report_to_json(report: WorkloadDebloatReport, indent: int = 2) -> str:
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)

@@ -1,0 +1,181 @@
+"""Kernel locator (paper §3.2).
+
+Maps detected kernel names to *file ranges to retain* in the shared
+library.  The locator never needs exact kernel offsets: it extracts cubins
+with the ``cuobjdump`` boundary, exploits the cubin index == element index
+invariant, and retains or removes *whole elements*.  Retention criteria are
+the paper's, verbatim: an element is retained iff (a) its
+compute-capability matches the GPU architecture the workload runs on, and
+(b) its cubin contains at least one used CPU-launching kernel.  Whole-cubin
+retention is what keeps GPU-launching kernels (which the detector cannot
+see) alive, because a kernel launched by another kernel is compiled into
+the same cubin.
+
+Every removal is classified for the paper's Fig. 7 analysis:
+Reason I - architecture mismatch; Reason II - no used kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.cuda.clock import VirtualClock
+from repro.cuda.costs import DEFAULT_COSTS, CostModel
+from repro.elf.image import SharedLibrary
+from repro.errors import LocationError
+from repro.fatbin.cuobjdump import extract_cubins
+from repro.utils.intervals import Range, RangeSet
+
+
+class RemovalReason(enum.Enum):
+    """Why an element was removed (paper §4.3)."""
+
+    ARCH_MISMATCH = "Reason I"  # element does not match the GPU architecture
+    NO_USED_KERNELS = "Reason II"  # matches, but contains no used kernel
+
+
+@dataclass(frozen=True)
+class ElementDecision:
+    """The locator's verdict for one fatbin element."""
+
+    index: int
+    sm_arch: int
+    size: int
+    kernel_count: int
+    retained: bool
+    reason: RemovalReason | None
+    used_entry_kernels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.retained == (self.reason is not None):
+            raise LocationError("decision must have a reason iff removed")
+
+
+@dataclass
+class LocateResult:
+    """All decisions for one library plus the ranges to retain/remove."""
+
+    soname: str
+    device_arch: int
+    decisions: list[ElementDecision]
+    retain_ranges: RangeSet
+    remove_ranges: RangeSet
+
+    @cached_property
+    def retained(self) -> list[ElementDecision]:
+        return [d for d in self.decisions if d.retained]
+
+    @cached_property
+    def removed(self) -> list[ElementDecision]:
+        return [d for d in self.decisions if not d.retained]
+
+    def removed_by_reason(self, reason: RemovalReason) -> list[ElementDecision]:
+        return [d for d in self.removed if d.reason is reason]
+
+    @property
+    def element_count(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def retained_bytes(self) -> int:
+        return sum(d.size for d in self.retained)
+
+    @property
+    def removed_bytes(self) -> int:
+        return sum(d.size for d in self.removed)
+
+
+@dataclass
+class KernelLocator:
+    """Locates used kernels' enclosing elements in ML shared libraries."""
+
+    costs: CostModel = DEFAULT_COSTS
+
+    def locate(
+        self,
+        lib: SharedLibrary,
+        used_kernels: frozenset[str],
+        device_arch: int,
+        clock: VirtualClock | None = None,
+    ) -> LocateResult:
+        """Decide retention for every fatbin element of ``lib``.
+
+        ``used_kernels`` are the detector's recorded CPU-launching kernel
+        names for this library; ``device_arch`` is the architecture of the
+        GPU the workload ran on.
+        """
+        image = lib.fatbin
+        if image is None:
+            return LocateResult(
+                soname=lib.soname,
+                device_arch=device_arch,
+                decisions=[],
+                retain_ranges=RangeSet.empty(),
+                remove_ranges=RangeSet.empty(),
+            )
+
+        cubins = extract_cubins(lib)
+        if clock is not None:
+            clock.advance(
+                self.costs.locate_fixed_per_lib
+                + self.costs.locate_per_element * len(cubins)
+                + self.costs.locate_per_used_kernel * len(used_kernels)
+            )
+
+        decisions: list[ElementDecision] = []
+        retain: list[Range] = []
+        remove: list[Range] = []
+        for extracted in cubins:
+            element = image.element_by_index(extracted.index)
+            if element.sm_arch != extracted.sm_arch:
+                raise LocationError(
+                    f"{lib.soname}: cuobjdump index {extracted.index} does not "
+                    f"match element order"
+                )
+            rng = element.file_range
+            if extracted.sm_arch != device_arch:
+                decision = ElementDecision(
+                    index=extracted.index,
+                    sm_arch=extracted.sm_arch,
+                    size=len(rng),
+                    kernel_count=len(extracted.kernel_names),
+                    retained=False,
+                    reason=RemovalReason.ARCH_MISMATCH,
+                )
+            else:
+                # Entry kernels only: GPU-launching kernels ride along via
+                # whole-element retention.
+                hits = tuple(
+                    sorted(set(extracted.entry_kernel_names) & used_kernels)
+                )
+                if hits:
+                    decision = ElementDecision(
+                        index=extracted.index,
+                        sm_arch=extracted.sm_arch,
+                        size=len(rng),
+                        kernel_count=len(extracted.kernel_names),
+                        retained=True,
+                        reason=None,
+                        used_entry_kernels=hits,
+                    )
+                else:
+                    decision = ElementDecision(
+                        index=extracted.index,
+                        sm_arch=extracted.sm_arch,
+                        size=len(rng),
+                        kernel_count=len(extracted.kernel_names),
+                        retained=False,
+                        reason=RemovalReason.NO_USED_KERNELS,
+                    )
+            decisions.append(decision)
+            (retain if decision.retained else remove).append(rng)
+
+        return LocateResult(
+            soname=lib.soname,
+            device_arch=device_arch,
+            decisions=decisions,
+            retain_ranges=RangeSet(retain),
+            remove_ranges=RangeSet(remove),
+        )

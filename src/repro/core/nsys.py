@@ -1,0 +1,63 @@
+"""NSys-style tracing baseline (paper §3.1 / §4.6).
+
+Nsight Systems records *every* kernel launch (plus module loads and
+memcpys) to build a performance timeline; as a kernel-detection mechanism
+it is strictly more expensive than the detector because its overhead scales
+with launch count.  The paper measures +126% on PyTorch/MobileNetV2
+training versus the detector's +41%; `benchmarks/bench_sec46.py`
+regenerates that comparison, and the ablation bench shows NSys overhead
+growing with epochs while the detector's stays flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cuda.costs import DEFAULT_COSTS, CostModel
+from repro.cuda.cupti import CallbackInfo, CallbackSite
+
+
+@dataclass
+class NsysTracer:
+    """Full-tracing CUPTI subscriber (``nsys profile --trace=cuda``)."""
+
+    costs: CostModel = DEFAULT_COSTS
+    sites: frozenset[CallbackSite] = frozenset(
+        {
+            CallbackSite.CU_LAUNCH_KERNEL,
+            CallbackSite.CU_MODULE_GET_FUNCTION,
+            CallbackSite.CU_MODULE_LOAD,
+            CallbackSite.CU_MEMCPY,
+        }
+    )
+    launch_records: int = 0
+    misc_records: int = 0
+    #: (library, kernel) -> launch count: the timeline rows.
+    timeline: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def cost_per_event(self, site: CallbackSite) -> float:
+        if site is CallbackSite.CU_LAUNCH_KERNEL:
+            return self.costs.nsys_launch_record
+        return self.costs.nsys_misc_record
+
+    def on_event(self, info: CallbackInfo) -> None:
+        if info.site is CallbackSite.CU_LAUNCH_KERNEL:
+            self.launch_records += info.count
+            if info.library and info.kernel:
+                key = (info.library, info.kernel)
+                self.timeline[key] = self.timeline.get(key, 0) + info.count
+        else:
+            self.misc_records += info.count
+
+    # -- detection-equivalent view ---------------------------------------------------
+
+    def used_kernels(self) -> dict[str, frozenset[str]]:
+        """Kernels seen launching - NSys *can* detect, just expensively."""
+        out: dict[str, set[str]] = {}
+        for (library, kernel) in self.timeline:
+            out.setdefault(library, set()).add(kernel)
+        return {k: frozenset(v) for k, v in out.items()}
+
+    def top_kernels(self, n: int = 10) -> list[tuple[str, str, int]]:
+        rows = sorted(self.timeline.items(), key=lambda kv: -kv[1])[:n]
+        return [(lib, kernel, count) for (lib, kernel), count in rows]

@@ -1,0 +1,220 @@
+"""Debloating reports: the numbers every table in the paper is built from.
+
+A :class:`LibraryReduction` is one row of the per-library accounting (file
+size, CPU code size, function count, GPU code size, element count - each
+before/after); a :class:`WorkloadDebloatReport` aggregates a workload's
+libraries and carries the run metrics, element decisions, timings, and
+verification result the experiments render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compact import DebloatedLibrary
+from repro.core.locate import ElementDecision, LocateResult, RemovalReason
+from repro.core.verify import VerificationResult
+from repro.elf.image import SharedLibrary
+from repro.utils.units import pct_reduction
+from repro.workloads.metrics import RunMetrics
+
+
+@dataclass(frozen=True)
+class LibraryReduction:
+    """Before/after metrics for one shared library."""
+
+    soname: str
+    file_size: int
+    cpu_size: int
+    n_functions: int
+    gpu_size: int
+    n_elements: int
+    file_size_after: int
+    cpu_size_after: int
+    n_functions_after: int
+    gpu_size_after: int
+    n_elements_after: int
+
+    @classmethod
+    def from_debloated(
+        cls, original: SharedLibrary, debloated: DebloatedLibrary
+    ) -> "LibraryReduction":
+        return cls(
+            soname=original.soname,
+            file_size=original.file_size,
+            cpu_size=original.cpu_code_size,
+            n_functions=original.function_count,
+            gpu_size=original.gpu_code_size,
+            n_elements=original.element_count,
+            file_size_after=debloated.compacted_file_size,
+            cpu_size_after=original.cpu_code_size - debloated.removed_cpu_bytes,
+            n_functions_after=original.function_count - debloated.removed_functions,
+            gpu_size_after=original.gpu_code_size - debloated.removed_gpu_bytes,
+            n_elements_after=original.element_count - debloated.removed_elements,
+        )
+
+    # -- reductions --------------------------------------------------------------
+
+    @property
+    def file_reduction_bytes(self) -> int:
+        return self.file_size - self.file_size_after
+
+    @property
+    def file_reduction_pct(self) -> float:
+        return pct_reduction(self.file_size, self.file_size_after)
+
+    @property
+    def cpu_reduction_pct(self) -> float:
+        return pct_reduction(self.cpu_size, self.cpu_size_after)
+
+    @property
+    def function_reduction_pct(self) -> float:
+        return pct_reduction(self.n_functions, self.n_functions_after)
+
+    @property
+    def gpu_reduction_pct(self) -> float:
+        return pct_reduction(self.gpu_size, self.gpu_size_after)
+
+    @property
+    def element_reduction_pct(self) -> float:
+        return pct_reduction(self.n_elements, self.n_elements_after)
+
+    @property
+    def has_gpu_code(self) -> bool:
+        return self.gpu_size > 0
+
+
+@dataclass
+class DebloatTiming:
+    """Virtual-time breakdown of the debloating pipeline (paper Table 8)."""
+
+    kernel_detection_run_s: float = 0.0
+    cpu_profiling_run_s: float = 0.0
+    locate_s: float = 0.0
+    compact_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.kernel_detection_run_s
+            + self.cpu_profiling_run_s
+            + self.locate_s
+            + self.compact_s
+        )
+
+
+@dataclass
+class WorkloadDebloatReport:
+    """Everything Negativa-ML produced for one workload."""
+
+    workload_id: str
+    device_arch: int
+    libraries: list[LibraryReduction]
+    locate_results: dict[str, LocateResult]
+    timing: DebloatTiming
+    baseline: RunMetrics
+    detection: RunMetrics | None = None
+    debloated_run: RunMetrics | None = None
+    verification: VerificationResult | None = None
+
+    # -- aggregates (paper Table 2 row) ------------------------------------------------
+
+    @property
+    def n_libraries(self) -> int:
+        return len(self.libraries)
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(lib, attr) for lib in self.libraries)
+
+    @property
+    def total_file_size(self) -> int:
+        return self._sum("file_size")
+
+    @property
+    def total_file_size_after(self) -> int:
+        return self._sum("file_size_after")
+
+    @property
+    def total_cpu_size(self) -> int:
+        return self._sum("cpu_size")
+
+    @property
+    def total_cpu_size_after(self) -> int:
+        return self._sum("cpu_size_after")
+
+    @property
+    def total_functions(self) -> int:
+        return self._sum("n_functions")
+
+    @property
+    def total_functions_after(self) -> int:
+        return self._sum("n_functions_after")
+
+    @property
+    def total_gpu_size(self) -> int:
+        return self._sum("gpu_size")
+
+    @property
+    def total_gpu_size_after(self) -> int:
+        return self._sum("gpu_size_after")
+
+    @property
+    def total_elements(self) -> int:
+        return self._sum("n_elements")
+
+    @property
+    def total_elements_after(self) -> int:
+        return self._sum("n_elements_after")
+
+    @property
+    def file_reduction_pct(self) -> float:
+        return pct_reduction(self.total_file_size, self.total_file_size_after)
+
+    @property
+    def cpu_reduction_pct(self) -> float:
+        return pct_reduction(self.total_cpu_size, self.total_cpu_size_after)
+
+    @property
+    def function_reduction_pct(self) -> float:
+        return pct_reduction(self.total_functions, self.total_functions_after)
+
+    @property
+    def gpu_reduction_pct(self) -> float:
+        return pct_reduction(self.total_gpu_size, self.total_gpu_size_after)
+
+    @property
+    def element_reduction_pct(self) -> float:
+        return pct_reduction(self.total_elements, self.total_elements_after)
+
+    # -- analyses -----------------------------------------------------------------------
+
+    def library(self, soname: str) -> LibraryReduction:
+        for lib in self.libraries:
+            if lib.soname == soname:
+                return lib
+        raise KeyError(soname)
+
+    def top_by_file_reduction(self, n: int) -> list[LibraryReduction]:
+        return sorted(
+            self.libraries, key=lambda r: r.file_reduction_bytes, reverse=True
+        )[:n]
+
+    def largest_library(self) -> LibraryReduction:
+        return max(self.libraries, key=lambda r: r.file_size)
+
+    def element_decisions(self) -> list[ElementDecision]:
+        return [
+            d for res in self.locate_results.values() for d in res.decisions
+        ]
+
+    def removal_reason_shares(self) -> dict[RemovalReason, float]:
+        """Percentage of removed elements per reason (paper Fig. 7)."""
+        removed = [d for d in self.element_decisions() if not d.retained]
+        if not removed:
+            return {reason: 0.0 for reason in RemovalReason}
+        return {
+            reason: 100.0
+            * sum(1 for d in removed if d.reason is reason)
+            / len(removed)
+            for reason in RemovalReason
+        }

@@ -1,0 +1,118 @@
+"""Used-bloat analysis (the paper's §5 future-work direction).
+
+The paper distinguishes *unused* bloat (what Negativa-ML removes) from
+"used bloat" - "code executed by a workload but not contributing
+meaningfully to the performance or functionality", e.g. an optimizer
+initializing a context through "numerous non-essential function calls".  It
+points at TensorFlow's larger-but-less-reducible CPU code as the symptom
+and leaves detection to future work.
+
+This module implements the natural first-order detector: partition each
+library's *executed* functions into **startup-only** code (first executed
+before the workload's steady state - import machinery, registrations,
+context initialization that never runs again) and **recurring** code (first
+executed inside the iteration loop).  Startup-only bytes are the used-bloat
+candidates: they execute once, contribute no per-iteration work, yet occupy
+memory for the process lifetime and cannot be removed by usage-based
+debloating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frameworks.spec import Framework
+from repro.utils.units import pct_reduction
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class LibraryUsedBloat:
+    """Used-bloat accounting for one library."""
+
+    soname: str
+    used_functions: int
+    startup_only_functions: int
+    used_bytes: int
+    startup_only_bytes: int
+
+    @property
+    def recurring_functions(self) -> int:
+        return self.used_functions - self.startup_only_functions
+
+    @property
+    def startup_share_pct(self) -> float:
+        """Share of *executed* code bytes that never runs again."""
+        if self.used_bytes == 0:
+            return 0.0
+        return 100.0 * self.startup_only_bytes / self.used_bytes
+
+
+@dataclass
+class UsedBloatReport:
+    """Per-workload used-bloat analysis."""
+
+    workload_id: str
+    libraries: list[LibraryUsedBloat]
+
+    @property
+    def total_used_bytes(self) -> int:
+        return sum(lib.used_bytes for lib in self.libraries)
+
+    @property
+    def total_startup_only_bytes(self) -> int:
+        return sum(lib.startup_only_bytes for lib in self.libraries)
+
+    @property
+    def startup_share_pct(self) -> float:
+        if self.total_used_bytes == 0:
+            return 0.0
+        return 100.0 * self.total_startup_only_bytes / self.total_used_bytes
+
+    def library(self, soname: str) -> LibraryUsedBloat:
+        for lib in self.libraries:
+            if lib.soname == soname:
+                return lib
+        raise KeyError(soname)
+
+    def top_by_startup_bytes(self, n: int) -> list[LibraryUsedBloat]:
+        return sorted(
+            self.libraries, key=lambda l: l.startup_only_bytes, reverse=True
+        )[:n]
+
+
+def analyze_used_bloat(
+    spec: WorkloadSpec, framework: Framework
+) -> UsedBloatReport:
+    """Run ``spec`` and partition executed code into startup-only/recurring.
+
+    Requires only the loader's phase bookkeeping - no extra instrumentation
+    run, so this analysis is free when piggybacked on a profiling run.
+    """
+    runner = WorkloadRunner(spec, framework)
+    runner.run()
+    process = runner.runtime.process
+
+    libraries: list[LibraryUsedBloat] = []
+    for soname, loaded in process.libraries.items():
+        used = loaded.used_mask
+        startup = (
+            loaded.startup_mask
+            if loaded.startup_mask is not None
+            else np.zeros_like(used)
+        )
+        sizes = loaded.lib.symtab.sizes.astype(np.int64)
+        startup_only = used & startup
+        libraries.append(
+            LibraryUsedBloat(
+                soname=soname,
+                used_functions=int(used.sum()),
+                startup_only_functions=int(startup_only.sum()),
+                used_bytes=int(sizes[used].sum()),
+                startup_only_bytes=int(sizes[startup_only].sum()),
+            )
+        )
+    return UsedBloatReport(workload_id=spec.workload_id, libraries=libraries)

@@ -1,0 +1,68 @@
+"""Debloat correctness verification (paper §4.1).
+
+The paper re-runs every workload with the debloated libraries and confirms
+outputs and final metrics are identical.  Here the check is *mechanical*:
+the debloated run either raises (a removed-but-needed kernel/function was
+hit - the locator was wrong) or completes with an output digest that must
+equal the original's.  The runtime never consults usage bookkeeping when
+executing, so this is a genuine end-to-end check, and tests exercise the
+negative case by corrupting the retained set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compact import DebloatedLibrary
+from repro.cuda.costs import DEFAULT_COSTS, CostModel
+from repro.errors import CudaError, LoaderError
+from repro.frameworks.spec import Framework
+from repro.workloads.metrics import RunMetrics
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of re-running a workload on debloated libraries."""
+
+    ok: bool
+    original_digest: str
+    debloated_digest: str | None = None
+    error: str | None = None
+    debloated_metrics: RunMetrics | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return "verified: outputs identical"
+        return f"verification FAILED: {self.error or 'digest mismatch'}"
+
+
+def verify_debloat(
+    spec: WorkloadSpec,
+    framework: Framework,
+    debloated: dict[str, DebloatedLibrary],
+    baseline: RunMetrics,
+    costs: CostModel = DEFAULT_COSTS,
+) -> VerificationResult:
+    """Re-run ``spec`` with every debloated library substituted."""
+    overrides = {soname: d.lib for soname, d in debloated.items()}
+    runner = WorkloadRunner(
+        spec=spec, framework=framework, costs=costs, overrides=overrides
+    )
+    try:
+        metrics = runner.run()
+    except (CudaError, LoaderError) as exc:
+        return VerificationResult(
+            ok=False,
+            original_digest=baseline.output_digest,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    ok = metrics.output_digest == baseline.output_digest
+    return VerificationResult(
+        ok=ok,
+        original_digest=baseline.output_digest,
+        debloated_digest=metrics.output_digest,
+        error=None if ok else "output digest mismatch",
+        debloated_metrics=metrics,
+    )

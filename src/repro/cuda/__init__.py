@@ -1,0 +1,43 @@
+"""Simulated CUDA driver, CUPTI, devices, memory meters, and virtual clock.
+
+This package stands in for the CUDA driver + CUPTI on the paper's testbeds
+(T4 / A100 / H100).  It reproduces the driver-API *contract* Negativa-ML
+depends on:
+
+* ``cuModuleGetFunction`` is called exactly once per kernel name regardless
+  of how many times the kernel launches (paper §3.1) - the detector's hook
+  point;
+* module loading selects fatbin elements whose compute-capability matches
+  the device architecture (paper §3.2) and supports eager/lazy loading
+  (paper §4.5);
+* CUPTI-style callback subscription lets tools intercept driver calls, each
+  subscriber paying a per-event virtual-time cost (the §4.6 overhead model).
+
+All time is virtual (:class:`~repro.cuda.clock.VirtualClock`); all memory is
+metered (:class:`~repro.cuda.memory.MemoryMeter`), which is how the runtime
+tables (5/7/8) are produced deterministically.
+"""
+
+from repro.cuda.arch import DEVICES, GpuDevice, get_device
+from repro.cuda.clock import VirtualClock
+from repro.cuda.costs import CostModel
+from repro.cuda.cupti import CallbackSite, Cupti, CuptiSubscriber
+from repro.cuda.driver import CudaDriver, LoadingMode
+from repro.cuda.memory import MemoryMeter
+from repro.cuda.module import KernelHandle, LoadedModule
+
+__all__ = [
+    "DEVICES",
+    "CallbackSite",
+    "CostModel",
+    "CudaDriver",
+    "Cupti",
+    "CuptiSubscriber",
+    "GpuDevice",
+    "KernelHandle",
+    "LoadedModule",
+    "LoadingMode",
+    "MemoryMeter",
+    "VirtualClock",
+    "get_device",
+]

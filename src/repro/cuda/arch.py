@@ -1,0 +1,70 @@
+"""GPU device catalog.
+
+``sm_arch`` is the compute-capability number stored in fatbin element
+headers (e.g. 75 for the T4's sm_75).  The catalog covers the devices the
+paper evaluates on (T4, A100, H100) plus the architectures ML frameworks
+ship fatbin elements for - the source of "Reason I" bloat (paper §4.3: a
+single PyTorch library contained elements for six GPU architectures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.units import GB
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """A GPU model with the properties the simulator uses."""
+
+    name: str
+    sm_arch: int  # compute capability, e.g. 75 == sm_75
+    memory_bytes: int
+    sm_count: int
+    fp32_tflops: float  # peak throughput used by the op cost model
+    pcie_gbps: float = 12.0  # effective host->device copy bandwidth
+
+    @property
+    def memory_mb(self) -> float:
+        return self.memory_bytes / (1 << 20)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} (sm_{self.sm_arch})"
+
+
+DEVICES: dict[str, GpuDevice] = {
+    "t4": GpuDevice("NVIDIA T4", 75, 16 * GB, 40, 8.1),
+    "v100": GpuDevice("NVIDIA V100", 70, 16 * GB, 80, 15.7),
+    "a100-40gb": GpuDevice("NVIDIA A100 40GB", 80, 40 * GB, 108, 19.5, pcie_gbps=20.0),
+    "a100-80gb": GpuDevice("NVIDIA A100 80GB", 80, 80 * GB, 108, 19.5, pcie_gbps=20.0),
+    "h100": GpuDevice("NVIDIA H100", 90, 96 * GB, 132, 67.0, pcie_gbps=40.0),
+    "rtx3090": GpuDevice("NVIDIA RTX 3090", 86, 24 * GB, 82, 35.6),
+    "l4": GpuDevice("NVIDIA L4", 89, 24 * GB, 58, 30.3),
+    "p100": GpuDevice("NVIDIA P100", 60, 16 * GB, 56, 9.3),
+}
+
+# Architectures ML frameworks typically embed fatbin elements for; six of
+# them, matching the paper's observation.  Newer architectures carry more
+# (and larger) kernel specializations, hence the byte-share weights used by
+# the library generator.
+SHIPPED_ARCHITECTURES: tuple[int, ...] = (60, 70, 75, 80, 86, 90)
+ARCH_BYTE_WEIGHTS: dict[int, float] = {
+    60: 0.3,
+    70: 0.5,
+    75: 3.4,
+    80: 1.6,
+    86: 0.6,
+    90: 1.4,
+}
+
+
+def get_device(name: str) -> GpuDevice:
+    """Look up a device by catalog key (case-insensitive)."""
+    key = name.lower()
+    if key not in DEVICES:
+        raise ConfigurationError(
+            f"unknown device {name!r}; known: {sorted(DEVICES)}"
+        )
+    return DEVICES[key]

@@ -1,0 +1,90 @@
+"""CUPTI-style callback subscription.
+
+The paper's kernel detector "implements a hook to ``cuModuleGetFunction``
+using the Nvidia CUPTI API" (§3.1).  This module reproduces that interface:
+tools subscribe to driver-API callback sites; the driver emits events (with
+a batch ``count`` so the runner can aggregate millions of launches without
+Python-level loops); each subscriber pays a declared per-event virtual-time
+cost, which is exactly how the §4.6 overhead comparison (detector 41% vs
+NSys 126%) is produced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.cuda.clock import VirtualClock
+from repro.errors import DetectionError
+
+
+class CallbackSite(enum.Enum):
+    """Driver API callback sites (CUPTI driver-API domain subset)."""
+
+    CU_MODULE_LOAD = "cuModuleLoad"
+    CU_MODULE_GET_FUNCTION = "cuModuleGetFunction"
+    CU_LAUNCH_KERNEL = "cuLaunchKernel"
+    CU_MEMCPY = "cuMemcpy"
+
+
+@dataclass
+class CallbackInfo:
+    """Payload passed to subscribers."""
+
+    site: CallbackSite
+    count: int = 1
+    library: str | None = None
+    kernel: str | None = None
+    module: Any = None
+    bytes_moved: int = 0
+
+
+class CuptiSubscriber(Protocol):
+    """A tool subscribed to driver callbacks."""
+
+    #: Sites this subscriber wants callbacks for.
+    sites: frozenset[CallbackSite]
+
+    def cost_per_event(self, site: CallbackSite) -> float:
+        """Virtual seconds charged per event at ``site``."""
+        ...
+
+    def on_event(self, info: CallbackInfo) -> None:
+        ...
+
+
+@dataclass
+class Cupti:
+    """The callback dispatcher owned by a driver instance."""
+
+    clock: VirtualClock
+    attach_cost: float = 0.0
+    _subscribers: list[CuptiSubscriber] = field(default_factory=list)
+
+    def subscribe(self, subscriber: CuptiSubscriber) -> None:
+        if subscriber in self._subscribers:
+            raise DetectionError("subscriber already attached")
+        if not subscriber.sites:
+            raise DetectionError("subscriber declares no callback sites")
+        self._subscribers.append(subscriber)
+        self.clock.advance(self.attach_cost)
+
+    def unsubscribe(self, subscriber: CuptiSubscriber) -> None:
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            raise DetectionError("subscriber not attached") from None
+
+    @property
+    def subscribers(self) -> tuple[CuptiSubscriber, ...]:
+        return tuple(self._subscribers)
+
+    def emit(self, info: CallbackInfo) -> None:
+        """Dispatch an event to interested subscribers, charging their cost."""
+        if info.count <= 0:
+            return
+        for sub in self._subscribers:
+            if info.site in sub.sites:
+                self.clock.advance(sub.cost_per_event(info.site) * info.count)
+                sub.on_event(info)

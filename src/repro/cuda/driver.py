@@ -1,0 +1,223 @@
+"""The simulated CUDA driver.
+
+Implements the driver-API surface Negativa-ML interacts with - ``cuInit``,
+``cuModuleLoad``, ``cuModuleGetFunction``, ``cuLaunchKernel``, host->device
+copies - over the virtual clock and memory meters, with CUPTI callback
+emission at each site.  Two module-loading modes are supported (paper §4.5):
+
+* **eager**: all architecture-matching elements of a module are copied to
+  the device at load time (and their file bytes become host-resident);
+* **lazy**: an element is loaded on the first ``cuModuleGetFunction`` that
+  resolves a kernel inside it.
+
+Debloating interacts with both modes exactly as in the paper: removed
+elements are skipped at load (eager savings) and removed kernels fail
+resolution (the verification signal).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cuda.arch import GpuDevice
+from repro.cuda.clock import VirtualClock
+from repro.cuda.costs import DEFAULT_COSTS, CostModel
+from repro.cuda.cupti import CallbackInfo, CallbackSite, Cupti
+from repro.cuda.memory import MemoryMeter
+from repro.cuda.module import KernelHandle, LoadedModule, matching_elements_of
+from repro.elf.image import SharedLibrary
+from repro.errors import CudaArchMismatchError, CudaError
+
+
+class LoadingMode(enum.Enum):
+    """CUDA module loading behaviour (``CUDA_MODULE_LOADING``)."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+@dataclass
+class DriverCounters:
+    """Call counters used by overhead analysis and tests."""
+
+    launches: int = 0
+    get_function_calls: int = 0
+    unique_kernels: int = 0
+    modules_loaded: int = 0
+    elements_loaded: int = 0
+    h2d_bytes: int = 0
+
+
+@dataclass
+class CudaDriver:
+    """One device context worth of driver state."""
+
+    device: GpuDevice
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    host_memory: MemoryMeter | None = None
+    costs: CostModel = DEFAULT_COSTS
+    loading_mode: LoadingMode = LoadingMode.EAGER
+
+    def __post_init__(self) -> None:
+        self.cupti = Cupti(self.clock, attach_cost=self.costs.cupti_attach)
+        self.device_memory = MemoryMeter(
+            f"gpu:{self.device.name}", capacity=self.device.memory_bytes
+        )
+        self.counters = DriverCounters()
+        self._modules: dict[str, LoadedModule] = {}
+        self._initialized = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def init(self) -> None:
+        """``cuInit`` + primary context creation."""
+        if self._initialized:
+            return
+        self.clock.advance(self.costs.cu_init + self.costs.context_create)
+        self.device_memory.allocate("context", self.costs.context_device_bytes)
+        self._initialized = True
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise CudaError("driver not initialized (call init() first)")
+
+    # -- modules ---------------------------------------------------------------------
+
+    def module_load(self, lib: SharedLibrary) -> LoadedModule:
+        """Register a library's GPU code with the context.
+
+        Raises :class:`CudaArchMismatchError` when the library has GPU code
+        but none of it targets this device's architecture.
+        """
+        self._require_init()
+        existing = self._modules.get(lib.soname)
+        if existing is not None:
+            return existing
+
+        matching, total = matching_elements_of(lib, self.device.sm_arch)
+        if total > 0 and not matching:
+            image = lib.fatbin
+            archs = image.architectures() if image else []
+            # Distinguish "nothing ever targeted this device" from "debloating
+            # removed everything for this device" - the former is a hard
+            # driver error, the latter surfaces at kernel resolution.
+            if self.device.sm_arch not in archs:
+                raise CudaArchMismatchError(
+                    f"{lib.soname}: no fatbin element for sm_{self.device.sm_arch} "
+                    f"(available: {archs})"
+                )
+
+        module = LoadedModule(
+            lib=lib, device_arch=self.device.sm_arch, matching_elements=matching
+        )
+        self._modules[lib.soname] = module
+        self.counters.modules_loaded += 1
+        self.clock.advance(self.costs.module_load_fixed)
+        self.cupti.emit(CallbackInfo(CallbackSite.CU_MODULE_LOAD, library=lib.soname))
+
+        if self.loading_mode is LoadingMode.EAGER:
+            for elem in matching:
+                self._load_element(module, elem.index)
+        return module
+
+    def _load_element(self, module: LoadedModule, element_index: int) -> None:
+        if element_index in module.resident_elements:
+            return
+        elem = module.element(element_index)
+        nbytes = elem.size
+        # Copy host->device.  Under eager loading the element's file bytes
+        # are already host-resident (the loader mapped the whole retained
+        # file); under lazy loading this read is what first touches the
+        # pages, so the host meter grows here - identical before/after
+        # debloating, which is why lazy-mode CPU-memory savings collapse
+        # (paper Table 7).
+        self.clock.advance(
+            self.costs.element_load_fixed + nbytes / self.costs.pcie_bandwidth
+        )
+        if self.loading_mode is LoadingMode.LAZY and self.host_memory is not None:
+            self.host_memory.allocate("fatbin_touched", nbytes)
+        self.device_memory.allocate("gpu_code", nbytes)
+        module.resident_elements.add(element_index)
+        self.counters.elements_loaded += 1
+        self.counters.h2d_bytes += nbytes
+
+    def module_get_function(self, module: LoadedModule, kernel_name: str) -> KernelHandle:
+        """``cuModuleGetFunction``: resolve an entry kernel by name.
+
+        The CUPTI callback fires only on the *first* resolution of a kernel
+        name (the driver caches handles), which is the once-per-kernel
+        property the paper's detector exploits (§3.1).
+        """
+        self._require_init()
+        first = module.is_first_resolution(kernel_name)
+        handle = module.resolve(kernel_name)
+        self.counters.get_function_calls += 1
+        self.clock.advance(self.costs.get_function)
+        if first:
+            self.counters.unique_kernels += 1
+            if self.loading_mode is LoadingMode.LAZY:
+                self._load_element(module, handle.element_index)
+            self.cupti.emit(
+                CallbackInfo(
+                    CallbackSite.CU_MODULE_GET_FUNCTION,
+                    library=module.soname,
+                    kernel=kernel_name,
+                    module=module,
+                )
+            )
+        return handle
+
+    def launch_kernel(
+        self, handle: KernelHandle, count: int = 1, duration: float = 0.0
+    ) -> None:
+        """Launch ``count`` instances of the kernel, ``duration`` total compute.
+
+        ``count`` batches repeated launches so the runner can account for
+        millions of per-iteration launches without Python-level loops; CUPTI
+        subscribers are charged per launch via the batched event.
+        """
+        self._require_init()
+        if count <= 0:
+            return
+        module = self._modules.get(handle.library)
+        if module is None:
+            raise CudaError(f"launch into unloaded module {handle.library!r}")
+        module.check_launchable(handle)
+        self.counters.launches += count
+        self.clock.advance(self.costs.kernel_launch * count + duration)
+        self.cupti.emit(
+            CallbackInfo(
+                CallbackSite.CU_LAUNCH_KERNEL,
+                count=count,
+                library=handle.library,
+                kernel=handle.kernel_name,
+            )
+        )
+
+    # -- memory ------------------------------------------------------------------------
+
+    def memcpy_h2d(self, category: str, nbytes: int):
+        """Copy host data to the device; returns the device allocation."""
+        self._require_init()
+        self.clock.advance(nbytes / self.costs.pcie_bandwidth)
+        alloc = self.device_memory.allocate(category, nbytes)
+        self.counters.h2d_bytes += nbytes
+        self.cupti.emit(
+            CallbackInfo(CallbackSite.CU_MEMCPY, bytes_moved=nbytes)
+        )
+        return alloc
+
+    def device_alloc(self, category: str, nbytes: int):
+        """``cuMemAlloc`` without a transfer (workspaces, pools)."""
+        self._require_init()
+        return self.device_memory.allocate(category, nbytes)
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def modules(self) -> dict[str, LoadedModule]:
+        return dict(self._modules)
+
+    def gpu_code_resident_bytes(self) -> int:
+        return self.device_memory.by_category.get("gpu_code", 0)

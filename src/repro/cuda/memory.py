@@ -1,0 +1,76 @@
+"""Host/device memory meters with category accounting and peak tracking.
+
+Peak CPU memory and peak GPU memory (Tables 5 and 7) are read off these
+meters.  Allocations carry a category label (``"gpu_code"``, ``"weights"``,
+``"activations"``, ...) so experiments can also report *why* memory moved -
+the mechanism behind each reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DoubleFreeError, OutOfMemoryError
+
+
+@dataclass
+class Allocation:
+    """A live allocation; free through :meth:`MemoryMeter.free`."""
+
+    meter: "MemoryMeter"
+    category: str
+    size: int
+    freed: bool = False
+
+    def free(self) -> None:
+        self.meter.free(self)
+
+
+class MemoryMeter:
+    """Tracks current/peak usage, optionally enforcing a capacity."""
+
+    def __init__(self, name: str, capacity: int | None = None) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.current = 0
+        self.peak = 0
+        self.by_category: dict[str, int] = {}
+        self.peak_by_category: dict[str, int] = {}
+
+    def allocate(self, category: str, size: int) -> Allocation:
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.capacity is not None and self.current + size > self.capacity:
+            raise OutOfMemoryError(
+                f"{self.name}: allocating {size} bytes exceeds capacity "
+                f"({self.current}/{self.capacity} in use)"
+            )
+        self.current += size
+        self.peak = max(self.peak, self.current)
+        cur = self.by_category.get(category, 0) + size
+        self.by_category[category] = cur
+        self.peak_by_category[category] = max(
+            self.peak_by_category.get(category, 0), cur
+        )
+        return Allocation(self, category, size)
+
+    def free(self, allocation: Allocation) -> None:
+        if allocation.meter is not self:
+            raise ValueError("allocation belongs to a different meter")
+        if allocation.freed:
+            raise DoubleFreeError(
+                f"{self.name}: double free of {allocation.size} bytes "
+                f"({allocation.category})"
+            )
+        allocation.freed = True
+        self.current -= allocation.size
+        self.by_category[allocation.category] -= allocation.size
+
+    def headroom(self) -> int | None:
+        if self.capacity is None:
+            return None
+        return self.capacity - self.current
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = f"/{self.capacity}" if self.capacity is not None else ""
+        return f"MemoryMeter({self.name}: {self.current}{cap}, peak={self.peak})"

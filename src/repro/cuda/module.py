@@ -1,0 +1,125 @@
+"""Loaded CUDA modules and kernel handles.
+
+A :class:`LoadedModule` is a shared library's GPU code as the driver sees
+it: the subset of fatbin elements whose compute-capability matches the
+device (paper §3.2 - "only the elements that match the GPU architecture can
+be loaded into GPU memory"), minus elements the compactor removed.  Kernel
+resolution follows the paper's model: only *CPU-launching* (entry) kernels
+are resolvable via ``cuModuleGetFunction``; GPU-launching kernels execute
+through intra-cubin launch edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf.image import SharedLibrary
+from repro.errors import MissingKernelError
+from repro.fatbin import constants as FC
+from repro.fatbin.parser import FatbinElement
+
+
+@dataclass(frozen=True)
+class KernelHandle:
+    """Opaque function handle returned by ``cuModuleGetFunction``."""
+
+    library: str
+    kernel_name: str
+    element_index: int
+    kernel_index: int
+
+
+@dataclass
+class LoadedModule:
+    """A library's GPU code registered with a device context."""
+
+    lib: SharedLibrary
+    device_arch: int
+    #: Elements matching the device architecture and not removed.
+    matching_elements: list[FatbinElement]
+    #: Element indices whose code is resident on the device.
+    resident_elements: set[int] = field(default_factory=set)
+    _kernel_map: dict[str, tuple[int, int]] | None = None
+    _handles: dict[str, KernelHandle] = field(default_factory=dict)
+    _element_by_index: dict[int, FatbinElement] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._element_by_index = {e.index: e for e in self.matching_elements}
+
+    @property
+    def soname(self) -> str:
+        return self.lib.soname
+
+    def element(self, index: int) -> FatbinElement:
+        return self._element_by_index[index]
+
+    def kernel_map(self) -> dict[str, tuple[int, int]]:
+        """Entry-kernel name -> (element index, kernel index)."""
+        if self._kernel_map is None:
+            mapping: dict[str, tuple[int, int]] = {}
+            for elem in self.matching_elements:
+                cubin = elem.cubin
+                entry = cubin.entry_mask()
+                for k, name in enumerate(cubin.names):
+                    if entry[k] and name not in mapping:
+                        mapping[name] = (elem.index, k)
+            self._kernel_map = mapping
+        return self._kernel_map
+
+    def resolve(self, kernel_name: str) -> KernelHandle:
+        """Resolve an entry kernel; raises :class:`MissingKernelError`."""
+        cached = self._handles.get(kernel_name)
+        if cached is not None:
+            return cached
+        loc = self.kernel_map().get(kernel_name)
+        if loc is None:
+            raise MissingKernelError(
+                f"{self.soname}: cuModuleGetFunction({kernel_name!r}) failed "
+                f"(no matching sm_{self.device_arch} element provides it)"
+            )
+        handle = KernelHandle(self.soname, kernel_name, loc[0], loc[1])
+        self._handles[kernel_name] = handle
+        return handle
+
+    def is_first_resolution(self, kernel_name: str) -> bool:
+        return kernel_name not in self._handles
+
+    def check_launchable(self, handle: KernelHandle) -> None:
+        """Verify the whole kernel-call graph of ``handle`` is present.
+
+        Whole-element retention guarantees this for Negativa-ML output; the
+        exact-kernel ablation can leave GPU-launching children zeroed, which
+        this check surfaces as a launch failure (what a real GPU would do).
+        """
+        removed: dict[int, set[int]] = self.lib.tags.get("removed_kernels", {})
+        holes = removed.get(handle.element_index)
+        if not holes:
+            return
+        cubin = self.element(handle.element_index).cubin
+        closure = cubin.call_graph_closure([handle.kernel_index])
+        dead = sorted(closure & holes)
+        if dead:
+            names = [cubin.names[i] for i in dead[:3]]
+            raise MissingKernelError(
+                f"{self.soname}: kernel {handle.kernel_name!r} launches removed "
+                f"kernel(s) {names} (call-graph broken by debloating)"
+            )
+
+    def code_bytes_of(self, element_index: int) -> int:
+        return self.element(element_index).size
+
+
+def matching_elements_of(
+    lib: SharedLibrary, device_arch: int
+) -> tuple[list[FatbinElement], int]:
+    """(elements matching ``device_arch`` and not removed, total elements)."""
+    image = lib.fatbin
+    if image is None:
+        return [], 0
+    matching = [
+        e
+        for e in image.elements()
+        if e.sm_arch == device_arch
+        and not (e.header.flags & FC.ELEMENT_FLAG_REMOVED)
+    ]
+    return matching, image.element_count()

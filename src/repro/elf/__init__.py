@@ -1,0 +1,29 @@
+"""ELF64 shared-library container.
+
+ML frameworks package their CPU and GPU code as ELF shared libraries: CPU
+code lives in ``.text`` (inventoried by the symbol table), GPU code lives in
+the ``.nv_fatbin`` section (paper §2.1).  This package implements the subset
+of ELF64 Negativa-ML needs: a builder that emits real, byte-accurate ELF
+images (over :class:`~repro.utils.sparsefile.SparseFile` so code payloads can
+stay sparse), a parser that reads them back, and a validator used by the
+compactor to prove debloated libraries remain structurally loadable.
+"""
+
+from repro.elf.builder import ElfBuilder
+from repro.elf.image import Section, SharedLibrary
+from repro.elf.parser import parse_shared_library
+from repro.elf.structs import Elf64Header, Elf64SectionHeader, Elf64Sym
+from repro.elf.symtab import SymbolTable
+from repro.elf.validate import validate_shared_library
+
+__all__ = [
+    "Elf64Header",
+    "Elf64SectionHeader",
+    "Elf64Sym",
+    "ElfBuilder",
+    "Section",
+    "SharedLibrary",
+    "SymbolTable",
+    "parse_shared_library",
+    "validate_shared_library",
+]

@@ -1,0 +1,83 @@
+"""ELF64 constants (the subset used by ML shared libraries).
+
+Values follow the System V ABI / Linux ``elf.h``; only little-endian x86-64
+shared objects are modelled, which matches the binaries the paper evaluates.
+"""
+
+from __future__ import annotations
+
+# -- e_ident ------------------------------------------------------------------
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1  # little-endian
+EV_CURRENT = 1
+ELFOSABI_SYSV = 0
+
+EI_NIDENT = 16
+
+# -- e_type ---------------------------------------------------------------------
+ET_DYN = 3  # shared object
+
+# -- e_machine ---------------------------------------------------------------------
+EM_X86_64 = 62
+
+# -- section types ------------------------------------------------------------------
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOBITS = 8
+SHT_DYNSYM = 11
+
+# -- section flags -------------------------------------------------------------------
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+# -- symbol binding / type ------------------------------------------------------------
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STB_WEAK = 2
+
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+
+SHN_UNDEF = 0
+
+
+def st_info(bind: int, typ: int) -> int:
+    """Pack symbol binding and type into ``st_info`` (ELF64_ST_INFO)."""
+    return (bind << 4) | (typ & 0xF)
+
+
+def st_bind(info: int) -> int:
+    return info >> 4
+
+
+def st_type(info: int) -> int:
+    return info & 0xF
+
+
+# -- canonical section names used by ML shared libraries -------------------------------
+SEC_TEXT = ".text"
+SEC_DATA = ".data"
+SEC_RODATA = ".rodata"
+SEC_BSS = ".bss"
+SEC_SYMTAB = ".symtab"
+SEC_STRTAB = ".strtab"
+SEC_SHSTRTAB = ".shstrtab"
+SEC_DYNSYM = ".dynsym"
+SEC_DYNSTR = ".dynstr"
+SEC_NV_FATBIN = ".nv_fatbin"
+SEC_NVFATBIN_HDR = ".nvFatBinSegment"
+
+EHDR_SIZE = 64
+SHDR_SIZE = 64
+SYM_SIZE = 24
+
+# Base virtual address at which generated shared objects pretend to be linked.
+# Using 0 keeps ``vaddr == file offset`` for PROGBITS sections, the identity
+# the CPU-function locator relies on (it maps symbol values straight to file
+# ranges, as Negativa does for position-independent libraries).
+DEFAULT_BASE_VADDR = 0

@@ -1,0 +1,169 @@
+"""Binary layouts for the ELF64 structures Negativa-ML reads and writes.
+
+Each dataclass packs/unpacks the exact on-disk representation (little-endian,
+System V ABI).  The sizes are load-bearing: the parser trusts ``e_shentsize``
+and the compactor preserves offsets, so round-tripping must be byte-exact.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+from repro.errors import ElfFormatError
+
+_EHDR_FMT = "<16sHHIQQQIHHHHHH"
+_SHDR_FMT = "<IIQQQQIIQQ"
+_SYM_FMT = "<IBBHQQ"
+
+assert struct.calcsize(_EHDR_FMT) == C.EHDR_SIZE
+assert struct.calcsize(_SHDR_FMT) == C.SHDR_SIZE
+assert struct.calcsize(_SYM_FMT) == C.SYM_SIZE
+
+
+def make_ident() -> bytes:
+    """Build the 16-byte ``e_ident`` prefix for an LSB ELF64 shared object."""
+    ident = bytearray(C.EI_NIDENT)
+    ident[0:4] = C.ELF_MAGIC
+    ident[4] = C.ELFCLASS64
+    ident[5] = C.ELFDATA2LSB
+    ident[6] = C.EV_CURRENT
+    ident[7] = C.ELFOSABI_SYSV
+    return bytes(ident)
+
+
+@dataclass
+class Elf64Header:
+    """The ELF file header (``Elf64_Ehdr``)."""
+
+    e_ident: bytes = field(default_factory=make_ident)
+    e_type: int = C.ET_DYN
+    e_machine: int = C.EM_X86_64
+    e_version: int = C.EV_CURRENT
+    e_entry: int = 0
+    e_phoff: int = 0
+    e_shoff: int = 0
+    e_flags: int = 0
+    e_ehsize: int = C.EHDR_SIZE
+    e_phentsize: int = 0
+    e_phnum: int = 0
+    e_shentsize: int = C.SHDR_SIZE
+    e_shnum: int = 0
+    e_shstrndx: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _EHDR_FMT,
+            self.e_ident,
+            self.e_type,
+            self.e_machine,
+            self.e_version,
+            self.e_entry,
+            self.e_phoff,
+            self.e_shoff,
+            self.e_flags,
+            self.e_ehsize,
+            self.e_phentsize,
+            self.e_phnum,
+            self.e_shentsize,
+            self.e_shnum,
+            self.e_shstrndx,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Elf64Header":
+        if len(data) < C.EHDR_SIZE:
+            raise ElfFormatError("truncated ELF header")
+        fields = struct.unpack(_EHDR_FMT, data[: C.EHDR_SIZE])
+        hdr = cls(*fields)
+        hdr.validate()
+        return hdr
+
+    def validate(self) -> None:
+        if self.e_ident[:4] != C.ELF_MAGIC:
+            raise ElfFormatError("bad ELF magic")
+        if self.e_ident[4] != C.ELFCLASS64:
+            raise ElfFormatError("only ELF64 is supported")
+        if self.e_ident[5] != C.ELFDATA2LSB:
+            raise ElfFormatError("only little-endian ELF is supported")
+        if self.e_shentsize not in (0, C.SHDR_SIZE):
+            raise ElfFormatError(f"unexpected e_shentsize={self.e_shentsize}")
+
+
+@dataclass
+class Elf64SectionHeader:
+    """A section header (``Elf64_Shdr``)."""
+
+    sh_name: int = 0
+    sh_type: int = C.SHT_NULL
+    sh_flags: int = 0
+    sh_addr: int = 0
+    sh_offset: int = 0
+    sh_size: int = 0
+    sh_link: int = 0
+    sh_info: int = 0
+    sh_addralign: int = 1
+    sh_entsize: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _SHDR_FMT,
+            self.sh_name,
+            self.sh_type,
+            self.sh_flags,
+            self.sh_addr,
+            self.sh_offset,
+            self.sh_size,
+            self.sh_link,
+            self.sh_info,
+            self.sh_addralign,
+            self.sh_entsize,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Elf64SectionHeader":
+        if len(data) < C.SHDR_SIZE:
+            raise ElfFormatError("truncated section header")
+        return cls(*struct.unpack(_SHDR_FMT, data[: C.SHDR_SIZE]))
+
+
+@dataclass
+class Elf64Sym:
+    """A symbol table entry (``Elf64_Sym``); used for single-symbol paths.
+
+    Bulk symbol tables use :class:`repro.elf.symtab.SymbolTable`, which keeps
+    the same fields in numpy arrays.
+    """
+
+    st_name: int = 0
+    st_info: int = 0
+    st_other: int = 0
+    st_shndx: int = C.SHN_UNDEF
+    st_value: int = 0
+    st_size: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _SYM_FMT,
+            self.st_name,
+            self.st_info,
+            self.st_other,
+            self.st_shndx,
+            self.st_value,
+            self.st_size,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Elf64Sym":
+        if len(data) < C.SYM_SIZE:
+            raise ElfFormatError("truncated symbol entry")
+        return cls(*struct.unpack(_SYM_FMT, data[: C.SYM_SIZE]))
+
+    @property
+    def bind(self) -> int:
+        return C.st_bind(self.st_info)
+
+    @property
+    def type(self) -> int:
+        return C.st_type(self.st_info)

@@ -1,0 +1,95 @@
+"""Structural validation for shared libraries.
+
+The compactor must keep a debloated library *loadable*: all structural bytes
+intact, all retained symbols still inside ``.text``, the fatbin container
+still well-formed.  ``validate_shared_library`` re-checks those invariants
+and returns a list of findings; ``strict=True`` raises on the first error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.elf import constants as C
+from repro.elf.image import SharedLibrary
+from repro.errors import ElfFormatError
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A single validation finding."""
+
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.message}"
+
+
+def validate_shared_library(lib: SharedLibrary, strict: bool = False) -> list[Finding]:
+    """Check structural invariants; return findings (errors first)."""
+    findings: list[Finding] = []
+
+    def err(msg: str) -> None:
+        findings.append(Finding("error", msg))
+        if strict:
+            raise ElfFormatError(f"{lib.soname}: {msg}")
+
+    def warn(msg: str) -> None:
+        findings.append(Finding("warning", msg))
+
+    size = lib.file_size
+
+    # Sections within bounds and non-overlapping (ignoring NULL/NOBITS).
+    placed = []
+    for sec in lib.sections:
+        hdr = sec.header
+        if hdr.sh_type in (C.SHT_NULL, C.SHT_NOBITS) or hdr.sh_size == 0:
+            continue
+        if hdr.sh_offset + hdr.sh_size > size:
+            err(f"section {sec.name!r} out of bounds")
+            continue
+        placed.append((hdr.sh_offset, hdr.sh_offset + hdr.sh_size, sec.name))
+    placed.sort()
+    for (s1, e1, n1), (s2, e2, n2) in zip(placed, placed[1:]):
+        if s2 < e1:
+            err(f"sections {n1!r} and {n2!r} overlap")
+
+    # Required sections for an ML shared library.
+    if lib.text is None:
+        warn("no .text section")
+
+    # Symbols must stay inside .text.
+    text = lib.text
+    if text is not None and len(lib.symtab):
+        mask = lib.symtab.function_mask()
+        values = lib.symtab.values[mask].astype(np.int64)
+        sizes = lib.symtab.sizes[mask].astype(np.int64)
+        lo = text.header.sh_addr
+        hi = lo + text.header.sh_size
+        bad = np.count_nonzero((values < lo) | (values + sizes > hi))
+        if bad:
+            err(f"{bad} function symbols fall outside .text")
+
+    # Fatbin must parse and stay inside its section.
+    if lib.has_gpu_code:
+        try:
+            img = lib.fatbin
+        except Exception as exc:  # noqa: BLE001 - reported as a finding
+            err(f"fatbin unparseable: {exc}")
+        else:
+            if img is not None:
+                sec = lib.fatbin_section
+                assert sec is not None
+                end = sec.header.sh_offset + sec.header.sh_size
+                for region in img.regions:
+                    for element in region.elements:
+                        if element.file_range.stop > end:
+                            err(
+                                f"fatbin element {element.index} extends past "
+                                f".nv_fatbin"
+                            )
+
+    return sorted(findings, key=lambda f: f.severity)

@@ -1,0 +1,116 @@
+"""Exception hierarchy for the Negativa-ML reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures without also swallowing programming errors.  The
+hierarchy mirrors the subsystems: binary-format errors (ELF / fatbin), runtime
+errors from the simulated CUDA driver and loader, and debloating-pipeline
+errors (most importantly :class:`MissingKernelError` /
+:class:`MissingFunctionError`, which are what a *broken* debloat produces when
+the workload is re-run for verification).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+# ---------------------------------------------------------------------------
+# Binary container errors
+# ---------------------------------------------------------------------------
+
+
+class BinaryFormatError(ReproError):
+    """A binary container (ELF or fatbin) is malformed or unsupported."""
+
+
+class ElfFormatError(BinaryFormatError):
+    """An ELF image violates the ELF64 structure this library understands."""
+
+
+class FatbinFormatError(BinaryFormatError):
+    """A ``.nv_fatbin`` payload violates the fatbin container structure."""
+
+
+class CubinFormatError(FatbinFormatError):
+    """A cubin payload inside a fatbin element is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated runtime errors
+# ---------------------------------------------------------------------------
+
+
+class CudaError(ReproError):
+    """Base class for simulated CUDA driver errors."""
+
+
+class CudaArchMismatchError(CudaError):
+    """No fatbin element in a module matches the device architecture."""
+
+
+class MissingKernelError(CudaError):
+    """``cuModuleGetFunction`` could not resolve a kernel name.
+
+    After debloating, this is the failure mode of an over-aggressive locator
+    that removed an element still needed by the workload.
+    """
+
+
+class DoubleFreeError(CudaError):
+    """A device allocation was freed twice."""
+
+
+class OutOfMemoryError(CudaError):
+    """A host or device allocation exceeded the configured capacity."""
+
+
+class LoaderError(ReproError):
+    """Base class for dynamic-loader failures."""
+
+
+class LibraryNotFoundError(LoaderError):
+    """The process image does not contain the requested library."""
+
+
+class SymbolResolutionError(LoaderError):
+    """A dynamic symbol could not be resolved in any loaded library."""
+
+
+class MissingFunctionError(LoaderError):
+    """A call targeted a CPU function whose code bytes were removed.
+
+    Raised when a workload, re-run against a debloated library, calls into a
+    zeroed file range - i.e. the CPU-side analogue of
+    :class:`MissingKernelError`.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Pipeline errors
+# ---------------------------------------------------------------------------
+
+
+class DebloatError(ReproError):
+    """Base class for errors in the Negativa-ML debloating pipeline."""
+
+
+class DetectionError(DebloatError):
+    """The kernel/function detector could not attach or record."""
+
+
+class LocationError(DebloatError):
+    """The locator could not map a used kernel/function to file ranges."""
+
+
+class CompactionError(DebloatError):
+    """Compaction produced an inconsistent library."""
+
+
+class VerificationError(DebloatError):
+    """The debloated workload output differs from the original output."""
+
+
+class ConfigurationError(ReproError):
+    """A spec or configuration object is internally inconsistent."""

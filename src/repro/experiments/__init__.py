@@ -1,0 +1,18 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Run ``python -m repro.experiments all`` (or a specific id like ``table2``)
+to regenerate the paper's evaluation artifacts from the full pipeline.  See
+``repro.experiments.registry`` for the experiment index and DESIGN.md for
+the per-experiment mapping to modules.
+"""
+
+from repro.experiments.common import DEFAULT_SCALE, report_for, table1_reports
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "EXPERIMENTS",
+    "report_for",
+    "run_experiment",
+    "table1_reports",
+]

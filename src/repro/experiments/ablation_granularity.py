@@ -1,0 +1,77 @@
+"""Ablation: whole-element retention vs exact-kernel retention (paper §3.2).
+
+The detector only sees CPU-launching kernels; GPU-launching kernels are
+reachable solely through intra-cubin launch edges.  Whole-element retention
+keeps them implicitly.  This ablation removes every undetected kernel
+inside retained cubins and shows verification then fails with a broken
+kernel-call graph - the reliability argument for the paper's design.
+"""
+
+from __future__ import annotations
+
+from repro.core.compact import exact_kernel_removal
+from repro.core.debloat import Debloater
+from repro.errors import CudaError, LoaderError
+from repro.experiments.common import DEFAULT_SCALE, framework_for, shape_check
+from repro.utils.tables import Table
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import workload_by_id
+
+ID = "ablation_granularity"
+TITLE = "Ablation: whole-element vs exact-kernel retention"
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    spec = workload_by_id("pytorch/inference/mobilenetv2")
+    framework = framework_for(spec, scale)
+    debloater = Debloater(framework)
+    report = debloater.debloat(spec)
+    assert report.verification is not None
+
+    # Build exact-kernel variants of every debloated library.
+    used = report.baseline.used_kernels
+    exact_overrides = {}
+    for soname, dlib in debloater.debloated_libraries.items():
+        exact_overrides[soname] = exact_kernel_removal(
+            dlib, used.get(soname, frozenset())
+        )
+
+    exact_error = None
+    try:
+        WorkloadRunner(
+            spec, framework, overrides=exact_overrides
+        ).run()
+    except (CudaError, LoaderError) as exc:
+        exact_error = f"{type(exc).__name__}: {exc}"
+
+    table = Table(["Retention granularity", "Verification"], title=TITLE)
+    table.add_row(
+        "whole element (Negativa-ML)",
+        "outputs identical" if report.verification.ok else "FAILED",
+    )
+    table.add_row(
+        "exact kernel (ablation)",
+        exact_error or "unexpectedly passed",
+    )
+
+    checks = [
+        shape_check(
+            "Whole-element retention verifies",
+            report.verification.ok,
+        ),
+        shape_check(
+            "Exact-kernel retention breaks GPU-launching kernels "
+            "(dynamic parallelism)",
+            exact_error is not None and "kernel" in exact_error.lower(),
+            exact_error or "no failure observed",
+        ),
+    ]
+    return table.render() + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

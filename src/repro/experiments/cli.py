@@ -1,0 +1,61 @@
+"""CLI: ``python -m repro.experiments [ids... | all] [--scale S] [-o FILE]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (e.g. table2 fig7), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="entity-count scale (default 0.125; 1.0 = paper magnitude)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, help="also write output to this file"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for eid, module in EXPERIMENTS.items():
+            print(f"{eid:28s} {module.TITLE}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.ids == ["all"] or args.ids == [] else args.ids
+    chunks: list[str] = []
+    for eid in ids:
+        start = time.time()
+        output = run_experiment(eid, scale=args.scale)
+        elapsed = time.time() - start
+        chunk = f"{output}\n\n(generated in {elapsed:.1f}s wall time)"
+        chunks.append(f"{'=' * 78}\n{chunk}")
+        print(chunks[-1])
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

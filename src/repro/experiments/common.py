@@ -1,0 +1,109 @@
+"""Shared experiment harness: cached pipelines + rendering helpers.
+
+Running the Negativa-ML pipeline for one workload takes a few seconds at
+the default entity scale; experiments share results through a module-level
+cache keyed by the full run identity (workload, device, world size, loading
+mode, scale) so regenerating all tables runs each pipeline once.
+"""
+
+from __future__ import annotations
+
+from repro.core.debloat import Debloater, DebloatOptions
+from repro.core.report import WorkloadDebloatReport
+from repro.frameworks.catalog import get_framework
+from repro.frameworks.spec import Framework
+from repro.utils.units import fmt_count, fmt_mb, pct_reduction
+from repro.workloads.spec import TABLE1_WORKLOADS, WorkloadSpec
+
+#: Default entity-count scale for experiments.  Byte sizes are always
+#: paper-magnitude; counts (functions/kernels/elements) scale linearly, and
+#: all reduction *percentages* are scale-invariant.  Use ``--scale 1.0`` for
+#: paper-magnitude counts.
+DEFAULT_SCALE = 0.125
+
+_REPORT_CACHE: dict[tuple, WorkloadDebloatReport] = {}
+
+
+def _workload_key(spec: WorkloadSpec, scale: float) -> tuple:
+    return (
+        spec.workload_id,
+        spec.dataset.name,
+        spec.batch_size,
+        spec.epochs,
+        spec.device_name,
+        spec.world_size,
+        spec.loading_mode.value,
+        scale,
+    )
+
+
+def framework_for(spec: WorkloadSpec, scale: float = DEFAULT_SCALE) -> Framework:
+    return get_framework(spec.framework, scale=scale)
+
+
+def report_for(
+    spec: WorkloadSpec,
+    scale: float = DEFAULT_SCALE,
+    options: DebloatOptions | None = None,
+) -> WorkloadDebloatReport:
+    """Run (or fetch cached) the full debloat pipeline for a workload."""
+    key = _workload_key(spec, scale)
+    if options is not None:
+        key = key + (id(type(options)), options)
+    cached = _REPORT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    framework = framework_for(spec, scale)
+    debloater = Debloater(framework, options or DebloatOptions())
+    report = debloater.debloat(spec)
+    _REPORT_CACHE[key] = report
+    return report
+
+
+def table1_reports(
+    scale: float = DEFAULT_SCALE,
+) -> list[tuple[WorkloadSpec, WorkloadDebloatReport]]:
+    """Pipeline reports for all ten Table-1 workloads."""
+    return [(spec, report_for(spec, scale)) for spec in TABLE1_WORKLOADS]
+
+
+def clear_report_cache() -> None:
+    _REPORT_CACHE.clear()
+
+
+# -- rendering helpers ---------------------------------------------------------------
+
+
+def cell_mb(before: int, after: int) -> str:
+    """The paper's ``<MB> (<reduction %>)`` cell."""
+    return f"{fmt_mb(before)} ({pct_reduction(before, after):.0f})"
+
+
+def cell_count(before: int, after: int) -> str:
+    return f"{fmt_count(before)} ({pct_reduction(before, after):.0f})"
+
+
+def workload_row_labels(spec: WorkloadSpec) -> tuple[str, str, str]:
+    """(model, framework:version, operation) display labels."""
+    fw = framework_for(spec, DEFAULT_SCALE).spec
+    return (
+        spec.model.display_name,
+        f"{_fw_display(spec.framework)}:{fw.version}",
+        spec.operation.capitalize(),
+    )
+
+
+def _fw_display(name: str) -> str:
+    return {
+        "pytorch": "PyTorch",
+        "tensorflow": "TensorFlow",
+        "vllm": "vLLM",
+        "transformers": "Transformers",
+    }.get(name, name)
+
+
+def shape_check(label: str, ok: bool, detail: str = "") -> str:
+    """A pass/fail line tying measured output to the paper's claim."""
+    mark = "PASS" if ok else "DEVIATION"
+    suffix = f" - {detail}" if detail else ""
+    return f"[{mark}] {label}{suffix}"

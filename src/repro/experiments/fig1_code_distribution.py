@@ -1,0 +1,58 @@
+"""Figure 1: CPU/GPU code distribution in the top-4 largest PyTorch
+GPU-code libraries.
+
+Paper values: libtorch_cuda.so 10.4% CPU / 86.7% GPU; libcudnn_cnn_infer
+68.3% GPU; libcublasLt 78.2% GPU; libcusparse 91.7% GPU - GPU code
+dominates every large ML shared library.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import DEFAULT_SCALE, shape_check
+from repro.frameworks.catalog import get_framework
+from repro.utils.tables import Table
+
+ID = "fig1"
+TITLE = "Figure 1: CPU vs GPU code share of the largest PyTorch libraries"
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    framework = get_framework("pytorch", scale=scale)
+    gpu_libs = [lib for lib in framework.libraries.values() if lib.has_gpu_code]
+    top4 = sorted(gpu_libs, key=lambda lib: lib.file_size, reverse=True)[:4]
+
+    table = Table(
+        ["Library", "File MB", "CPU code %", "GPU code %", "Others %"],
+        title=TITLE,
+    )
+    min_gpu_share = 100.0
+    for lib in top4:
+        cpu_pct = 100.0 * lib.cpu_code_size / lib.file_size
+        gpu_pct = 100.0 * lib.gpu_code_size / lib.file_size
+        other_pct = 100.0 - cpu_pct - gpu_pct
+        min_gpu_share = min(min_gpu_share, gpu_pct)
+        table.add_row(
+            lib.soname,
+            f"{lib.file_size / (1 << 20):,.0f}",
+            f"{cpu_pct:.1f}",
+            f"{gpu_pct:.1f}",
+            f"{other_pct:.1f}",
+        )
+
+    checks = [
+        shape_check(
+            "GPU code is the majority of every top library "
+            "(paper: 68.3%-91.7%)",
+            min_gpu_share > 50.0,
+            f"min GPU share {min_gpu_share:.1f}%",
+        )
+    ]
+    return table.render() + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

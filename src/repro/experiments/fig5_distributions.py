@@ -1,0 +1,66 @@
+"""Figure 5: distributions of per-library reductions (violin-plot data).
+
+Paper shape: CPU size reductions are dispersed (median ~25%, many libraries
+at 0-10%); GPU size reductions concentrate near 80%; every library with GPU
+code loses >80% of its elements.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distribution import reduction_distributions
+from repro.experiments.common import DEFAULT_SCALE, shape_check, table1_reports
+from repro.utils.stats import ascii_violin
+from repro.utils.tables import Table
+
+ID = "fig5"
+TITLE = "Figure 5: per-library reduction distributions (violin data)"
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    reports = [report for _, report in table1_reports(scale)]
+    dists = reduction_distributions(reports)
+
+    table = Table(
+        ["Series", "min", "Q1", "median", "Q3", "max", "mean", "n"],
+        title=TITLE,
+    )
+    for label, summary in dists.summaries().items():
+        table.add_row(label, *summary.row())
+
+    violins = []
+    for label, values in (
+        ("CPU code size reduction", dists.cpu_size_reduction),
+        ("GPU code size reduction", dists.gpu_size_reduction),
+    ):
+        violins.append(f"\n{label} (density sketch):")
+        violins.extend(ascii_violin(values, width=36))
+
+    summaries = dists.summaries()
+    cpu_med = summaries["CPU code size reduction"].median
+    gpu_med = summaries["GPU code size reduction"].median
+    checks = [
+        shape_check(
+            "GPU size-reduction median far above CPU's (paper: ~80% vs ~25%)",
+            gpu_med > cpu_med + 20,
+            f"GPU median {gpu_med:.0f}% vs CPU median {cpu_med:.0f}%",
+        ),
+        shape_check(
+            "Every GPU library loses >80% of its elements (paper Fig. 5b)",
+            dists.min_element_reduction() > 80.0,
+            f"min element reduction {dists.min_element_reduction():.0f}%",
+        ),
+        shape_check(
+            "Many libraries have low CPU reductions (paper: Q1 <= 25%)",
+            summaries["CPU code size reduction"].q1 <= 35.0,
+            f"CPU Q1 {summaries['CPU code size reduction'].q1:.0f}%",
+        ),
+    ]
+    return table.render() + "\n" + "\n".join(violins) + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""Section 4.6: kernel-detector overhead vs NSys tracing overhead.
+
+The workload (PyTorch / Train / MobileNetV2) runs three times: clean, with
+the kernel detector attached, and with NSys-style tracing attached.  Paper
+numbers: 180 s -> 253 s (+41%) with the detector, -> 407 s (+126%) with
+NSys.  The structural reason: the detector pays per *distinct kernel*
+(once-per-kernel `cuModuleGetFunction` interception) while NSys pays per
+*launch* - see the scaling ablation for the growth contrast.
+"""
+
+from __future__ import annotations
+
+from repro.core.detect import KernelDetector
+from repro.core.nsys import NsysTracer
+from repro.experiments.common import DEFAULT_SCALE, framework_for, shape_check
+from repro.utils.tables import Table
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import WorkloadSpec, workload_by_id
+
+ID = "sec46"
+TITLE = "Section 4.6: detection overhead - kernel detector vs NSys"
+
+
+def overhead_comparison(spec: WorkloadSpec, scale: float):
+    framework = framework_for(spec, scale)
+    base = WorkloadRunner(spec, framework).run()
+
+    detector = KernelDetector()
+    det = WorkloadRunner(spec, framework, subscribers=(detector,)).run()
+
+    nsys = NsysTracer()
+    traced = WorkloadRunner(spec, framework, subscribers=(nsys,)).run()
+    return base, det, traced, detector, nsys
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    spec = workload_by_id("pytorch/train/mobilenetv2")
+    base, det, traced, detector, nsys = overhead_comparison(spec, scale)
+
+    det_overhead = 100.0 * (det.execution_time_s / base.execution_time_s - 1.0)
+    nsys_overhead = 100.0 * (
+        traced.execution_time_s / base.execution_time_s - 1.0
+    )
+
+    table = Table(["Setup", "Exec Time/s", "Overhead %", "Events"], title=TITLE)
+    table.add_row("original", f"{base.execution_time_s:,.0f}", "-", "-")
+    table.add_row(
+        "kernel detector",
+        f"{det.execution_time_s:,.0f}",
+        f"+{det_overhead:.0f}",
+        f"{detector.interceptions:,} interceptions "
+        f"({detector.total_detected():,} kernels)",
+    )
+    table.add_row(
+        "nsys --trace=cuda",
+        f"{traced.execution_time_s:,.0f}",
+        f"+{nsys_overhead:.0f}",
+        f"{nsys.launch_records:,} launch records",
+    )
+
+    checks = [
+        shape_check(
+            "Detector overhead well below NSys (paper: 41% vs 126%)",
+            det_overhead < 0.55 * nsys_overhead,
+            f"{det_overhead:.0f}% vs {nsys_overhead:.0f}%",
+        ),
+        shape_check(
+            "Detector intercepts once per kernel (paper §3.1)",
+            detector.interceptions == detector.total_detected(),
+            f"{detector.interceptions:,} interceptions for "
+            f"{detector.total_detected():,} kernels",
+        ),
+        shape_check(
+            "NSys records orders of magnitude more events",
+            nsys.launch_records > 100 * max(detector.interceptions, 1),
+            f"{nsys.launch_records:,} vs {detector.interceptions:,}",
+        ),
+    ]
+    note = (
+        "(distinct-kernel counts scale with the entity scale; run with "
+        "--scale 1.0 for paper-magnitude kernel counts)"
+    )
+    return table.render() + "\n" + note + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,41 @@
+"""Table 1: the evaluated workload matrix (models, frameworks, datasets)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import DEFAULT_SCALE, workload_row_labels
+from repro.utils.tables import Table
+from repro.workloads.spec import TABLE1_WORKLOADS
+
+ID = "table1"
+TITLE = "Table 1: evaluated ML frameworks and workloads"
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    table = Table(
+        ["Model", "Framework", "Operation", "DataSet", "Batch Size", "Epochs"],
+        title=TITLE,
+    )
+    for spec in TABLE1_WORKLOADS:
+        model, framework, operation = workload_row_labels(spec)
+        dataset = (
+            f"{spec.dataset.name} {'Train' if spec.is_training else 'Test'} Set"
+            if spec.dataset.name != "manual"
+            else "Manual Input"
+        )
+        table.add_row(
+            model,
+            framework,
+            operation,
+            dataset,
+            spec.batch_size,
+            spec.epochs if spec.is_training else "-",
+        )
+    return table.render()
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,70 @@
+"""Table 3: reductions in each workload's largest (core) shared library.
+
+Paper shape: every workload's core library is either ``libtorch_cuda.so``
+or ``tensorflow_cc.so``; torch_cuda reduces ~76% in file size / ~91% CPU /
+~82% GPU, while tensorflow_cc's CPU code reduces far less (~59% size, ~51%
+functions) - the paper's "used bloat" signal.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    cell_count,
+    cell_mb,
+    shape_check,
+    table1_reports,
+    workload_row_labels,
+)
+from repro.utils.tables import Table
+
+ID = "table3"
+TITLE = "Table 3: reductions in the core shared library of each workload"
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    table = Table(
+        [
+            "Model", "Framework", "Operation", "Lib. Name",
+            "File Size/MB", "CPU Size/MB", "#Functions",
+            "GPU Size/MB", "#Elements",
+        ],
+        title=TITLE,
+    )
+    torch_fn_red = tf_fn_red = None
+    for spec, report in table1_reports(scale):
+        model, framework, operation = workload_row_labels(spec)
+        core = report.largest_library()
+        table.add_row(
+            model, framework, operation, core.soname,
+            cell_mb(core.file_size, core.file_size_after),
+            cell_mb(core.cpu_size, core.cpu_size_after),
+            cell_count(core.n_functions, core.n_functions_after),
+            cell_mb(core.gpu_size, core.gpu_size_after),
+            cell_count(core.n_elements, core.n_elements_after),
+        )
+        if core.soname == "libtorch_cuda.so" and torch_fn_red is None:
+            torch_fn_red = core.function_reduction_pct
+        if core.soname == "libtensorflow_cc.so.2" and tf_fn_red is None:
+            tf_fn_red = core.function_reduction_pct
+
+    checks = []
+    if torch_fn_red is not None and tf_fn_red is not None:
+        checks.append(
+            shape_check(
+                "TensorFlow's core library keeps far more functions than "
+                "PyTorch's ('used bloat', paper: 51% vs 93% removed)",
+                tf_fn_red < torch_fn_red - 20,
+                f"tensorflow_cc {tf_fn_red:.0f}% vs torch_cuda "
+                f"{torch_fn_red:.0f}%",
+            )
+        )
+    return table.render() + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,85 @@
+"""Table 4: Jaccard similarity of used functions/kernels in libtorch_cuda.so.
+
+Five workloads share the same torch build (vLLM is excluded - it bundles a
+different ``libtorch_cuda.so``, as in the paper).  Paper shape: function
+similarity is high (>=0.73 for every pair) while kernel similarity is low
+(<=0.42), i.e. workloads share infrastructure code but not shape-specialized
+kernels.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.jaccard import combined_table, jaccard_matrix
+from repro.experiments.common import DEFAULT_SCALE, report_for, shape_check
+from repro.utils.tables import Table
+from repro.workloads.spec import TABLE1_WORKLOADS
+
+ID = "table4"
+TITLE = "Table 4: Jaccard similarity in libtorch_cuda.so (upper: functions, lower: kernels)"
+
+_LIB = "libtorch_cuda.so"
+_WORKLOAD_IDS = (
+    "pytorch/train/mobilenetv2",
+    "pytorch/inference/mobilenetv2",
+    "pytorch/train/transformer",
+    "pytorch/inference/transformer",
+    "transformers/inference/llama2-7b",
+)
+_LABELS = (
+    "MobileNetV2/PyTorch/Train",
+    "MobileNetV2/PyTorch/Inference",
+    "Transformer/PyTorch/Train",
+    "Transformer/PyTorch/Inference",
+    "Llama2/Transformers/Inference",
+)
+
+
+def _usage_sets(scale: float):
+    functions: dict[str, frozenset] = {}
+    kernels: dict[str, frozenset] = {}
+    for wid, label in zip(_WORKLOAD_IDS, _LABELS):
+        spec = next(w for w in TABLE1_WORKLOADS if w.workload_id == wid)
+        report = report_for(spec, scale)
+        functions[label] = frozenset(
+            report.baseline.used_functions.get(_LIB, ()).tolist()
+        )
+        kernels[label] = report.baseline.used_kernels.get(_LIB, frozenset())
+    return functions, kernels
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    functions, kernels = _usage_sets(scale)
+    rows = combined_table(functions, kernels)
+    table = Table(["Workload", *[l.split("/")[0] + "/" + l.split("/")[2] for l in _LABELS]],
+                  title=TITLE)
+    table.add_rows(rows)
+
+    fm = jaccard_matrix(functions)
+    km = jaccard_matrix(kernels)
+    checks = [
+        shape_check(
+            "Function similarity high for every pair (paper: >=0.73)",
+            fm.min_off_diagonal() >= 0.55,
+            f"min {fm.min_off_diagonal():.2f}",
+        ),
+        shape_check(
+            "Kernel similarity low for every pair (paper: <=0.42)",
+            km.max_off_diagonal() <= 0.65,
+            f"max {km.max_off_diagonal():.2f}",
+        ),
+        shape_check(
+            "Functions are far more shared than kernels",
+            fm.min_off_diagonal() > km.max_off_diagonal(),
+            f"min-func {fm.min_off_diagonal():.2f} > max-kernel "
+            f"{km.max_off_diagonal():.2f}",
+        ),
+    ]
+    return table.render() + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

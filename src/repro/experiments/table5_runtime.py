@@ -1,0 +1,97 @@
+"""Table 5: runtime improvements after replacing the top-8 bloat
+contributors with their debloated versions.
+
+Paper shape: PyTorch workloads see large CPU/GPU memory reductions
+(inference more than training); TensorFlow/vLLM GPU memory barely moves
+(device-pool preallocation); the *absolute* execution-time saving is
+roughly constant (~2.6 s) across workloads, so inference (short) improves
+by a large percentage and training (long) by a small one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    shape_check,
+    table1_reports,
+    workload_row_labels,
+)
+from repro.utils.tables import Table
+from repro.utils.units import pct_reduction
+
+ID = "table5"
+TITLE = "Table 5: runtime performance with debloated libraries (top-8 replaced)"
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    table = Table(
+        [
+            "Model", "Framework", "Operation",
+            "Peak CPU Mem/MB", "Peak GPU Mem/MB", "Exec Time/s",
+        ],
+        title=TITLE,
+    )
+    abs_cpu, abs_gpu, abs_time = [], [], []
+    rows: dict[str, tuple[float, float, float]] = {}
+    for spec, report in table1_reports(scale):
+        model, framework, operation = workload_row_labels(spec)
+        base, after = report.baseline, report.debloated_run
+        assert after is not None
+        cpu_red = pct_reduction(base.peak_cpu_mem_bytes, after.peak_cpu_mem_bytes)
+        gpu_red = pct_reduction(base.peak_gpu_mem_bytes, after.peak_gpu_mem_bytes)
+        time_red = pct_reduction(base.execution_time_s, after.execution_time_s)
+        table.add_row(
+            model, framework, operation,
+            f"{base.peak_cpu_mem_mb:,.0f} ({cpu_red:.1f})",
+            f"{base.peak_gpu_mem_mb:,.0f} ({gpu_red:.1f})",
+            f"{base.execution_time_s:,.0f} ({time_red:.1f})",
+        )
+        abs_cpu.append(base.peak_cpu_mem_mb - after.peak_cpu_mem_mb)
+        abs_gpu.append(base.peak_gpu_mem_mb - after.peak_gpu_mem_mb)
+        abs_time.append(base.execution_time_s - after.execution_time_s)
+        rows[spec.workload_id] = (cpu_red, gpu_red, time_red)
+
+    summary = (
+        f"Average absolute reduction +/- std: "
+        f"CPU {np.mean(abs_cpu):,.0f}+/-{np.std(abs_cpu):,.0f} MB, "
+        f"GPU {np.mean(abs_gpu):,.0f}+/-{np.std(abs_gpu):,.0f} MB, "
+        f"time {np.mean(abs_time):.1f}+/-{np.std(abs_time):.1f} s"
+    )
+
+    torch_inf_gpu = rows["pytorch/inference/mobilenetv2"][1]
+    tf_gpu = rows["tensorflow/train/mobilenetv2"][1]
+    vllm_gpu = rows["vllm/inference/llama2-7b"][1]
+    torch_train_t = rows["pytorch/train/mobilenetv2"][2]
+    torch_inf_t = rows["pytorch/inference/mobilenetv2"][2]
+    checks = [
+        shape_check(
+            "PyTorch GPU-memory savings >> TensorFlow/vLLM (pool "
+            "preallocation hides code savings; paper: 48-70% vs 0.7-2.8%)",
+            torch_inf_gpu > 10 * max(tf_gpu, vllm_gpu, 0.1),
+            f"torch-inf {torch_inf_gpu:.1f}% vs tf {tf_gpu:.1f}% / "
+            f"vllm {vllm_gpu:.1f}%",
+        ),
+        shape_check(
+            "Inference gains a much larger time percentage than training "
+            "(constant absolute saving; paper: 44.6% vs 2.3%)",
+            torch_inf_t > 5 * max(torch_train_t, 0.1),
+            f"{torch_inf_t:.1f}% vs {torch_train_t:.1f}%",
+        ),
+        shape_check(
+            "Absolute time saving roughly constant across workloads "
+            "(paper: 2.6 +/- 1.6 s)",
+            np.std(abs_time) < 3.0 * max(np.mean(abs_time), 0.1),
+            f"{np.mean(abs_time):.1f} +/- {np.std(abs_time):.1f} s",
+        ),
+    ]
+    return table.render() + "\n" + summary + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

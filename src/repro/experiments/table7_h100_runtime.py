@@ -1,0 +1,82 @@
+"""Table 7: runtime improvements on the H100 under eager vs lazy loading.
+
+Paper shape: under eager loading debloating saves real CPU memory (the
+whole retained file stays resident); under lazy loading CPU memory savings
+collapse to ~0 (only touched pages were resident to begin with); GPU memory
+savings are ~0 in both modes for these frameworks; execution time improves
+in both modes (less file to read), more under eager.
+"""
+
+from __future__ import annotations
+
+from repro.cuda.driver import LoadingMode
+from repro.experiments.common import DEFAULT_SCALE, report_for, shape_check
+from repro.experiments.table6_h100_sizes import h100_variants
+from repro.utils.tables import Table
+from repro.utils.units import pct_reduction
+
+ID = "table7"
+TITLE = "Table 7: runtime on 1x H100 with debloated libraries, eager vs lazy"
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    table = Table(
+        [
+            "Framework", "Mode", "Peak CPU Mem/MB", "Peak GPU Mem/MB",
+            "Exec Time/s",
+        ],
+        title=TITLE,
+    )
+    reds: dict[tuple[str, LoadingMode], tuple[float, float, float]] = {}
+    for fw, mode, report in h100_variants(scale):
+        base, after = report.baseline, report.debloated_run
+        assert after is not None
+        cpu_red = pct_reduction(base.peak_cpu_mem_bytes, after.peak_cpu_mem_bytes)
+        gpu_red = pct_reduction(base.peak_gpu_mem_bytes, after.peak_gpu_mem_bytes)
+        t_red = pct_reduction(base.execution_time_s, after.execution_time_s)
+        table.add_row(
+            fw,
+            mode.value.capitalize(),
+            f"{base.peak_cpu_mem_mb:,.0f} ({cpu_red:.1f})",
+            f"{base.peak_gpu_mem_mb:,.0f} ({gpu_red:.1f})",
+            f"{base.execution_time_s:,.0f} ({t_red:.1f})",
+        )
+        reds[(fw, mode)] = (cpu_red, gpu_red, t_red)
+
+    checks = []
+    for fw in ("vllm", "transformers"):
+        eager = reds[(fw, LoadingMode.EAGER)]
+        lazy = reds[(fw, LoadingMode.LAZY)]
+        checks.append(
+            shape_check(
+                f"{fw}: CPU-memory savings collapse under lazy loading "
+                "(paper: 12-18% eager vs ~0.3% lazy)",
+                eager[0] > 5.0 and lazy[0] < 2.0,
+                f"eager {eager[0]:.1f}% vs lazy {lazy[0]:.1f}%",
+            )
+        )
+        checks.append(
+            shape_check(
+                f"{fw}: GPU-memory savings near zero in both modes "
+                "(paper: 0.0-2.4%)",
+                eager[1] < 8.0 and lazy[1] < 8.0,
+                f"eager {eager[1]:.1f}% / lazy {lazy[1]:.1f}%",
+            )
+        )
+        checks.append(
+            shape_check(
+                f"{fw}: execution time improves in both modes, more under "
+                "eager (paper: 13.9/8.3 and 32.0/20.3)",
+                eager[2] > lazy[2] > 0.0,
+                f"eager {eager[2]:.1f}% vs lazy {lazy[2]:.1f}%",
+            )
+        )
+    return table.render() + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

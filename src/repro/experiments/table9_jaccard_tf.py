@@ -1,0 +1,69 @@
+"""Table 9 (appendix): Jaccard similarity in tensorflow_cc.so.
+
+Same analysis as Table 4 but over the four TensorFlow workloads; the paper
+reports the same structure - functions highly shared (>=0.82), kernels
+barely shared (<=0.5).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.jaccard import combined_table, jaccard_matrix
+from repro.experiments.common import DEFAULT_SCALE, report_for, shape_check
+from repro.utils.tables import Table
+from repro.workloads.spec import TABLE1_WORKLOADS
+
+ID = "table9"
+TITLE = "Table 9: Jaccard similarity in tensorflow_cc.so (upper: functions, lower: kernels)"
+
+_LIB = "libtensorflow_cc.so.2"
+_WORKLOAD_IDS = (
+    "tensorflow/train/mobilenetv2",
+    "tensorflow/inference/mobilenetv2",
+    "tensorflow/train/transformer",
+    "tensorflow/inference/transformer",
+)
+_LABELS = (
+    "MobileNetV2/Train",
+    "MobileNetV2/Inference",
+    "Transformer/Train",
+    "Transformer/Inference",
+)
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    functions: dict[str, frozenset] = {}
+    kernels: dict[str, frozenset] = {}
+    for wid, label in zip(_WORKLOAD_IDS, _LABELS):
+        spec = next(w for w in TABLE1_WORKLOADS if w.workload_id == wid)
+        report = report_for(spec, scale)
+        functions[label] = frozenset(
+            report.baseline.used_functions.get(_LIB, ()).tolist()
+        )
+        kernels[label] = report.baseline.used_kernels.get(_LIB, frozenset())
+
+    table = Table(["Workload", *_LABELS], title=TITLE)
+    table.add_rows(combined_table(functions, kernels))
+
+    fm = jaccard_matrix(functions)
+    km = jaccard_matrix(kernels)
+    checks = [
+        shape_check(
+            "Function similarity high across TF workloads (paper: >=0.82)",
+            fm.min_off_diagonal() >= 0.5,
+            f"min {fm.min_off_diagonal():.2f}",
+        ),
+        shape_check(
+            "Kernel similarity low across TF workloads (paper: <=0.5)",
+            km.max_off_diagonal() <= 0.8,
+            f"max {km.max_off_diagonal():.2f}",
+        ),
+    ]
+    return table.render() + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

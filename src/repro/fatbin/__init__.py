@@ -1,0 +1,29 @@
+"""GPU code container: fatbin regions, elements, cubins, kernels.
+
+The paper (§3.2, Fig. 4) describes GPU code in an ML shared library as a list
+of *regions*, each holding *elements*; each element header carries the
+compute-capability of the GPU architecture its *cubin* payload was compiled
+for, and each cubin holds kernels plus the intra-cubin kernel-call graph
+(kernels launched from other kernels are compiled into the same cubin).
+NVIDIA publishes no spec for this container, so - exactly like the paper -
+we define the structural invariants we rely on and implement them: a builder,
+a strict parser, and a ``cuobjdump``-equivalent extractor whose cubin indices
+start at one and match element order.
+"""
+
+from repro.fatbin.builder import FatbinBuilder
+from repro.fatbin.cubin import Cubin, KernelFlags
+from repro.fatbin.cuobjdump import extract_cubins, list_fatbin_elements
+from repro.fatbin.parser import FatbinElement, FatbinImage, FatbinRegion, parse_fatbin
+
+__all__ = [
+    "Cubin",
+    "FatbinBuilder",
+    "FatbinElement",
+    "FatbinImage",
+    "FatbinRegion",
+    "KernelFlags",
+    "extract_cubins",
+    "list_fatbin_elements",
+    "parse_fatbin",
+]

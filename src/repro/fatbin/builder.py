@@ -1,0 +1,92 @@
+"""Fatbin writer: regions of elements, each element wrapping one cubin.
+
+The builder mirrors how ``nvcc``/``fatbinary`` assemble device code into the
+``.nv_fatbin`` section: one or more regions, each a header plus back-to-back
+elements; each element header records the compute-capability its cubin
+targets.  Output is a :class:`SparseFile` (structural bytes materialized,
+kernel code areas left as holes) ready to drop into the ELF builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.fatbin import constants as FC
+from repro.fatbin.cubin import Cubin
+from repro.fatbin.structs import ElementHeader, RegionHeader
+from repro.utils.sparsefile import SparseFile
+
+
+@dataclass
+class _PendingElement:
+    cubin: Cubin
+    sm_arch: int
+    kind: int
+    compressed: bool
+
+
+@dataclass
+class RegionBuilder:
+    """Accumulates elements for one region."""
+
+    elements: list[_PendingElement] = field(default_factory=list)
+
+    def add_element(
+        self,
+        cubin: Cubin,
+        sm_arch: int,
+        kind: int = FC.KIND_CUBIN,
+        compressed: bool = False,
+    ) -> "RegionBuilder":
+        if sm_arch <= 0 or sm_arch > 0xFFFF:
+            raise ConfigurationError(f"invalid sm_arch {sm_arch}")
+        self.elements.append(_PendingElement(cubin, sm_arch, kind, compressed))
+        return self
+
+
+class FatbinBuilder:
+    """Builds a complete ``.nv_fatbin`` payload."""
+
+    def __init__(self) -> None:
+        self._regions: list[RegionBuilder] = []
+
+    def add_region(self) -> RegionBuilder:
+        region = RegionBuilder()
+        self._regions.append(region)
+        return region
+
+    def build(self) -> SparseFile:
+        """Serialize all regions; returns the sparse payload."""
+        out = SparseFile(0)
+        offset = 0
+        for region in self._regions:
+            if not region.elements:
+                raise ConfigurationError("region with no elements")
+            # First pass: compute body size.
+            body = 0
+            payload_sizes = []
+            for pending in region.elements:
+                payload = pending.cubin.serialized_size()
+                padded = FC.pad_to(payload)
+                payload_sizes.append((payload, padded))
+                body += FC.ELEMENT_HEADER_SIZE + padded
+            header = RegionHeader(body_size=body)
+            out.write(offset, header.pack())
+            offset += FC.REGION_HEADER_SIZE
+            for pending, (payload, padded) in zip(region.elements, payload_sizes):
+                elem_header = ElementHeader(
+                    kind=pending.kind,
+                    sm_arch=pending.sm_arch,
+                    payload_size=payload,
+                    padded_payload_size=padded,
+                    compressed=int(pending.compressed),
+                )
+                out.write(offset, elem_header.pack())
+                offset += FC.ELEMENT_HEADER_SIZE
+                written = pending.cubin.serialize_into(out, offset)
+                assert written == payload
+                offset += padded
+        if offset > out.logical_size:
+            out.truncate(offset)
+        return out

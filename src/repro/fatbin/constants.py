@@ -1,0 +1,37 @@
+"""Fatbin/cubin container constants.
+
+``FATBIN_MAGIC`` matches the magic of real NVIDIA fat binaries
+(``0xBA55ED50``); the remaining layout is this project's documented
+stand-in for the unpublished NVIDIA format (see package docstring).
+"""
+
+from __future__ import annotations
+
+FATBIN_MAGIC = 0xBA55ED50
+FATBIN_VERSION = 1
+
+REGION_HEADER_SIZE = 24
+ELEMENT_HEADER_SIZE = 64
+
+# Element kinds.
+KIND_PTX = 1
+KIND_CUBIN = 2
+
+# Element header flags.
+#: Set by the compactor on removed elements: the payload has been zeroed but
+#: the header chain stays walkable, so loaders skip the element instead of
+#: failing to parse the container (Negativa keeps address validity the same
+#: way - structure intact, contents gone).
+ELEMENT_FLAG_REMOVED = 0x1
+
+CUBIN_MAGIC = 0x4E424355  # "UCBN" little-endian spells "CUBN"-ish tag
+CUBIN_VERSION = 1
+CUBIN_HEADER_SIZE = 32
+KERNEL_ENTRY_SIZE = 32
+
+PAYLOAD_ALIGN = 8
+
+
+def pad_to(size: int, align: int = PAYLOAD_ALIGN) -> int:
+    """Round ``size`` up to ``align``."""
+    return (size + align - 1) // align * align

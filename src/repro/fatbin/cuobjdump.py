@@ -1,0 +1,98 @@
+"""``cuobjdump``-equivalent extraction used by the kernel locator.
+
+The paper's locator does not parse fatbins directly; it drives NVIDIA's
+``cuobjdump`` to (a) extract the list of cubins from a shared library, with
+1-based indices in the extracted file names, and (b) list the kernels inside
+each cubin.  This module reproduces that tool boundary so the locator code
+reads like the paper: ``extract_cubins`` returns (index, arch, kernel names)
+records, and ``list_fatbin_elements`` mirrors ``cuobjdump -lelf`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.elf.image import SharedLibrary
+from repro.errors import FatbinFormatError
+
+
+@dataclass(frozen=True)
+class ExtractedCubin:
+    """One cubin as ``cuobjdump -xelf all`` would extract it.
+
+    ``index`` is 1-based and equals the index of the fatbin element that
+    contains this cubin - the invariant the locator uses to map a cubin back
+    to a file range in the shared library.
+    """
+
+    index: int
+    sm_arch: int
+    kernel_names: tuple[str, ...]
+    entry_kernel_names: tuple[str, ...]
+
+    @property
+    def filename(self) -> str:
+        """The synthetic extraction file name (``<lib>.<index>.sm_<arch>.cubin``)."""
+        return f"extracted.{self.index}.sm_{self.sm_arch}.cubin"
+
+
+def extract_cubins(lib: SharedLibrary) -> list[ExtractedCubin]:
+    """Extract all cubins from a shared library (``cuobjdump -xelf all``)."""
+    image = lib.fatbin
+    if image is None:
+        return []
+    out: list[ExtractedCubin] = []
+    for element in image.elements():
+        cubin = element.cubin
+        out.append(
+            ExtractedCubin(
+                index=element.index,
+                sm_arch=element.sm_arch,
+                kernel_names=tuple(cubin.kernel_names()),
+                entry_kernel_names=tuple(cubin.entry_kernel_names()),
+            )
+        )
+    return out
+
+
+def list_fatbin_elements(lib: SharedLibrary) -> list[str]:
+    """Human-readable element listing (``cuobjdump -lelf`` analogue)."""
+    image = lib.fatbin
+    if image is None:
+        return []
+    lines = []
+    for element in image.elements():
+        lines.append(
+            f"ELF file {element.index}: {lib.soname}.{element.index}."
+            f"sm_{element.sm_arch}.cubin"
+        )
+    return lines
+
+
+def find_kernel(lib: SharedLibrary, kernel_name: str) -> list[ExtractedCubin]:
+    """All cubins in ``lib`` containing ``kernel_name``."""
+    return [
+        c for c in extract_cubins(lib) if kernel_name in c.kernel_names
+    ]
+
+
+def kernel_inventory(lib: SharedLibrary) -> dict[str, list[int]]:
+    """Map kernel name -> element indices containing it (all architectures)."""
+    inventory: dict[str, list[int]] = {}
+    for cubin in extract_cubins(lib):
+        for name in cubin.kernel_names:
+            inventory.setdefault(name, []).append(cubin.index)
+    return inventory
+
+
+def total_gpu_code_bytes(lib: SharedLibrary) -> int:
+    """Sum of element sizes (headers + padded cubins)."""
+    image = lib.fatbin
+    if image is None:
+        return 0
+    total = sum(e.size for e in image.elements())
+    if total > lib.gpu_code_size:
+        raise FatbinFormatError(
+            f"{lib.soname}: element sizes exceed .nv_fatbin section"
+        )
+    return total

@@ -1,0 +1,170 @@
+"""Fatbin reader: walk regions/elements, parse cubins structurally.
+
+The parser never touches kernel code areas, so paper-scale (hundreds of MB)
+fatbins parse in milliseconds from sparse storage.  Element indices are
+*global and 1-based*, matching the ``cuobjdump`` extraction convention the
+locator relies on (paper §3.2: "A cubin extracted by cuobjdump has an index
+starting from one ... equal to the index of the element containing it").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import FatbinFormatError
+from repro.fatbin import constants as FC
+from repro.fatbin.cubin import Cubin
+from repro.fatbin.structs import ElementHeader, RegionHeader
+from repro.utils.intervals import Range
+from repro.utils.sparsefile import SparseFile
+
+
+@dataclass
+class FatbinElement:
+    """One element: header + cubin payload, with absolute file geometry."""
+
+    index: int  # global, 1-based
+    header: ElementHeader
+    header_offset: int  # absolute file offset of the element header
+    data: SparseFile
+
+    @property
+    def sm_arch(self) -> int:
+        return self.header.sm_arch
+
+    @property
+    def payload_offset(self) -> int:
+        return self.header_offset + FC.ELEMENT_HEADER_SIZE
+
+    @property
+    def file_range(self) -> Range:
+        """Header + padded payload: the unit the compactor retains/removes."""
+        return Range(
+            self.header_offset,
+            self.payload_offset + self.header.padded_payload_size,
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.file_range)
+
+    @cached_property
+    def cubin(self) -> Cubin:
+        return Cubin.parse(self.data, self.payload_offset, self.header.payload_size)
+
+    def kernel_names(self) -> list[str]:
+        return self.cubin.kernel_names()
+
+
+@dataclass
+class FatbinRegion:
+    """One region: header plus its elements."""
+
+    header: RegionHeader
+    header_offset: int
+    elements: list[FatbinElement]
+
+    @property
+    def file_range(self) -> Range:
+        return Range(
+            self.header_offset,
+            self.header_offset + FC.REGION_HEADER_SIZE + self.header.body_size,
+        )
+
+
+@dataclass
+class FatbinImage:
+    """All regions of a ``.nv_fatbin`` section."""
+
+    regions: list[FatbinRegion]
+    base_offset: int
+    total_size: int
+
+    def elements(self) -> list[FatbinElement]:
+        return [e for region in self.regions for e in region.elements]
+
+    def element_count(self) -> int:
+        return sum(len(r.elements) for r in self.regions)
+
+    def element_by_index(self, index: int) -> FatbinElement:
+        """Lookup by the global 1-based cuobjdump index."""
+        for region in self.regions:
+            for element in region.elements:
+                if element.index == index:
+                    return element
+        raise FatbinFormatError(f"no fatbin element with index {index}")
+
+    def architectures(self) -> list[int]:
+        return sorted({e.sm_arch for e in self.elements()})
+
+
+def parse_fatbin(
+    data: SparseFile | bytes,
+    base_offset: int = 0,
+    size: int | None = None,
+) -> FatbinImage:
+    """Parse the fatbin container at ``base_offset`` within ``data``.
+
+    ``data`` may be the whole shared-library sparse file (pass the section
+    offset) or a standalone payload.  Only structural bytes are read.
+    """
+    if isinstance(data, (bytes, bytearray)):
+        sparse = SparseFile.from_bytes(bytes(data))
+        # Caller gave a standalone payload but wants absolute offsets: shift
+        # by re-wrapping at the requested base.
+        if base_offset:
+            shifted = SparseFile(base_offset + sparse.logical_size)
+            shifted.write(base_offset, sparse.to_bytes())
+            sparse = shifted
+        data = sparse
+        if size is None:
+            size = data.logical_size - base_offset
+    if size is None:
+        size = data.logical_size - base_offset
+    end = base_offset + size
+    if end > data.logical_size:
+        raise FatbinFormatError("fatbin extends past end of file")
+
+    regions: list[FatbinRegion] = []
+    offset = base_offset
+    next_index = 1
+    while offset < end:
+        if end - offset < FC.REGION_HEADER_SIZE:
+            raise FatbinFormatError("trailing bytes too small for a region header")
+        region_header = RegionHeader.unpack(data.read(offset, FC.REGION_HEADER_SIZE))
+        region_start = offset
+        body_end = offset + FC.REGION_HEADER_SIZE + region_header.body_size
+        if body_end > end:
+            raise FatbinFormatError("region body extends past fatbin")
+        offset += FC.REGION_HEADER_SIZE
+
+        elements: list[FatbinElement] = []
+        while offset < body_end:
+            if body_end - offset < FC.ELEMENT_HEADER_SIZE:
+                raise FatbinFormatError("trailing bytes too small for an element")
+            elem_header = ElementHeader.unpack(
+                data.read(offset, FC.ELEMENT_HEADER_SIZE)
+            )
+            elem_end = (
+                offset + FC.ELEMENT_HEADER_SIZE + elem_header.padded_payload_size
+            )
+            if elem_end > body_end:
+                raise FatbinFormatError("element payload extends past region")
+            elements.append(
+                FatbinElement(
+                    index=next_index,
+                    header=elem_header,
+                    header_offset=offset,
+                    data=data,
+                )
+            )
+            next_index += 1
+            offset = elem_end
+        regions.append(
+            FatbinRegion(
+                header=region_header, header_offset=region_start, elements=elements
+            )
+        )
+
+    return FatbinImage(regions=regions, base_offset=base_offset, total_size=size)

@@ -1,0 +1,94 @@
+"""Binary headers of the fatbin container (region and element headers)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import FatbinFormatError
+from repro.fatbin import constants as FC
+
+_REGION_FMT = "<IHHQQ"
+_ELEMENT_FMT = "<HHHHQQII32s"
+
+assert struct.calcsize(_REGION_FMT) == FC.REGION_HEADER_SIZE
+assert struct.calcsize(_ELEMENT_FMT) == FC.ELEMENT_HEADER_SIZE
+
+
+@dataclass
+class RegionHeader:
+    """Header of one fatbin region (paper Fig. 4: "Region Header")."""
+
+    magic: int = FC.FATBIN_MAGIC
+    version: int = FC.FATBIN_VERSION
+    header_size: int = FC.REGION_HEADER_SIZE
+    body_size: int = 0  # bytes of element data following the header
+    flags: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _REGION_FMT,
+            self.magic,
+            self.version,
+            self.header_size,
+            self.body_size,
+            self.flags,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "RegionHeader":
+        if len(data) < FC.REGION_HEADER_SIZE:
+            raise FatbinFormatError("truncated region header")
+        hdr = cls(*struct.unpack(_REGION_FMT, data[: FC.REGION_HEADER_SIZE]))
+        if hdr.magic != FC.FATBIN_MAGIC:
+            raise FatbinFormatError(f"bad fatbin magic {hdr.magic:#x}")
+        if hdr.header_size != FC.REGION_HEADER_SIZE:
+            raise FatbinFormatError(f"unexpected region header size {hdr.header_size}")
+        return hdr
+
+
+@dataclass
+class ElementHeader:
+    """Header of one fatbin element (paper Fig. 4: "Element Header").
+
+    ``sm_arch`` is the compute-capability field the kernel locator checks
+    against the device architecture (paper §3.2: only matching elements can
+    be loaded into GPU memory).
+    """
+
+    kind: int = FC.KIND_CUBIN
+    version: int = FC.FATBIN_VERSION
+    header_size: int = FC.ELEMENT_HEADER_SIZE
+    sm_arch: int = 0  # e.g. 75 for sm_75 (T4)
+    payload_size: int = 0
+    padded_payload_size: int = 0
+    compressed: int = 0
+    flags: int = 0
+    reserved: bytes = b"\x00" * 32
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _ELEMENT_FMT,
+            self.kind,
+            self.version,
+            self.header_size,
+            self.sm_arch,
+            self.payload_size,
+            self.padded_payload_size,
+            self.compressed,
+            self.flags,
+            self.reserved,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ElementHeader":
+        if len(data) < FC.ELEMENT_HEADER_SIZE:
+            raise FatbinFormatError("truncated element header")
+        hdr = cls(*struct.unpack(_ELEMENT_FMT, data[: FC.ELEMENT_HEADER_SIZE]))
+        if hdr.header_size != FC.ELEMENT_HEADER_SIZE:
+            raise FatbinFormatError(f"unexpected element header size {hdr.header_size}")
+        if hdr.kind not in (FC.KIND_PTX, FC.KIND_CUBIN):
+            raise FatbinFormatError(f"unknown element kind {hdr.kind}")
+        if hdr.padded_payload_size < hdr.payload_size:
+            raise FatbinFormatError("padded payload smaller than payload")
+        return hdr

@@ -1,0 +1,31 @@
+"""Synthetic ML frameworks: generated library sets + execution runtime.
+
+Each framework (PyTorch, TensorFlow, vLLM, Transformers) is described by a
+:class:`~repro.frameworks.spec.FrameworkSpec` naming its shared libraries
+with paper-magnitude sizes, function counts, fatbin element counts, and the
+operator kinds each library serves.  :mod:`~repro.frameworks.genlib` turns
+specs into byte-accurate ELF libraries;
+:mod:`~repro.frameworks.runtime` executes workloads against them through the
+loader and the CUDA driver, applying each framework's memory policy
+(TensorFlow/vLLM device-pool preallocation, PyTorch on-demand allocation).
+
+Everything is deterministic: the same spec + scale always generates the same
+bytes, kernels, and usage sets.
+"""
+
+from repro.frameworks.catalog import FRAMEWORK_NAMES, get_framework
+from repro.frameworks.ops import OpInstance, OpKind, Phase
+from repro.frameworks.runtime import FrameworkRuntime
+from repro.frameworks.spec import FrameworkSpec, Framework, LibrarySpec
+
+__all__ = [
+    "FRAMEWORK_NAMES",
+    "Framework",
+    "FrameworkRuntime",
+    "FrameworkSpec",
+    "LibrarySpec",
+    "OpInstance",
+    "OpKind",
+    "Phase",
+    "get_framework",
+]

@@ -1,0 +1,111 @@
+"""Operator vocabulary shared by models, frameworks, and the generator.
+
+An :class:`OpInstance` is one operator occurrence in a model's graph with a
+*shape signature* (the string a real framework's kernel-selection heuristics
+key on).  The kernel variant an op resolves to is a stable hash of
+``(framework, kind, shape signature, phase, batch bucket)`` - which is what
+produces the paper's Table 4 structure: different workloads share most CPU
+functions (infrastructure) but few kernels (shape-specialized variants).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(str, enum.Enum):
+    """Operator families; each maps to kernel variants in specific libraries."""
+
+    CONV2D = "conv2d"
+    DEPTHWISE_CONV = "dwconv"
+    GEMM = "gemm"
+    BATCHNORM = "batchnorm"
+    LAYERNORM = "layernorm"
+    RMSNORM = "rmsnorm"
+    ACTIVATION = "activation"  # relu/relu6/gelu/silu
+    SOFTMAX = "softmax"
+    POOL = "pool"
+    EMBEDDING = "embedding"
+    ATTENTION = "attention"
+    PAGED_ATTENTION = "paged_attention"
+    ROPE = "rope"
+    ELEMENTWISE = "elementwise"
+    REDUCE = "reduce"
+    DROPOUT = "dropout"
+    LOSS = "loss"
+    OPTIMIZER = "optimizer"
+    SAMPLING = "sampling"
+    COLLECTIVE = "collective"  # NCCL all-reduce/all-gather
+    RNG = "rng"
+    MISC = "misc"  # generator-only: bloat cubins never selected at runtime
+
+
+class Phase(str, enum.Enum):
+    """Execution phase; backward ops select different kernel variants."""
+
+    FORWARD = "fwd"
+    BACKWARD = "bwd"
+    OPTIMIZER = "opt"
+
+
+#: Op kinds whose kernel selection depends on the batch-size bucket (GEMM-like
+#: tiling); elementwise-style kernels are batch-agnostic, which is why
+#: train/inference of the same model still share a sizable kernel subset
+#: (paper Table 4: J=0.42 for MobileNetV2 train vs inference).
+BATCH_SENSITIVE_KINDS = frozenset(
+    {
+        OpKind.CONV2D,
+        OpKind.DEPTHWISE_CONV,
+        OpKind.GEMM,
+        OpKind.ATTENTION,
+        OpKind.PAGED_ATTENTION,
+    }
+)
+
+
+def batch_bucket(batch_size: int) -> int:
+    """Quantize batch size the way tiling heuristics do (power-of-two bands)."""
+    if batch_size <= 1:
+        return 0
+    bucket = 1
+    while (1 << bucket) < batch_size:
+        bucket += 1
+    return bucket
+
+
+@dataclass(frozen=True)
+class OpInstance:
+    """One operator occurrence in a model graph.
+
+    Attributes
+    ----------
+    kind:
+        Operator family (routes to libraries and kernel variant tables).
+    shape_sig:
+        Shape signature, e.g. ``"c32_k3_s2_h112"``; kernels are selected per
+        signature.
+    flops_per_item:
+        Forward FLOPs per sample (backward is charged at 2x).
+    weight:
+        Share of the model's per-batch GPU time attributed to this op (used
+        for reporting only; total time comes from the model's FLOPs).
+    """
+
+    kind: OpKind
+    shape_sig: str
+    flops_per_item: float = 0.0
+    weight: float = 1.0
+
+    @property
+    def uid(self) -> str:
+        return f"{self.kind.value}:{self.shape_sig}"
+
+
+@dataclass(frozen=True)
+class KernelSelection:
+    """The kernels an op instance resolved to in one library."""
+
+    soname: str
+    variant: int
+    kernel_names: tuple[str, ...]

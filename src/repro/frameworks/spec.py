@@ -1,0 +1,173 @@
+"""Framework and library specifications.
+
+A :class:`LibrarySpec` records the observable, paper-reported magnitudes of
+one shared library (file size, CPU code size, function count, GPU code size,
+cubin count) plus generation knobs (which op kinds its kernels serve, how
+much of it is always-used infrastructure).  A :class:`FrameworkSpec` is the
+full library list plus runtime behaviour (memory policy, CPU tax, feature
+tags).  Specs are pure data; generation happens in
+:mod:`repro.frameworks.genlib`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf.image import SharedLibrary
+from repro.errors import ConfigurationError
+from repro.frameworks.ops import OpKind
+from repro.utils.units import MB
+
+
+@dataclass(frozen=True)
+class LibrarySpec:
+    """Generation spec for one shared library (paper-magnitude sizes)."""
+
+    soname: str
+    file_mb: float
+    text_mb: float
+    n_functions: int
+    gpu_mb: float = 0.0
+    n_cubins: int = 0
+    #: Op kinds whose kernel variants live in this library's fatbin; also the
+    #: op kinds that have dedicated CPU function pools here.
+    op_kinds: tuple[OpKind, ...] = ()
+    #: Relative cubin-count weight per op kind (defaults to uniform).
+    op_kind_weights: tuple[float, ...] = ()
+    #: Fraction of functions in the always-used infrastructure pool.
+    infra_fraction: float = 0.04
+    #: Fraction of the infra pool actually touched at startup.
+    infra_used_fraction: float = 0.85
+    #: Fraction of functions in each op kind's dedicated pool.
+    op_pool_fraction: float = 0.03
+    #: Fraction of an op pool touched when that op kind executes.
+    op_pool_used_fraction: float = 0.12
+    #: Share of each kind's per-arch bytes concentrated in the hot (runtime
+    #: selectable) variants.
+    hot_byte_share: float = 0.85
+    #: Size-weight multiplier of *used* functions relative to cold code.
+    #: >1 models frameworks whose hot paths are big dispatch/compute
+    #: functions (PyTorch); ~1 models frameworks whose executed code is a
+    #: swarm of small wrappers (TensorFlow's "used bloat", paper §5).
+    hot_function_weight: float = 5.0
+    #: Feature tags required for this library to be loaded by a workload
+    #: (empty = always loaded with the framework).
+    requires: frozenset[str] = frozenset()
+    proprietary: bool = False
+
+    def __post_init__(self) -> None:
+        if self.text_mb + self.gpu_mb > self.file_mb:
+            raise ConfigurationError(
+                f"{self.soname}: text+gpu ({self.text_mb + self.gpu_mb} MB) "
+                f"exceed file size {self.file_mb} MB"
+            )
+        if self.gpu_mb > 0 and self.n_cubins <= 0:
+            raise ConfigurationError(f"{self.soname}: gpu code without cubins")
+        if self.op_kind_weights and len(self.op_kind_weights) != len(self.op_kinds):
+            raise ConfigurationError(f"{self.soname}: op_kind_weights mismatch")
+
+    @property
+    def other_mb(self) -> float:
+        """Non-code content (rodata, tables, debug) - Fig. 1's "Others"."""
+        return self.file_mb - self.text_mb - self.gpu_mb
+
+    @property
+    def file_bytes(self) -> int:
+        return int(self.file_mb * MB)
+
+    @property
+    def text_bytes(self) -> int:
+        return int(self.text_mb * MB)
+
+    @property
+    def gpu_bytes(self) -> int:
+        return int(self.gpu_mb * MB)
+
+
+@dataclass(frozen=True)
+class MemoryPolicy:
+    """Framework device/host memory behaviour."""
+
+    #: "on_demand": allocations sized to tensors (PyTorch caching allocator).
+    #: "pool_fraction": grab ``pool_fraction`` of device memory at startup
+    #: (TensorFlow default).
+    #: "utilization_target": fill the device up to ``pool_fraction`` of its
+    #: capacity *after* other allocations (vLLM KV-cache preallocation).
+    kind: str = "on_demand"
+    pool_fraction: float = 0.0
+    #: Host bytes of interpreter-side framework machinery (imports, graphs).
+    python_overhead_mb: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("on_demand", "pool_fraction", "utilization_target"):
+            raise ConfigurationError(f"unknown memory policy {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FrameworkSpec:
+    """A complete framework: libraries + runtime behaviour."""
+
+    name: str
+    version: str
+    libraries: tuple[LibrarySpec, ...]
+    memory: MemoryPolicy = MemoryPolicy()
+    #: Routing: op kind -> sonames of libraries whose kernels serve it.
+    kernel_routing: dict = field(default_factory=dict)
+    #: Libraries whose CPU op pools are exercised by every op (dispatchers).
+    cpu_dispatch_libs: tuple[str, ...] = ()
+    #: Host CPU time per batch as a fraction of GPU time (framework tax).
+    cpu_tax_fraction: float = 0.35
+    #: GPU efficiency factor applied to peak FLOPs for this framework.
+    gpu_efficiency: float = 0.18
+    #: Kernels an op uses from its selected variant cubin.
+    kernels_per_op: int = 6
+    #: Fixed import/initialization time (seconds, interpreter side).
+    import_time_s: float = 4.0
+    #: Feature tags the framework itself provides.
+    features: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        sonames = [lib.soname for lib in self.libraries]
+        if len(set(sonames)) != len(sonames):
+            raise ConfigurationError(f"{self.name}: duplicate library sonames")
+        for kind, phase_map in self.kernel_routing.items():
+            for targets in phase_map.values():
+                for target in targets:
+                    if target not in sonames:
+                        raise ConfigurationError(
+                            f"{self.name}: routing for {kind} targets unknown "
+                            f"library {target!r}"
+                        )
+
+    def library(self, soname: str) -> LibrarySpec:
+        for lib in self.libraries:
+            if lib.soname == soname:
+                return lib
+        raise ConfigurationError(f"{self.name}: no library {soname!r}")
+
+    def libraries_for(self, features: frozenset[str]) -> tuple[LibrarySpec, ...]:
+        """Libraries loaded by a workload with the given feature set."""
+        return tuple(
+            lib for lib in self.libraries if lib.requires <= features
+        )
+
+
+@dataclass
+class Framework:
+    """A generated framework: spec + concrete libraries (+ layouts in tags)."""
+
+    spec: FrameworkSpec
+    libraries: dict[str, SharedLibrary]
+    scale: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def library(self, soname: str) -> SharedLibrary:
+        return self.libraries[soname]
+
+    def libraries_for(self, features: frozenset[str]) -> list[SharedLibrary]:
+        return [
+            self.libraries[s.soname] for s in self.spec.libraries_for(features)
+        ]

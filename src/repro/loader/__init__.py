@@ -1,0 +1,18 @@
+"""Dynamic loader and process image simulation.
+
+Loading a shared library costs I/O time (the whole retained file is read -
+the mechanism behind the paper's roughly constant absolute execution-time
+savings) and host memory (eager mapping keeps all retained bytes resident;
+lazy mapping keeps structural bytes plus touched code only - the mechanism
+behind Table 7's eager-vs-lazy CPU-memory contrast).  CPU function calls
+flow through :meth:`ProcessImage.call_functions`, which enforces
+debloat correctness (calling a removed function raises
+:class:`~repro.errors.MissingFunctionError`) and feeds the CPU-side
+function profiler used by Negativa's detection phase.
+"""
+
+from repro.loader.linker import resolve_symbol
+from repro.loader.process import LoadedLibrary, ProcessImage
+from repro.loader.profiler import FunctionProfiler
+
+__all__ = ["FunctionProfiler", "LoadedLibrary", "ProcessImage", "resolve_symbol"]

@@ -1,0 +1,43 @@
+"""Cross-library dynamic symbol resolution.
+
+A small ``ld.so``-style resolver used by tools and tests: given a set of
+loaded libraries, find which library defines a global function symbol.
+Load order matters (first definition wins), mirroring ELF interposition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.elf import constants as C
+from repro.elf.image import SharedLibrary
+from repro.errors import SymbolResolutionError
+
+
+def resolve_symbol(
+    libraries: Iterable[SharedLibrary], name: str
+) -> tuple[SharedLibrary, int]:
+    """Resolve ``name`` to (defining library, symbol index).
+
+    Only global (or weak, as fallback) defined symbols participate, like the
+    dynamic linker's lookup rules.
+    """
+    weak_hit: tuple[SharedLibrary, int] | None = None
+    for lib in libraries:
+        symtab = lib.symtab
+        try:
+            idx = symtab.index_of(name)
+        except KeyError:
+            continue
+        info = int(symtab.entries["st_info"][idx])
+        shndx = int(symtab.entries["st_shndx"][idx])
+        if shndx == C.SHN_UNDEF:
+            continue
+        bind = C.st_bind(info)
+        if bind == C.STB_GLOBAL:
+            return lib, idx
+        if bind == C.STB_WEAK and weak_hit is None:
+            weak_hit = (lib, idx)
+    if weak_hit is not None:
+        return weak_hit
+    raise SymbolResolutionError(f"undefined symbol: {name}")

@@ -1,0 +1,40 @@
+"""CPU-function usage profiler (Negativa's CPU detection phase).
+
+Negativa (the CPU-only predecessor tool the paper extends) profiles the
+workload to find which CPU functions it executes.  Binary instrumentation of
+this kind slows the instrumented process down by a multiplicative factor -
+modelled by ``CostModel.cpu_profiler_slowdown``, applied by
+:meth:`ProcessImage.call_functions` while a profiler is attached.  The
+recorded per-library index sets feed the CPU-side locator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FunctionProfiler:
+    """Records (library, function index) usage during a profiled run."""
+
+    attach_cost: float = 0.5
+    _used: dict[str, set[int]] = field(default_factory=dict)
+
+    def record(self, soname: str, indices: np.ndarray) -> None:
+        bucket = self._used.setdefault(soname, set())
+        bucket.update(int(i) for i in indices)
+
+    def used_functions(self) -> dict[str, np.ndarray]:
+        """Per-library sorted arrays of used function indices."""
+        return {
+            soname: np.asarray(sorted(idx), dtype=np.int64)
+            for soname, idx in self._used.items()
+        }
+
+    def used_count(self) -> int:
+        return sum(len(s) for s in self._used.values())
+
+    def clear(self) -> None:
+        self._used.clear()

@@ -1,0 +1,6 @@
+"""User-facing CLI tools: ``negativa-ml`` (inspect/debloat) and the
+``readelf``/``cuobjdump``-style inspection helpers they wrap."""
+
+from repro.tools.inspect import describe_library, readelf_sections
+
+__all__ = ["describe_library", "readelf_sections"]

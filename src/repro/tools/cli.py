@@ -1,0 +1,120 @@
+"""``negativa-ml``: the tool's command-line interface.
+
+Subcommands:
+
+* ``inspect <framework> <soname>`` - describe a generated library
+  (sections, code sizes, fatbin architectures, kernels);
+* ``debloat <workload-id>`` - run the full pipeline for a Table-1 workload
+  and print the per-library reduction report;
+* ``workloads`` - list the available workload ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.debloat import Debloater
+from repro.experiments.common import DEFAULT_SCALE
+from repro.frameworks.catalog import FRAMEWORK_NAMES, get_framework
+from repro.tools.inspect import describe_library, kernel_listing, readelf_sections
+from repro.utils.tables import Table
+from repro.utils.units import fmt_mb
+from repro.workloads.spec import TABLE1_WORKLOADS, workload_by_id
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="negativa-ml",
+        description="Identify and remove bloat in ML framework shared libraries.",
+    )
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="entity-count scale (1.0 = paper magnitude)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inspect = sub.add_parser("inspect", help="describe a shared library")
+    p_inspect.add_argument("framework", choices=FRAMEWORK_NAMES)
+    p_inspect.add_argument("soname")
+    p_inspect.add_argument("--sections", action="store_true")
+    p_inspect.add_argument("--kernels", action="store_true")
+
+    p_debloat = sub.add_parser("debloat", help="debloat a workload's libraries")
+    p_debloat.add_argument("workload_id", help="e.g. pytorch/train/mobilenetv2")
+    p_debloat.add_argument("--top", type=int, default=12,
+                           help="show the top-N libraries by reduction")
+
+    sub.add_parser("workloads", help="list workload ids")
+    return parser
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    framework = get_framework(args.framework, scale=args.scale)
+    lib = framework.libraries.get(args.soname)
+    if lib is None:
+        print(f"no library {args.soname!r} in {args.framework}; available:",
+              file=sys.stderr)
+        for soname in sorted(framework.libraries):
+            print(f"  {soname}", file=sys.stderr)
+        return 1
+    print(describe_library(lib))
+    if args.sections:
+        print()
+        print(readelf_sections(lib))
+    if args.kernels and lib.has_gpu_code:
+        print()
+        print(kernel_listing(lib))
+    return 0
+
+
+def cmd_debloat(args: argparse.Namespace) -> int:
+    spec = workload_by_id(args.workload_id)
+    framework = get_framework(spec.framework, scale=args.scale)
+    report = Debloater(framework).debloat(spec)
+
+    table = Table(
+        ["Library", "File MB (red%)", "CPU MB (red%)", "GPU MB (red%)",
+         "Elements (red%)"],
+        title=f"Debloating report: {spec.workload_id}",
+    )
+    for lib in report.top_by_file_reduction(args.top):
+        table.add_row(
+            lib.soname,
+            f"{fmt_mb(lib.file_size)} ({lib.file_reduction_pct:.0f})",
+            f"{fmt_mb(lib.cpu_size)} ({lib.cpu_reduction_pct:.0f})",
+            f"{fmt_mb(lib.gpu_size)} ({lib.gpu_reduction_pct:.0f})"
+            if lib.has_gpu_code else "-",
+            f"{lib.n_elements} ({lib.element_reduction_pct:.0f})"
+            if lib.has_gpu_code else "-",
+        )
+    print(table.render())
+    print()
+    print(
+        f"totals: file {fmt_mb(report.total_file_size)} MB -> "
+        f"{fmt_mb(report.total_file_size_after)} MB "
+        f"({report.file_reduction_pct:.0f}% reduction) across "
+        f"{report.n_libraries} libraries"
+    )
+    assert report.verification is not None
+    print(f"verification: {report.verification}")
+    print(f"end-to-end pipeline time: {report.timing.total_s:,.0f} virtual s")
+    return 0
+
+
+def cmd_workloads(_: argparse.Namespace) -> int:
+    for spec in TABLE1_WORKLOADS:
+        print(spec.workload_id)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "inspect": cmd_inspect,
+        "debloat": cmd_debloat,
+        "workloads": cmd_workloads,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

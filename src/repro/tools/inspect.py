@@ -1,0 +1,81 @@
+"""Library inspection helpers (``readelf`` / ``cuobjdump`` style output)."""
+
+from __future__ import annotations
+
+from repro.elf import constants as EC
+from repro.elf.image import SharedLibrary
+from repro.fatbin.cuobjdump import extract_cubins, list_fatbin_elements
+from repro.utils.tables import Table, kv_block
+from repro.utils.units import fmt_bytes, fmt_count
+
+
+def readelf_sections(lib: SharedLibrary) -> str:
+    """``readelf -S``-style section listing."""
+    table = Table(
+        ["Nr", "Name", "Type", "Addr", "Offset", "Size", "Flags"],
+        title=f"Section headers of {lib.soname}",
+    )
+    type_names = {
+        EC.SHT_NULL: "NULL",
+        EC.SHT_PROGBITS: "PROGBITS",
+        EC.SHT_SYMTAB: "SYMTAB",
+        EC.SHT_STRTAB: "STRTAB",
+        EC.SHT_NOBITS: "NOBITS",
+        EC.SHT_DYNSYM: "DYNSYM",
+    }
+    for i, sec in enumerate(lib.sections):
+        hdr = sec.header
+        flags = ""
+        if hdr.sh_flags & EC.SHF_ALLOC:
+            flags += "A"
+        if hdr.sh_flags & EC.SHF_EXECINSTR:
+            flags += "X"
+        if hdr.sh_flags & EC.SHF_WRITE:
+            flags += "W"
+        table.add_row(
+            i,
+            sec.name or "<null>",
+            type_names.get(hdr.sh_type, hex(hdr.sh_type)),
+            f"{hdr.sh_addr:#010x}",
+            f"{hdr.sh_offset:#010x}",
+            f"{hdr.sh_size:#x}",
+            flags,
+        )
+    return table.render()
+
+
+def describe_library(lib: SharedLibrary, verbose: bool = False) -> str:
+    """Human-readable summary: the numbers Negativa-ML's tables are made of."""
+    pairs = [
+        ("file size", fmt_bytes(lib.file_size)),
+        ("CPU code (.text)", fmt_bytes(lib.cpu_code_size)),
+        ("functions", fmt_count(lib.function_count)),
+        ("GPU code (.nv_fatbin)", fmt_bytes(lib.gpu_code_size)),
+        ("fatbin elements", lib.element_count),
+        ("proprietary", lib.proprietary),
+    ]
+    image = lib.fatbin
+    if image is not None:
+        pairs.append(
+            ("architectures", ", ".join(f"sm_{a}" for a in image.architectures()))
+        )
+    out = kv_block(lib.soname, pairs)
+    if verbose and lib.has_gpu_code:
+        lines = list_fatbin_elements(lib)
+        preview = "\n".join(lines[:20])
+        if len(lines) > 20:
+            preview += f"\n... ({len(lines) - 20} more elements)"
+        out += "\n\n" + preview
+    return out
+
+
+def kernel_listing(lib: SharedLibrary, limit: int = 30) -> str:
+    """``cuobjdump -elf``-style kernel listing per extracted cubin."""
+    lines = []
+    for cubin in extract_cubins(lib)[:limit]:
+        lines.append(
+            f"{cubin.filename}: sm_{cubin.sm_arch}, "
+            f"{len(cubin.kernel_names)} kernels "
+            f"({len(cubin.entry_kernel_names)} entry)"
+        )
+    return "\n".join(lines)

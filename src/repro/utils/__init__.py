@@ -1,0 +1,25 @@
+"""Shared substrate utilities: intervals, sparse files, RNG streams, stats.
+
+The debloater's core currency is the *file range* (:class:`~repro.utils.intervals.RangeSet`);
+generated libraries keep their multi-hundred-MB payloads in
+:class:`~repro.utils.sparsefile.SparseFile` objects so experiments run at
+paper-scale sizes without materializing the bytes.
+"""
+
+from repro.utils.intervals import Range, RangeSet
+from repro.utils.rng import RngStream, stable_seed
+from repro.utils.sparsefile import SparseFile
+from repro.utils.units import fmt_bytes, fmt_count, fmt_mb, mb, pct_reduction
+
+__all__ = [
+    "Range",
+    "RangeSet",
+    "RngStream",
+    "SparseFile",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_mb",
+    "mb",
+    "pct_reduction",
+    "stable_seed",
+]

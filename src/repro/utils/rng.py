@@ -1,0 +1,132 @@
+"""Deterministic, name-addressed random streams.
+
+Every generated artifact (library layouts, function sizes, kernel variants)
+must be reproducible from a textual identity so that two runs of an
+experiment - or a test and the code under test - see byte-identical
+libraries.  :func:`stable_seed` hashes a sequence of tokens with BLAKE2 into a
+64-bit seed; :class:`RngStream` wraps :class:`numpy.random.Generator` with a
+few distribution helpers used by the generators (Zipf-like heavy tails for
+code-object sizes, biased subset selection for "used" sets).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def stable_seed(*tokens: object) -> int:
+    """Derive a stable 64-bit seed from a sequence of tokens.
+
+    Tokens are stringified and joined with an unambiguous separator, so
+    ``stable_seed("a", "bc")`` differs from ``stable_seed("ab", "c")``.
+    """
+    joined = "\x1f".join(str(t) for t in tokens)
+    digest = hashlib.blake2b(joined.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RngStream:
+    """A named deterministic RNG stream.
+
+    Parameters
+    ----------
+    tokens:
+        Identity tokens; the stream is a pure function of these.
+    """
+
+    def __init__(self, *tokens: object) -> None:
+        self.seed = stable_seed(*tokens)
+        self._gen = np.random.Generator(np.random.PCG64(self.seed))
+
+    def child(self, *tokens: object) -> "RngStream":
+        """Derive an independent sub-stream (identity = parent ++ tokens)."""
+        return RngStream(self.seed, *tokens)
+
+    # -- thin passthroughs ---------------------------------------------------
+
+    @property
+    def gen(self) -> np.random.Generator:
+        return self._gen
+
+    def integers(self, low: int, high: int, size: int | None = None):
+        return self._gen.integers(low, high, size=size)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size: int | None = None):
+        return self._gen.uniform(low, high, size=size)
+
+    def choice(self, seq, size: int | None = None, replace: bool = True, p=None):
+        return self._gen.choice(seq, size=size, replace=replace, p=p)
+
+    def shuffle(self, array) -> None:
+        self._gen.shuffle(array)
+
+    # -- distribution helpers ------------------------------------------------
+
+    def heavy_tail_sizes(self, count: int, total: int, alpha: float = 1.1,
+                         min_size: int = 1,
+                         weights: np.ndarray | None = None) -> np.ndarray:
+        """Partition ``total`` into ``count`` heavy-tailed integer sizes.
+
+        Code-object sizes (functions, cubins) follow Zipf-like laws: a few
+        template-instantiation giants and many tiny helpers.  We draw Pareto
+        weights and rescale them so the sizes sum exactly to ``total``.
+        Optional ``weights`` bias the expected size per slot (used to make
+        hot code larger than cold template instantiations, matching the
+        paper's function-count vs code-size reduction gap).
+        """
+        if count <= 0:
+            return np.zeros(0, dtype=np.int64)
+        if total < count * min_size:
+            raise ValueError(
+                f"cannot split {total} bytes into {count} parts of >= {min_size}"
+            )
+        draw = self._gen.pareto(alpha, size=count) + 1.0
+        if weights is not None:
+            draw = draw * np.asarray(weights, dtype=np.float64)
+        raw = draw / draw.sum() * (total - count * min_size)
+        sizes = np.floor(raw).astype(np.int64) + min_size
+        # Distribute the rounding remainder over the largest entries so the
+        # sum is exact and the tail shape is preserved.
+        deficit = int(total - sizes.sum())
+        if deficit > 0:
+            order = np.argsort(sizes)[::-1]
+            sizes[order[:deficit]] += 1
+        return sizes
+
+    def subset_mask(self, count: int, fraction: float,
+                    weights: np.ndarray | None = None) -> np.ndarray:
+        """Boolean mask selecting ``round(fraction*count)`` items.
+
+        With ``weights`` the selection is biased (used for "hot" code being
+        concentrated in large cubins).  Always returns at least one selected
+        item when ``fraction > 0`` and ``count > 0``.
+        """
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        k = int(round(fraction * count))
+        if fraction > 0:
+            k = max(k, 1)
+        k = min(k, count)
+        mask = np.zeros(count, dtype=bool)
+        if k == 0:
+            return mask
+        if weights is None:
+            idx = self._gen.choice(count, size=k, replace=False)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            w = np.clip(w, 1e-12, None)
+            idx = self._gen.choice(count, size=k, replace=False, p=w / w.sum())
+        mask[idx] = True
+        return mask
+
+    def lognormal_int(self, mean: float, sigma: float, size: int | None = None,
+                      low: int = 1):
+        """Integer lognormal draws clipped below at ``low``."""
+        draws = self._gen.lognormal(mean, sigma, size=size)
+        arr = np.maximum(np.asarray(draws, dtype=np.float64), low)
+        if size is None:
+            return int(arr)
+        return arr.astype(np.int64)

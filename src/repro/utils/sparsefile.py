@@ -1,0 +1,180 @@
+"""Sparse byte container with paper-scale logical sizes.
+
+Generated shared libraries are hundreds of megabytes; materializing their
+payload bytes would make experiments slow and memory-hungry for no analytical
+gain (Negativa-ML only reads *structural* bytes: ELF headers, symbol tables,
+fatbin headers, kernel name tables).  :class:`SparseFile` stores written
+extents in a sorted map and reads holes back as zero bytes, exactly like a
+sparse file on a POSIX filesystem.  ``logical_size`` is the file size used in
+all accounting; ``materialized_size`` is the number of bytes actually stored.
+"""
+
+from __future__ import annotations
+
+import bisect
+import io
+
+from repro.utils.intervals import Range, RangeSet
+
+
+class SparseFile:
+    """An in-memory sparse file: written extents over an all-zero backdrop."""
+
+    def __init__(self, size: int = 0) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._size = size
+        self._starts: list[int] = []
+        self._chunks: list[bytes] = []
+
+    # -- size accounting -------------------------------------------------------
+
+    @property
+    def logical_size(self) -> int:
+        """The file size as seen by ``stat()`` (includes holes)."""
+        return self._size
+
+    @property
+    def materialized_size(self) -> int:
+        """Bytes actually stored (written extents only)."""
+        return sum(len(c) for c in self._chunks)
+
+    def extents(self) -> RangeSet:
+        """The written (non-hole) extents."""
+        return RangeSet(
+            Range(s, s + len(c)) for s, c in zip(self._starts, self._chunks)
+        )
+
+    def truncate(self, size: int) -> None:
+        """Grow or shrink the logical size, dropping extents past the end."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._size = size
+        while self._starts and self._starts[-1] >= size:
+            self._starts.pop()
+            self._chunks.pop()
+        if self._starts:
+            last_start = self._starts[-1]
+            last = self._chunks[-1]
+            if last_start + len(last) > size:
+                self._chunks[-1] = last[: size - last_start]
+
+    # -- I/O ---------------------------------------------------------------------
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, extending the logical size if needed."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        if not data:
+            return
+        end = offset + len(data)
+        self._size = max(self._size, end)
+        # Merge with any overlapping/adjacent existing extents.
+        lo = bisect.bisect_left(self._starts, offset)
+        if lo > 0 and self._starts[lo - 1] + len(self._chunks[lo - 1]) >= offset:
+            lo -= 1
+        hi = lo
+        while hi < len(self._starts) and self._starts[hi] <= end:
+            hi += 1
+        if lo == hi:
+            self._starts.insert(lo, offset)
+            self._chunks.insert(lo, bytes(data))
+            return
+        new_start = min(offset, self._starts[lo])
+        new_end = max(end, self._starts[hi - 1] + len(self._chunks[hi - 1]))
+        buf = bytearray(new_end - new_start)
+        for s, c in zip(self._starts[lo:hi], self._chunks[lo:hi]):
+            buf[s - new_start : s - new_start + len(c)] = c
+        buf[offset - new_start : offset - new_start + len(data)] = data
+        self._starts[lo:hi] = [new_start]
+        self._chunks[lo:hi] = [bytes(buf)]
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset``; holes read back as zeros."""
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be non-negative")
+        if offset + size > self._size:
+            raise ValueError(
+                f"read past end of file: [{offset}, {offset + size}) > {self._size}"
+            )
+        out = bytearray(size)
+        idx = bisect.bisect_right(self._starts, offset) - 1
+        if idx < 0:
+            idx = 0
+        end = offset + size
+        for s, c in zip(self._starts[idx:], self._chunks[idx:]):
+            if s >= end:
+                break
+            c_end = s + len(c)
+            if c_end <= offset:
+                continue
+            lo = max(s, offset)
+            hi = min(c_end, end)
+            out[lo - offset : hi - offset] = c[lo - s : hi - s]
+        return bytes(out)
+
+    def zero(self, offset: int, size: int) -> None:
+        """Punch a hole: bytes in ``[offset, offset+size)`` read back as zero."""
+        if size <= 0:
+            return
+        end = min(offset + size, self._size)
+        if offset >= end:
+            return
+        new_starts: list[int] = []
+        new_chunks: list[bytes] = []
+        for s, c in zip(self._starts, self._chunks):
+            c_end = s + len(c)
+            if c_end <= offset or s >= end:
+                new_starts.append(s)
+                new_chunks.append(c)
+                continue
+            if s < offset:
+                new_starts.append(s)
+                new_chunks.append(c[: offset - s])
+            if c_end > end:
+                new_starts.append(end)
+                new_chunks.append(c[end - s :])
+        self._starts = new_starts
+        self._chunks = new_chunks
+
+    def zero_ranges(self, ranges: RangeSet) -> None:
+        for r in ranges:
+            self.zero(r.start, len(r))
+
+    # -- conversions ----------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Fully materialize the file (use only at small scales/tests)."""
+        return self.read(0, self._size)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SparseFile":
+        f = cls(len(data))
+        f.write(0, data)
+        return f
+
+    def dump(self, fileobj: io.BufferedIOBase) -> None:
+        """Write the file to a real (sparse-friendly) file object."""
+        fileobj.truncate(self._size)
+        for s, c in zip(self._starts, self._chunks):
+            fileobj.seek(s)
+            fileobj.write(c)
+
+    def copy(self) -> "SparseFile":
+        dup = SparseFile(self._size)
+        dup._starts = list(self._starts)
+        dup._chunks = list(self._chunks)
+        return dup
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseFile):
+            return NotImplemented
+        if self._size != other._size:
+            return False
+        return self._starts == other._starts and self._chunks == other._chunks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseFile(logical={self._size}, materialized={self.materialized_size},"
+            f" extents={len(self._starts)})"
+        )

@@ -1,0 +1,115 @@
+"""Distribution summaries used by the figure reproductions.
+
+Figure 5 of the paper shows violin plots of per-library reduction
+percentages; Figure 6 shows a Pareto chart.  We cannot render plots in this
+environment, so the experiment harness prints the *data series* a plotting
+script would consume: five-number summaries + kernel-density-ready samples
+for the violins, and sorted cumulative contributions for the Pareto chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FiveNumberSummary:
+    """Min / Q1 / median / Q3 / max plus mean, for a sample of values."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values) -> "FiveNumberSummary":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+        q1, med, q3 = np.percentile(arr, [25, 50, 75])
+        return cls(
+            minimum=float(arr.min()),
+            q1=float(q1),
+            median=float(med),
+            q3=float(q3),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+            count=int(arr.size),
+        )
+
+    def row(self) -> list[str]:
+        return [
+            f"{self.minimum:.1f}",
+            f"{self.q1:.1f}",
+            f"{self.median:.1f}",
+            f"{self.q3:.1f}",
+            f"{self.maximum:.1f}",
+            f"{self.mean:.1f}",
+            str(self.count),
+        ]
+
+
+def histogram(values, bins: int = 10, lo: float = 0.0, hi: float = 100.0):
+    """Fixed-range histogram returning (edges, counts)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    counts, edges = np.histogram(arr, bins=bins, range=(lo, hi))
+    return edges, counts
+
+
+def ascii_violin(values, width: int = 40, bins: int = 12,
+                 lo: float = 0.0, hi: float = 100.0) -> list[str]:
+    """Render a sideways ASCII density sketch of a sample (stand-in violin)."""
+    edges, counts = histogram(values, bins=bins, lo=lo, hi=hi)
+    peak = counts.max() if counts.size and counts.max() > 0 else 1
+    lines = []
+    for i in range(bins - 1, -1, -1):
+        bar = "#" * int(round(width * counts[i] / peak))
+        lines.append(f"{edges[i]:5.0f}-{edges[i + 1]:3.0f}% |{bar}")
+    return lines
+
+
+def pareto_series(values) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted-descending values and their cumulative percentage share."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    order = np.argsort(arr)[::-1]
+    sorted_vals = arr[order]
+    total = sorted_vals.sum()
+    if total <= 0:
+        cum = np.zeros_like(sorted_vals)
+    else:
+        cum = np.cumsum(sorted_vals) / total * 100.0
+    return sorted_vals, cum
+
+
+def top_k_share(values, fraction: float = 0.1) -> float:
+    """Share (%) of the total contributed by the top ``fraction`` of items."""
+    sorted_vals, cum = pareto_series(values)
+    if sorted_vals.size == 0:
+        return 0.0
+    k = max(1, int(round(fraction * sorted_vals.size)))
+    return float(cum[k - 1])
+
+
+def items_for_share(values, share_pct: float = 90.0) -> int:
+    """Smallest number of items whose cumulative share reaches ``share_pct``."""
+    _, cum = pareto_series(values)
+    if cum.size == 0:
+        return 0
+    idx = int(np.searchsorted(cum, share_pct))
+    return min(idx + 1, cum.size)
+
+
+def jaccard(a, b) -> float:
+    """Jaccard similarity of two iterables (paper Eq. 1)."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    union = len(sa | sb)
+    if union == 0:
+        return 1.0
+    return len(sa & sb) / union

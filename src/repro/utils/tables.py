@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment prints the same rows the paper's tables report; this module
+renders them as aligned monospace tables (GitHub-markdown-compatible when
+``markdown=True``) so `EXPERIMENTS.md` can embed them directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class Table:
+    """A simple column-aligned text table."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self, markdown: bool = False) -> str:
+        widths = self._widths()
+        lines: list[str] = []
+        if self.title and not markdown:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        if self.title and markdown:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+
+        def fmt(row: Sequence[str]) -> str:
+            cells = [c.ljust(w) for c, w in zip(row, widths)]
+            if markdown:
+                return "| " + " | ".join(cells) + " |"
+            return "  ".join(cells).rstrip()
+
+        lines.append(fmt(self.headers))
+        if markdown:
+            lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        else:
+            lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(fmt(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def kv_block(title: str, pairs: Sequence[tuple[str, object]]) -> str:
+    """Render a titled key/value block (used for experiment summaries)."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title, "-" * len(title)]
+    for key, value in pairs:
+        lines.append(f"{key.ljust(width)} : {value}")
+    return "\n".join(lines)

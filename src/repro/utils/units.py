@@ -1,0 +1,70 @@
+"""Size/count formatting helpers matching the paper's table conventions.
+
+The paper reports sizes in MB (1 MB = 10^6 bytes is *not* used; the tables
+are consistent with MiB-free decimal interpretation, but what matters for the
+reproduction is internal consistency, so we standardize on 1 MB = 2^20 bytes)
+and counts in "K" (1 K = 1,000).
+"""
+
+from __future__ import annotations
+
+MB = 1 << 20
+KB = 1 << 10
+GB = 1 << 30
+
+
+def mb(n_mib: float) -> int:
+    """Convert megabytes to bytes (1 MB = 2**20 bytes)."""
+    return int(n_mib * MB)
+
+
+def fmt_mb(n_bytes: float, digits: int = 0) -> str:
+    """Format a byte count as megabytes, e.g. ``fmt_mb(881*MB) == '881'``."""
+    value = n_bytes / MB
+    if digits == 0:
+        return f"{value:,.0f}"
+    return f"{value:,.{digits}f}"
+
+
+def fmt_bytes(n_bytes: float) -> str:
+    """Human-readable byte count with an adaptive unit suffix."""
+    n = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(n)} B"
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_count(n: int) -> str:
+    """Format a count the way the paper does: ``616K`` style above 10k."""
+    if n >= 10_000:
+        return f"{round(n / 1000):,}K"
+    return f"{n:,}"
+
+
+def pct_reduction(before: float, after: float) -> float:
+    """Percentage reduction from ``before`` to ``after`` (0 when before==0)."""
+    if before <= 0:
+        return 0.0
+    return 100.0 * (before - after) / before
+
+
+def fmt_pct(value: float, digits: int = 0) -> str:
+    """Format a percentage with the given number of decimal digits."""
+    return f"{value:.{digits}f}"
+
+
+def fmt_value_with_reduction(before: float, after: float, *, as_mb: bool = False,
+                             as_count: bool = False, digits: int = 0) -> str:
+    """Render the paper's ``<original> (<reduction%>)`` cell format."""
+    red = pct_reduction(before, after)
+    if as_mb:
+        base = fmt_mb(before)
+    elif as_count:
+        base = fmt_count(int(before))
+    else:
+        base = f"{before:,.0f}"
+    return f"{base} ({fmt_pct(red, digits)})"

@@ -1,0 +1,35 @@
+"""Workloads: models, datasets, and the Table-1 execution matrix.
+
+A workload is (model, framework, operation, dataset, batch size, epochs,
+device) - exactly the paper's Table 1.  Running a workload through
+:class:`~repro.workloads.runner.WorkloadRunner` yields deterministic runtime
+metrics (execution time, peak CPU/GPU memory, output digest) plus ground
+truth usage (kernels/functions), which the debloating pipeline's detector
+must independently rediscover.
+"""
+
+from repro.workloads.datasets import DATASETS, DatasetSpec
+from repro.workloads.models import (
+    LEADERBOARD_LLMS,
+    ModelSpec,
+    llama2_7b,
+    mobilenet_v2,
+    transformer_base,
+)
+from repro.workloads.runner import RunMetrics, WorkloadRunner
+from repro.workloads.spec import TABLE1_WORKLOADS, WorkloadSpec, workload_by_id
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "LEADERBOARD_LLMS",
+    "ModelSpec",
+    "RunMetrics",
+    "TABLE1_WORKLOADS",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "llama2_7b",
+    "mobilenet_v2",
+    "transformer_base",
+    "workload_by_id",
+]

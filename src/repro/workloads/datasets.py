@@ -1,0 +1,87 @@
+"""Dataset metadata (synthetic stand-ins with accurate shapes/counts).
+
+Bloat measurement never reads sample values - only sample *counts* (which
+set iteration counts and therefore detector/NSys overhead scaling) and byte
+sizes (which set host memory and load time).  Counts match the real
+datasets the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.units import MB
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dataset as the runner needs it."""
+
+    name: str
+    train_samples: int
+    test_samples: int
+    sample_bytes: int
+    #: Host bytes resident while iterating the training split (decoded /
+    #: tokenized working set, shuffle buffers).
+    host_bytes: int
+    #: Host bytes when only the test split is iterated.
+    host_bytes_test: int = 0
+    #: Average tokens per sample (sequence workloads; 0 for vision).
+    tokens_per_sample: int = 0
+
+    def samples(self, split: str) -> int:
+        if split == "train":
+            return self.train_samples
+        if split == "test":
+            return self.test_samples
+        raise ConfigurationError(f"unknown split {split!r}")
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    # 60k 3x32x32 images (Krizhevsky et al., 2009).
+    "cifar10": DatasetSpec(
+        name="cifar10",
+        train_samples=50_000,
+        test_samples=10_000,
+        sample_bytes=3 * 32 * 32,
+        host_bytes=int(180 * MB),
+        host_bytes_test=int(40 * MB),
+    ),
+    # 29k train / 1,014 test EN-DE sentence pairs (Elliott et al., 2016).
+    "multi30k": DatasetSpec(
+        name="multi30k",
+        train_samples=29_000,
+        test_samples=1_014,
+        sample_bytes=2 * 64,
+        host_bytes=int(52 * MB),
+        host_bytes_test=int(9 * MB),
+        tokens_per_sample=14,
+    ),
+    # WMT14 EN-DE: ~4.5M train pairs (Bojar et al., 2014).
+    "wmt14": DatasetSpec(
+        name="wmt14",
+        train_samples=4_500_000,
+        test_samples=3_003,
+        sample_bytes=2 * 120,
+        host_bytes=int(9_800 * MB),
+        host_bytes_test=int(140 * MB),
+        tokens_per_sample=27,
+    ),
+    # A manually supplied prompt (LLM inference workloads).
+    "manual": DatasetSpec(
+        name="manual",
+        train_samples=0,
+        test_samples=1,
+        sample_bytes=512,
+        host_bytes=int(1 * MB),
+        host_bytes_test=int(1 * MB),
+        tokens_per_sample=32,
+    ),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    if name not in DATASETS:
+        raise ConfigurationError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    return DATASETS[name]

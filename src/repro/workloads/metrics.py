@@ -1,0 +1,40 @@
+"""Run metrics: what Table 5/7 report per workload execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RunMetrics:
+    """Deterministic observables of one workload run."""
+
+    workload_id: str
+    execution_time_s: float
+    peak_cpu_mem_bytes: int
+    peak_gpu_mem_bytes: int
+    #: Digest of the workload's numeric output (losses / generated text);
+    #: identical before/after debloating iff correctness is preserved.
+    output_digest: str
+    #: Ground-truth entry kernels resolved per library (what the detector
+    #: must rediscover through its CUPTI hook).
+    used_kernels: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: Ground-truth executed function indices per library.
+    used_functions: dict[str, np.ndarray] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def peak_cpu_mem_mb(self) -> float:
+        return self.peak_cpu_mem_bytes / (1 << 20)
+
+    @property
+    def peak_gpu_mem_mb(self) -> float:
+        return self.peak_gpu_mem_bytes / (1 << 20)
+
+    def total_used_kernels(self) -> int:
+        return sum(len(v) for v in self.used_kernels.values())
+
+    def total_used_functions(self) -> int:
+        return sum(len(v) for v in self.used_functions.values())

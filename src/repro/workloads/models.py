@@ -1,0 +1,309 @@
+"""Model op graphs: MobileNetV2, Transformer (base), Llama-2-7B, and the
+nine Open-LLM-Leaderboard models of paper Table 10.
+
+Graphs are built at operator granularity with *shape signatures* that follow
+real kernel-selection behaviour: MobileNetV2's blocks have distinct
+channel/resolution signatures (many unique kernels), while Transformer/Llama
+layers repeat identical shapes (few unique kernels, reused across layers).
+Those signatures - not any hand-picked usage lists - determine which kernel
+variants each workload exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frameworks.ops import OpInstance, OpKind
+from repro.utils.units import MB
+from repro.workloads.datasets import DatasetSpec
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A model as the workload runner consumes it."""
+
+    name: str
+    display_name: str
+    params: int
+    ops: tuple[OpInstance, ...]
+    #: Extra ops only executed when training (loss + optimizer).
+    train_ops: tuple[OpInstance, ...] = ()
+    features: frozenset[str] = frozenset()
+    #: Fixed forward FLOPs per sample (vision models); sequence models use
+    #: ``2 * params * tokens`` instead.
+    fixed_flops_per_sample: float = 0.0
+    #: Multiplier on the framework's GPU efficiency (small convs run far
+    #: below peak; large GEMMs with tensor cores can exceed fp32 peak).
+    efficiency_mult: float = 1.0
+    weights_dtype_bytes: int = 4
+    optimizer: str | None = "sgd"  # sgd (momentum) | adam | None
+    activation_mb_per_sample_train: float = 8.0
+    activation_mb_per_sample_infer: float = 4.0
+    #: Device workspace demanded by kernel libraries (cuDNN autotuning etc.).
+    workspace_mb: float = 0.0
+    #: KV-cache bytes per generated token (autoregressive models).
+    kv_bytes_per_token: int = 0
+    #: Tokens generated per request for LLM inference workloads.
+    gen_tokens: int = 0
+
+    def flops_per_sample(self, dataset: DatasetSpec) -> float:
+        if self.fixed_flops_per_sample > 0:
+            return self.fixed_flops_per_sample
+        tokens = max(1, dataset.tokens_per_sample)
+        return 2.0 * self.params * tokens
+
+    def decode_flops_per_token(self) -> float:
+        return 2.0 * self.params
+
+    def activation_bytes(self, batch_size: int, training: bool) -> int:
+        per = (
+            self.activation_mb_per_sample_train
+            if training
+            else self.activation_mb_per_sample_infer
+        )
+        return int(per * MB * batch_size)
+
+
+# ---------------------------------------------------------------------------
+# MobileNetV2 (Sandler et al., 2018) - 4.3M parameters
+# ---------------------------------------------------------------------------
+
+# (expansion t, output channels c, repeats n, stride s) - the paper's Table 2.
+_MBV2_BLOCKS = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def mobilenet_v2() -> ModelSpec:
+    """Build the MobileNetV2 op graph with per-stage shape signatures."""
+    ops: list[OpInstance] = []
+
+    def conv(cin: int, cout: int, k: int, stride: int, res: int,
+             weight: float = 1.0) -> None:
+        sig = f"ci{cin}_co{cout}_k{k}_s{stride}_r{res}"
+        ops.append(OpInstance(OpKind.CONV2D, sig, weight=weight))
+
+    def dwconv(c: int, stride: int, res: int) -> None:
+        ops.append(OpInstance(OpKind.DEPTHWISE_CONV, f"c{c}_k3_s{stride}_r{res}"))
+
+    def bn(c: int, res: int) -> None:
+        ops.append(OpInstance(OpKind.BATCHNORM, f"c{c}_r{res}", weight=0.1))
+
+    def relu6(c: int, res: int) -> None:
+        ops.append(OpInstance(OpKind.ACTIVATION, f"relu6_c{c}_r{res}", weight=0.05))
+
+    res = 112
+    conv(3, 32, 3, 2, 224, weight=1.5)
+    bn(32, res)
+    relu6(32, res)
+    cin = 32
+    for t, c, n, s in _MBV2_BLOCKS:
+        for i in range(n):
+            stride = s if i == 0 else 1
+            hidden = cin * t
+            if t != 1:
+                conv(cin, hidden, 1, 1, res)
+                bn(hidden, res)
+                relu6(hidden, res)
+            out_res = res // stride
+            dwconv(hidden, stride, res)
+            bn(hidden, out_res)
+            relu6(hidden, out_res)
+            conv(hidden, c, 1, 1, out_res, weight=0.8)
+            bn(c, out_res)
+            if stride == 1 and cin == c:
+                ops.append(
+                    OpInstance(OpKind.ELEMENTWISE, f"add_c{c}_r{out_res}",
+                               weight=0.05)
+                )
+            cin = c
+            res = out_res
+    conv(cin, 1280, 1, 1, res, weight=1.2)
+    bn(1280, res)
+    relu6(1280, res)
+    ops.append(OpInstance(OpKind.POOL, f"avg_c1280_r{res}", weight=0.1))
+    ops.append(OpInstance(OpKind.GEMM, "fc_1280x10", weight=0.3))
+
+    train_ops = (
+        OpInstance(OpKind.LOSS, "xent_10", weight=0.05),
+        OpInstance(OpKind.OPTIMIZER, "sgd_momentum", weight=0.1),
+    )
+    return ModelSpec(
+        name="mobilenetv2",
+        display_name="MobileNetV2",
+        params=4_300_000,
+        ops=tuple(ops),
+        train_ops=train_ops,
+        features=frozenset({"vision", "conv"}),
+        fixed_flops_per_sample=0.3e9,
+        efficiency_mult=1.0,
+        optimizer="sgd",
+        activation_mb_per_sample_train=37.0,
+        activation_mb_per_sample_infer=25.0,
+        workspace_mb=64.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Transformer base (Vaswani et al., 2017) - 65M parameters
+# ---------------------------------------------------------------------------
+
+
+def transformer_base(n_layers: int = 6, d_model: int = 512,
+                     d_ff: int = 2048, heads: int = 8) -> ModelSpec:
+    """Encoder-decoder Transformer; layer shapes repeat, so kernels are
+    shared across layers (few unique kernels - the paper's low kernel
+    Jaccard against MobileNetV2 comes from this asymmetry)."""
+    ops: list[OpInstance] = []
+
+    def attention_block(tag: str) -> None:
+        sig = f"{tag}_d{d_model}_h{heads}"
+        ops.append(OpInstance(OpKind.GEMM, f"{sig}_qkv", weight=1.0))
+        ops.append(OpInstance(OpKind.ATTENTION, sig, weight=1.0))
+        ops.append(OpInstance(OpKind.SOFTMAX, sig, weight=0.2))
+        ops.append(OpInstance(OpKind.GEMM, f"{sig}_out", weight=0.6))
+        ops.append(OpInstance(OpKind.DROPOUT, sig, weight=0.05))
+        ops.append(OpInstance(OpKind.ELEMENTWISE, f"{sig}_residual", weight=0.05))
+        ops.append(OpInstance(OpKind.LAYERNORM, sig, weight=0.1))
+
+    def ffn_block(tag: str) -> None:
+        sig = f"{tag}_d{d_model}_ff{d_ff}"
+        ops.append(OpInstance(OpKind.GEMM, f"{sig}_up", weight=1.2))
+        ops.append(OpInstance(OpKind.ACTIVATION, f"{sig}_relu", weight=0.1))
+        ops.append(OpInstance(OpKind.GEMM, f"{sig}_down", weight=1.2))
+        ops.append(OpInstance(OpKind.ELEMENTWISE, f"{sig}_residual", weight=0.05))
+        ops.append(OpInstance(OpKind.LAYERNORM, sig, weight=0.1))
+
+    ops.append(OpInstance(OpKind.EMBEDDING, f"src_d{d_model}", weight=0.2))
+    ops.append(OpInstance(OpKind.EMBEDDING, f"tgt_d{d_model}", weight=0.2))
+    # Layers repeat identical shapes; emit one layer's ops per distinct role.
+    for _ in range(n_layers):
+        attention_block("enc_self")
+        ffn_block("enc")
+    for _ in range(n_layers):
+        attention_block("dec_self")
+        attention_block("dec_cross")
+        ffn_block("dec")
+    ops.append(OpInstance(OpKind.GEMM, f"generator_d{d_model}", weight=0.8))
+    ops.append(OpInstance(OpKind.SOFTMAX, "generator_vocab", weight=0.2))
+
+    train_ops = (
+        OpInstance(OpKind.LOSS, "label_smoothing_xent", weight=0.1),
+        OpInstance(OpKind.OPTIMIZER, "adam", weight=0.2),
+    )
+    return ModelSpec(
+        name="transformer",
+        display_name="Transformer",
+        params=65_000_000,
+        ops=tuple(ops),
+        train_ops=train_ops,
+        features=frozenset({"text"}),
+        efficiency_mult=1.7,
+        optimizer="adam",
+        activation_mb_per_sample_train=58.0,
+        activation_mb_per_sample_infer=6.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Llama-2-7B and leaderboard LLMs (decoder-only)
+# ---------------------------------------------------------------------------
+
+
+def _decoder_llm(
+    name: str,
+    display_name: str,
+    params: int,
+    n_layers: int,
+    d_model: int,
+    heads: int,
+    kv_heads: int,
+    d_ff: int,
+    gen_tokens: int = 64,
+) -> ModelSpec:
+    ops: list[OpInstance] = []
+    sig = f"d{d_model}_h{heads}_kv{kv_heads}"
+    ops.append(OpInstance(OpKind.EMBEDDING, f"tok_d{d_model}", weight=0.1))
+    # One decoder layer's shapes (repeated identically n_layers times).
+    ops.append(OpInstance(OpKind.RMSNORM, f"in_{sig}", weight=0.1))
+    ops.append(OpInstance(OpKind.GEMM, f"qkv_{sig}", weight=1.0))
+    ops.append(OpInstance(OpKind.ROPE, sig, weight=0.1))
+    ops.append(OpInstance(OpKind.ATTENTION, sig, weight=1.0))
+    ops.append(OpInstance(OpKind.GEMM, f"attn_out_{sig}", weight=0.5))
+    ops.append(OpInstance(OpKind.RMSNORM, f"post_{sig}", weight=0.1))
+    ops.append(OpInstance(OpKind.GEMM, f"gate_up_{sig}_ff{d_ff}", weight=1.4))
+    ops.append(OpInstance(OpKind.ACTIVATION, f"silu_{sig}", weight=0.1))
+    ops.append(OpInstance(OpKind.GEMM, f"down_{sig}_ff{d_ff}", weight=1.0))
+    ops.append(OpInstance(OpKind.ELEMENTWISE, f"residual_{sig}", weight=0.1))
+    ops.append(OpInstance(OpKind.RMSNORM, f"final_{sig}", weight=0.05))
+    ops.append(OpInstance(OpKind.GEMM, f"lm_head_d{d_model}", weight=0.6))
+    ops.append(OpInstance(OpKind.SAMPLING, "top_p", weight=0.1))
+
+    kv_bytes = 2 * n_layers * kv_heads * (d_model // heads) * 2  # fp16 K+V
+    return ModelSpec(
+        name=name,
+        display_name=display_name,
+        params=params,
+        ops=tuple(ops),
+        features=frozenset({"text", "llm"}),
+        efficiency_mult=0.5,
+        weights_dtype_bytes=2,
+        optimizer=None,
+        activation_mb_per_sample_train=120.0,
+        activation_mb_per_sample_infer=24.0,
+        kv_bytes_per_token=kv_bytes,
+        gen_tokens=gen_tokens,
+    )
+
+
+def llama2_7b() -> ModelSpec:
+    return _decoder_llm(
+        "llama2-7b", "Llama-2-7b-chat-hf", params=6_738_000_000,
+        n_layers=32, d_model=4096, heads=32, kv_heads=32, d_ff=11008,
+    )
+
+
+#: The top-9 Open LLM Leaderboard models of paper Table 10 (appendix),
+#: parameterized to their published architectures.
+LEADERBOARD_LLMS: tuple[ModelSpec, ...] = (
+    _decoder_llm("c4ai-command-r-plus", "c4ai command r plus",
+                 104_000_000_000, 64, 12288, 96, 8, 33792),
+    _decoder_llm("internlm2_5-7b-chat", "internlm2 5 7b chat",
+                 7_740_000_000, 32, 4096, 32, 8, 14336),
+    _decoder_llm("llama-3-70b-instruct", "llama 3 70b instruct",
+                 70_600_000_000, 80, 8192, 64, 8, 28672),
+    _decoder_llm("mixtral-8x22b-instruct", "mixtral 8x22b instruct",
+                 141_000_000_000, 56, 6144, 48, 8, 16384),
+    _decoder_llm("phi-3-medium-4k-instruct", "phi 3 medium 4k instruct",
+                 14_000_000_000, 40, 5120, 40, 10, 17920),
+    _decoder_llm("qwen-72b-instruct", "qwen 72b instruct",
+                 72_700_000_000, 80, 8192, 64, 8, 24576),
+    _decoder_llm("qwen15-110b-chat", "qwen15 110b chat",
+                 111_000_000_000, 80, 8192, 64, 8, 49152),
+    _decoder_llm("yi-15-34b", "yi 15 34b",
+                 34_400_000_000, 60, 7168, 56, 8, 20480),
+    _decoder_llm("zephyr-orpo-141b-a35b", "zephyr orpo 141b a35b",
+                 141_000_000_000, 56, 6144, 48, 8, 16384),
+)
+
+
+_MODELS = {
+    "mobilenetv2": mobilenet_v2,
+    "transformer": transformer_base,
+    "llama2-7b": llama2_7b,
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    if name in _MODELS:
+        return _MODELS[name]()
+    for model in LEADERBOARD_LLMS:
+        if model.name == name:
+            return model
+    raise KeyError(f"unknown model {name!r}")

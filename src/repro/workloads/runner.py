@@ -1,0 +1,225 @@
+"""Workload runner: executes a Table-1 workload end to end.
+
+The run is phase-exact where it matters for detection (the first iteration
+resolves every kernel through ``cuModuleGetFunction`` individually) and
+batched where it does not (remaining iterations re-launch the resolved
+kernels with a count, so million-launch training runs cost a few thousand
+Python calls while the virtual clock and CUPTI subscribers see every
+launch).  Peak memory, execution time, usage sets, and the output digest are
+all deterministic functions of (workload spec, framework build, cost model).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.cuda.costs import DEFAULT_COSTS, CostModel
+from repro.cuda.cupti import CuptiSubscriber
+from repro.elf.image import SharedLibrary
+from repro.frameworks.ops import OpInstance, Phase
+from repro.frameworks.runtime import FrameworkRuntime
+from repro.frameworks.spec import Framework
+from repro.loader.profiler import FunctionProfiler
+from repro.utils.rng import RngStream
+from repro.utils.units import MB
+from repro.workloads.metrics import RunMetrics
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class WorkloadRunner:
+    """Runs one workload against one framework build."""
+
+    spec: WorkloadSpec
+    framework: Framework
+    costs: CostModel = DEFAULT_COSTS
+    #: Debloated replacements by soname (paper §4.4 replacement flow).
+    overrides: dict[str, SharedLibrary] | None = None
+    #: CUPTI tools attached for this run (kernel detector, NSys tracer).
+    subscribers: tuple[CuptiSubscriber, ...] = ()
+    #: CPU-function profiler (Negativa's CPU detection phase).
+    profiler: FunctionProfiler | None = None
+    runtime: FrameworkRuntime = field(init=False)
+
+    def run(self) -> RunMetrics:
+        spec = self.spec
+        model = spec.model
+        rt = FrameworkRuntime(
+            framework=self.framework,
+            devices=spec.devices(),
+            loading_mode=spec.loading_mode,
+            costs=self.costs,
+        )
+        self.runtime = rt
+        for sub in self.subscribers:
+            for driver in rt.drivers:
+                driver.cupti.subscribe(sub)
+        if self.profiler is not None:
+            rt.process.attach_profiler(self.profiler)
+
+        rt.boot(spec.features, overrides=self.overrides)
+        self._load_dataset(rt)
+        self._init_model(rt)
+        rt.process.mark_steady_state()
+        self._iterate(rt)
+
+        peaks_gpu = rt.peak_device_bytes()
+        counters: dict[str, int] = {
+            "launches": sum(d.counters.launches for d in rt.drivers),
+            "get_function_calls": sum(
+                d.counters.get_function_calls for d in rt.drivers
+            ),
+            "unique_kernels": sum(d.counters.unique_kernels for d in rt.drivers),
+            "elements_loaded": sum(d.counters.elements_loaded for d in rt.drivers),
+            "modules_loaded": sum(d.counters.modules_loaded for d in rt.drivers),
+            "n_libraries": len(rt.process.libraries),
+        }
+        return RunMetrics(
+            workload_id=spec.workload_id,
+            execution_time_s=rt.clock.now,
+            peak_cpu_mem_bytes=rt.peak_host_bytes(),
+            peak_gpu_mem_bytes=peaks_gpu,
+            output_digest=self._output_digest(),
+            used_kernels={
+                soname: frozenset(names)
+                for soname, names in rt.used_kernels.items()
+            },
+            used_functions=rt.used_function_indices(),
+            counters=counters,
+        )
+
+    # -- phases ----------------------------------------------------------------------
+
+    def _load_dataset(self, rt: FrameworkRuntime) -> None:
+        ds = self.spec.dataset
+        nbytes = ds.host_bytes if self.spec.is_training else (
+            ds.host_bytes_test or ds.host_bytes
+        )
+        rt.clock.advance(nbytes / self.costs.disk_bandwidth)
+        rt.process.host_memory.allocate("dataset", nbytes)
+
+    def _init_model(self, rt: FrameworkRuntime) -> None:
+        spec = self.spec
+        model = spec.model
+        weights_bytes = model.params * model.weights_dtype_bytes
+        rt.clock.advance(weights_bytes / self.costs.weights_bandwidth)
+        # Large checkpoints stream through mmap'd safetensors: roughly half
+        # the file stays page-cache resident while shards move to the GPU.
+        staging = weights_bytes if model.weights_dtype_bytes > 2 else (
+            weights_bytes // 2
+        )
+        rt.process.host_memory.allocate("weights_host", staging)
+        shard = weights_bytes // rt.world_size
+        for rank in range(rt.world_size):
+            rt.copy_weights(rank, shard)
+
+        if spec.is_training:
+            grad_bytes = model.params * 4 // rt.world_size
+            state_mult = 2 if model.optimizer == "adam" else 1
+            for rank in range(rt.world_size):
+                rt.alloc_tensor(rank, "gradients", grad_bytes)
+                if model.optimizer:
+                    rt.alloc_tensor(rank, "optimizer_state",
+                                    state_mult * grad_bytes)
+
+        act = model.activation_bytes(spec.batch_size, spec.is_training)
+        for rank in range(rt.world_size):
+            rt.alloc_tensor(rank, "activations", act)
+            if model.workspace_mb:
+                rt.alloc_tensor(rank, "workspace", int(model.workspace_mb * MB))
+            if model.kv_bytes_per_token and rt.framework.spec.memory.kind != (
+                "utilization_target"
+            ):
+                kv = (
+                    model.kv_bytes_per_token
+                    * (model.gen_tokens + spec.dataset.tokens_per_sample)
+                    * spec.batch_size
+                    // rt.world_size
+                )
+                rt.alloc_tensor(rank, "kv_cache", kv)
+        # vLLM-style KV pool fills whatever remains below the target.
+        rt.fill_device_pool()
+
+    def _executed_ops(self) -> list[tuple[OpInstance, Phase]]:
+        spec = self.spec
+        out: list[tuple[OpInstance, Phase]] = [
+            (op, Phase.FORWARD) for op in spec.model.ops
+        ]
+        if spec.is_training:
+            out.extend((op, Phase.BACKWARD) for op in spec.model.ops)
+            for op in spec.model.train_ops:
+                phase = (
+                    Phase.OPTIMIZER
+                    if op.kind.value == "optimizer"
+                    else Phase.FORWARD
+                )
+                out.append((op, phase))
+        return out
+
+    def _batch_times(self) -> tuple[float, float]:
+        """(gpu_seconds, cpu_seconds) per iteration."""
+        spec = self.spec
+        model = spec.model
+        device = spec.devices()[0]
+        eff = self.framework.spec.gpu_efficiency * model.efficiency_mult
+        if model.gen_tokens and not spec.is_training:
+            flops = model.decode_flops_per_token() * spec.batch_size
+        else:
+            flops = model.flops_per_sample(spec.dataset) * spec.batch_size
+            if spec.is_training:
+                flops *= 3.0  # forward + backward(2x)
+        gpu = flops / (device.fp32_tflops * 1e12 * eff) / spec.world_size
+        cpu = gpu * self.framework.spec.cpu_tax_fraction
+        return gpu, cpu
+
+    def _iterate(self, rt: FrameworkRuntime) -> None:
+        spec = self.spec
+        executed = self._executed_ops()
+        gpu_s, cpu_s = self._batch_times()
+        total_weight = sum(op.weight for op, _ in executed) or 1.0
+        n_batches = spec.n_batches()
+
+        # LLM inference: a prefill pass over the prompt precedes decoding and
+        # resolves the large-batch-bucket kernel variants.
+        if spec.model.gen_tokens and not spec.is_training:
+            prefill_bucket = max(spec.dataset.tokens_per_sample, 2)
+            for op, phase in executed:
+                share = op.weight / total_weight
+                rt.run_op(op, phase, prefill_bucket,
+                          count=1, gpu_seconds=gpu_s * share,
+                          cpu_seconds=cpu_s * share)
+
+        for count in (1, n_batches - 1):
+            if count <= 0:
+                continue
+            for op, phase in executed:
+                share = op.weight / total_weight
+                rt.run_op(
+                    op,
+                    phase,
+                    spec.batch_size,
+                    count=count,
+                    gpu_seconds=gpu_s * share * count,
+                    cpu_seconds=cpu_s * share * count,
+                )
+
+    def _output_digest(self) -> str:
+        """Deterministic stand-in for the workload's numeric output.
+
+        Depends only on (model, dataset, batch, epochs) - i.e. on the
+        computation - never on library bloat, so original and (correctly)
+        debloated runs produce identical digests.  An incorrect debloat never
+        reaches this point: it raises MissingKernelError/MissingFunctionError
+        during execution.
+        """
+        spec = self.spec
+        rng = RngStream(
+            "output", spec.workload_id, spec.dataset.name, spec.batch_size,
+            spec.epochs, spec.model.params,
+        )
+        trajectory = rng.uniform(0, 1, size=16)
+        payload = ",".join(f"{x:.9f}" for x in trajectory)
+        return hashlib.blake2b(
+            payload.encode("ascii"), digest_size=16
+        ).hexdigest()

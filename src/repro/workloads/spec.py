@@ -1,0 +1,109 @@
+"""Workload specifications: the paper's Table 1 plus §4.5 variants.
+
+Each :class:`WorkloadSpec` is identified as ``"<framework>/<op>/<model>"``
+(e.g. ``"pytorch/train/mobilenetv2"``) and carries everything the runner
+needs: dataset, batch size, epochs, device(s), and module-loading mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cuda.arch import GpuDevice, get_device
+from repro.cuda.driver import LoadingMode
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import DatasetSpec, get_dataset
+from repro.workloads.models import ModelSpec, get_model
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One row of the paper's workload matrix."""
+
+    framework: str
+    operation: str  # "train" | "inference"
+    model: ModelSpec
+    dataset: DatasetSpec
+    batch_size: int
+    epochs: int = 1
+    device_name: str = "t4"
+    world_size: int = 1
+    loading_mode: LoadingMode = LoadingMode.EAGER
+
+    def __post_init__(self) -> None:
+        if self.operation not in ("train", "inference"):
+            raise ConfigurationError(f"unknown operation {self.operation!r}")
+        if self.operation == "train" and self.dataset.train_samples <= 0:
+            raise ConfigurationError(
+                f"{self.dataset.name} has no training split"
+            )
+
+    @property
+    def workload_id(self) -> str:
+        return f"{self.framework}/{self.operation}/{self.model.name}"
+
+    @property
+    def is_training(self) -> bool:
+        return self.operation == "train"
+
+    def devices(self) -> tuple[GpuDevice, ...]:
+        return tuple(get_device(self.device_name) for _ in range(self.world_size))
+
+    @property
+    def features(self) -> frozenset[str]:
+        return self.model.features | {self.operation}
+
+    def n_batches(self) -> int:
+        """Iterations the workload executes (paper Table 1 semantics).
+
+        Training iterates the full train split for ``epochs``; inference
+        runs a single batch from the test set (Table 1 footnote); LLM
+        inference decodes ``gen_tokens`` steps.
+        """
+        if self.model.gen_tokens and not self.is_training:
+            return self.model.gen_tokens
+        if self.is_training:
+            per_epoch = max(1, self.dataset.train_samples // self.batch_size)
+            return per_epoch * self.epochs
+        return 1
+
+    def variant(self, **kwargs) -> "WorkloadSpec":
+        """A modified copy (different device / loading mode / world size)."""
+        return replace(self, **kwargs)
+
+
+def _w(framework: str, operation: str, model: str, dataset: str,
+       batch_size: int, epochs: int = 1) -> WorkloadSpec:
+    return WorkloadSpec(
+        framework=framework,
+        operation=operation,
+        model=get_model(model),
+        dataset=get_dataset(dataset),
+        batch_size=batch_size,
+        epochs=epochs,
+    )
+
+
+#: The ten workloads of paper Table 1 (T4 device).
+TABLE1_WORKLOADS: tuple[WorkloadSpec, ...] = (
+    _w("pytorch", "train", "mobilenetv2", "cifar10", 16, 3),
+    _w("pytorch", "inference", "mobilenetv2", "cifar10", 4),
+    _w("tensorflow", "train", "mobilenetv2", "cifar10", 16, 3),
+    _w("tensorflow", "inference", "mobilenetv2", "cifar10", 4),
+    _w("pytorch", "train", "transformer", "multi30k", 128, 3),
+    _w("pytorch", "inference", "transformer", "multi30k", 32),
+    _w("tensorflow", "train", "transformer", "wmt14", 128, 1),
+    _w("tensorflow", "inference", "transformer", "wmt14", 32),
+    _w("vllm", "inference", "llama2-7b", "manual", 1),
+    _w("transformers", "inference", "llama2-7b", "manual", 1),
+)
+
+
+def workload_by_id(workload_id: str) -> WorkloadSpec:
+    for spec in TABLE1_WORKLOADS:
+        if spec.workload_id == workload_id:
+            return spec
+    raise ConfigurationError(
+        f"unknown workload {workload_id!r}; known: "
+        f"{[w.workload_id for w in TABLE1_WORKLOADS]}"
+    )

@@ -1,0 +1,108 @@
+"""Shared fixtures: tiny-scale framework builds and canonical workloads.
+
+Tests run at ``scale=0.02`` (entity counts ~2% of paper magnitude, byte
+sizes unchanged) so a full debloat pipeline takes well under a second.
+Framework builds are session-scoped: generation is deterministic, and the
+pipeline never mutates original libraries (compaction copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cuda.clock import VirtualClock
+from repro.elf.builder import ElfBuilder
+from repro.elf.parser import parse_shared_library
+from repro.elf.symtab import SymbolTable
+from repro.fatbin.builder import FatbinBuilder
+from repro.fatbin.cubin import Cubin
+from repro.frameworks.catalog import get_framework
+from repro.workloads.spec import TABLE1_WORKLOADS, workload_by_id
+
+TEST_SCALE = 0.02
+
+
+@pytest.fixture(scope="session")
+def pytorch():
+    return get_framework("pytorch", scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def tensorflow():
+    return get_framework("tensorflow", scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def transformers_fw():
+    return get_framework("transformers", scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def vllm_fw():
+    return get_framework("vllm", scale=TEST_SCALE)
+
+
+@pytest.fixture()
+def mobilenet_train_spec():
+    return workload_by_id("pytorch/train/mobilenetv2")
+
+
+@pytest.fixture()
+def mobilenet_infer_spec():
+    return workload_by_id("pytorch/inference/mobilenetv2")
+
+
+@pytest.fixture()
+def all_workloads():
+    return TABLE1_WORKLOADS
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+def build_small_library(
+    soname: str = "libsmall.so",
+    n_functions: int = 12,
+    fn_size: int = 64,
+    archs: tuple[int, ...] = (70, 75),
+    kernels_per_cubin: int = 4,
+    cubins_per_arch: int = 2,
+    with_edges: bool = True,
+):
+    """Hand-built tiny library with known geometry (unit-test workhorse)."""
+    names = [f"fn_{i}" for i in range(n_functions)]
+    sizes = np.full(n_functions, fn_size, dtype=np.int64)
+    offsets = np.arange(n_functions, dtype=np.int64) * fn_size
+    symtab = SymbolTable.for_functions(names, offsets, sizes, section_index=1)
+
+    fb = FatbinBuilder()
+    for arch in archs:
+        region = fb.add_region()
+        for c in range(cubins_per_arch):
+            n = kernels_per_cubin
+            entry = np.zeros(n, dtype=bool)
+            entry[: max(1, n // 2)] = True
+            edges = []
+            if with_edges and n >= 2:
+                edges = [(0, n - 1)]
+            cubin = Cubin.build(
+                names=[f"k_{c}_{j}" for j in range(n)],
+                code_sizes=np.full(n, 128, dtype=np.int64),
+                entry_mask=entry,
+                launch_edges=edges,
+            )
+            region.add_element(cubin, sm_arch=arch)
+
+    builder = ElfBuilder(soname)
+    builder.add_text(int(sizes.sum()))
+    builder.add_fatbin(fb.build())
+    builder.set_function_symbols(symtab)
+    return parse_shared_library(builder.build(), soname)
+
+
+@pytest.fixture()
+def small_library():
+    return build_small_library()

@@ -1,0 +1,104 @@
+"""Analysis tests: Jaccard matrices, Pareto, distributions, reasons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import reduction_distributions
+from repro.analysis.jaccard import combined_table, jaccard_matrix
+from repro.analysis.pareto import library_pareto
+from repro.analysis.reasons import reason_breakdown
+from repro.core.debloat import Debloater, DebloatOptions
+from repro.frameworks.catalog import get_framework
+from repro.workloads.spec import workload_by_id
+
+from conftest import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def report():
+    fw = get_framework("pytorch", scale=TEST_SCALE)
+    return Debloater(fw, DebloatOptions(runtime_comparison_top_n=0)).debloat(
+        workload_by_id("pytorch/inference/mobilenetv2")
+    )
+
+
+class TestJaccard:
+    def test_matrix_symmetric_unit_diagonal(self):
+        m = jaccard_matrix({"a": {1, 2}, "b": {2, 3}, "c": {9}})
+        assert np.allclose(m.values, m.values.T)
+        assert np.allclose(np.diag(m.values), 1.0)
+
+    def test_at(self):
+        m = jaccard_matrix({"a": {1, 2}, "b": {2, 3}})
+        assert m.at("a", "b") == pytest.approx(1 / 3)
+
+    def test_off_diagonal_stats(self):
+        m = jaccard_matrix({"a": {1}, "b": {1}, "c": {2}})
+        assert m.max_off_diagonal() == 1.0
+        assert m.min_off_diagonal() == 0.0
+
+    def test_combined_table_layout(self):
+        funcs = {"x": {1, 2}, "y": {2}}
+        kerns = {"x": {5}, "y": {6}}
+        rows = combined_table(funcs, kerns)
+        assert rows[0][1] == "-"
+        assert rows[0][2] == "0.50"  # functions upper-right
+        assert rows[1][1] == "0.00"  # kernels lower-left
+
+    def test_combined_table_label_mismatch(self):
+        with pytest.raises(ValueError):
+            combined_table({"a": set()}, {"b": set()})
+
+
+class TestPareto:
+    def test_concentration(self, report):
+        pareto = library_pareto(report)
+        assert pareto.top_10pct_share > 80.0
+        assert pareto.libraries_for_90pct < 20
+        assert pareto.cumulative_pct[-1] == pytest.approx(100.0)
+
+    def test_series_sorted(self, report):
+        pareto = library_pareto(report)
+        series = pareto.series(5)
+        assert len(series) == 5
+        removed = [row[1] for row in series]
+        assert removed == sorted(removed, reverse=True)
+
+    def test_biggest_contributor_is_core_lib(self, report):
+        pareto = library_pareto(report)
+        assert pareto.sonames[0] in ("libtorch_cuda.so", "libtorch_cpu.so",
+                                     "libcublasLt.so.12")
+
+
+class TestDistributions:
+    def test_series_lengths(self, report):
+        dists = reduction_distributions([report])
+        gpu_libs = sum(1 for lib in report.libraries if lib.has_gpu_code)
+        assert len(dists.gpu_size_reduction) == gpu_libs
+        assert len(dists.element_count_reduction) == gpu_libs
+        assert len(dists.cpu_size_reduction) == report.n_libraries
+
+    def test_gpu_above_cpu(self, report):
+        dists = reduction_distributions([report])
+        summaries = dists.summaries()
+        assert (
+            summaries["GPU code size reduction"].median
+            > summaries["CPU code size reduction"].median
+        )
+
+    def test_all_elements_above_80(self, report):
+        dists = reduction_distributions([report])
+        assert dists.min_element_reduction() > 80.0
+
+
+class TestReasons:
+    def test_breakdown_sums(self, report):
+        b = reason_breakdown(report)
+        assert b.reason_i + b.reason_ii == b.removed_total
+        assert b.reason_i_pct + b.reason_ii_pct == pytest.approx(100.0)
+
+    def test_reason_i_dominates(self, report):
+        b = reason_breakdown(report)
+        assert b.reason_i_pct > 70.0

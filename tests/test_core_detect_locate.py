@@ -1,0 +1,222 @@
+"""Detector/NSys/locator tests: the paper's §3.1-§3.2 mechanisms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cpu import FunctionLocator
+from repro.core.detect import KernelDetector
+from repro.core.locate import ElementDecision, KernelLocator, RemovalReason
+from repro.core.nsys import NsysTracer
+from repro.cuda.arch import get_device
+from repro.cuda.clock import VirtualClock
+from repro.cuda.driver import CudaDriver
+from repro.errors import LocationError
+from repro.frameworks.catalog import get_framework
+from repro.utils.intervals import RangeSet
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import workload_by_id
+
+from conftest import TEST_SCALE, build_small_library
+
+
+class TestKernelDetector:
+    def _run_with_detector(self, spec_id="pytorch/inference/mobilenetv2"):
+        spec = workload_by_id(spec_id)
+        fw = get_framework(spec.framework, scale=TEST_SCALE)
+        detector = KernelDetector()
+        metrics = WorkloadRunner(spec, fw, subscribers=(detector,)).run()
+        return detector, metrics
+
+    def test_detector_matches_ground_truth(self):
+        """The CUPTI hook rediscovers exactly the runtime's entry kernels."""
+        detector, metrics = self._run_with_detector()
+        assert detector.used_kernels() == metrics.used_kernels
+
+    def test_once_per_kernel(self):
+        detector, _ = self._run_with_detector()
+        assert detector.interceptions == detector.total_detected()
+
+    def test_detects_no_device_launched_kernels(self):
+        detector, _ = self._run_with_detector()
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        for soname, names in detector.used_kernels().items():
+            lib = fw.libraries[soname]
+            entry_names = set()
+            for element in lib.fatbin.elements():
+                entry_names.update(element.cubin.entry_kernel_names())
+            assert names <= entry_names
+
+    def test_overhead_proportional_to_distinct_kernels(self):
+        detector, metrics = self._run_with_detector()
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        base = WorkloadRunner(spec, fw).run()
+        per_kernel = detector.costs.detector_callback
+        expected = detector.total_detected() * per_kernel
+        overhead = metrics.execution_time_s - base.execution_time_s
+        # attach cost + per-kernel interceptions dominate the overhead
+        assert overhead == pytest.approx(
+            expected + detector.costs.cupti_attach, rel=0.05
+        )
+
+    def test_clear(self):
+        detector, _ = self._run_with_detector()
+        detector.clear()
+        assert detector.total_detected() == 0
+
+
+class TestNsys:
+    def test_nsys_sees_every_launch(self):
+        spec = workload_by_id("pytorch/train/mobilenetv2")
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        nsys = NsysTracer()
+        metrics = WorkloadRunner(spec, fw, subscribers=(nsys,)).run()
+        assert nsys.launch_records == metrics.counters["launches"]
+
+    def test_nsys_detection_equivalent(self):
+        """NSys *can* serve as a detector (timeline covers used kernels)."""
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        fw = get_framework(spec.framework, scale=TEST_SCALE)
+        nsys = NsysTracer()
+        metrics = WorkloadRunner(spec, fw, subscribers=(nsys,)).run()
+        assert nsys.used_kernels() == metrics.used_kernels
+
+    def test_nsys_costlier_than_detector(self):
+        spec = workload_by_id("pytorch/train/mobilenetv2")
+        fw = get_framework(spec.framework, scale=TEST_SCALE)
+        base = WorkloadRunner(spec, fw).run().execution_time_s
+        det = WorkloadRunner(
+            spec, fw, subscribers=(KernelDetector(),)
+        ).run().execution_time_s
+        nsys = WorkloadRunner(
+            spec, fw, subscribers=(NsysTracer(),)
+        ).run().execution_time_s
+        assert base < det < nsys
+
+    def test_top_kernels(self):
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        fw = get_framework(spec.framework, scale=TEST_SCALE)
+        nsys = NsysTracer()
+        WorkloadRunner(spec, fw, subscribers=(nsys,)).run()
+        top = nsys.top_kernels(5)
+        assert len(top) == 5
+        assert top[0][2] >= top[-1][2]
+
+
+class TestKernelLocator:
+    def test_decisions_cover_all_elements(self, small_library):
+        result = KernelLocator().locate(small_library, frozenset(), 75)
+        assert result.element_count == small_library.element_count
+
+    def test_arch_mismatch_reason(self, small_library):
+        result = KernelLocator().locate(small_library, frozenset({"k_0_0"}), 75)
+        reasons = {d.index: d.reason for d in result.decisions}
+        # archs are (70, 75): elements 1-2 are sm_70 -> Reason I.
+        assert reasons[1] is RemovalReason.ARCH_MISMATCH
+        assert reasons[2] is RemovalReason.ARCH_MISMATCH
+
+    def test_retention_criteria(self, small_library):
+        result = KernelLocator().locate(small_library, frozenset({"k_0_0"}), 75)
+        retained = [d.index for d in result.retained]
+        # Only the sm_75 replica of cubin 0 is retained (element index 3).
+        assert retained == [3]
+        removed_ii = result.removed_by_reason(RemovalReason.NO_USED_KERNELS)
+        assert [d.index for d in removed_ii] == [4]
+
+    def test_no_used_kernels_removes_all_matching(self, small_library):
+        result = KernelLocator().locate(small_library, frozenset(), 75)
+        assert not result.retained
+        assert len(result.removed_by_reason(RemovalReason.NO_USED_KERNELS)) == 2
+
+    def test_device_kernel_name_does_not_retain(self, small_library):
+        """Only CPU-launching (entry) kernels drive retention."""
+        result = KernelLocator().locate(small_library, frozenset({"k_0_3"}), 75)
+        assert not result.retained
+
+    def test_ranges_partition_elements(self, small_library):
+        used = frozenset({"k_0_0", "k_1_0"})
+        result = KernelLocator().locate(small_library, used, 75)
+        assert not (result.retain_ranges & result.remove_ranges)
+        total = result.retain_ranges.total() + result.remove_ranges.total()
+        assert total == sum(d.size for d in result.decisions)
+
+    def test_whole_element_retention_keeps_children(self, small_library):
+        """Retaining the element keeps the full call-graph closure."""
+        result = KernelLocator().locate(small_library, frozenset({"k_0_0"}), 75)
+        element = small_library.fatbin.element_by_index(result.retained[0].index)
+        closure = element.cubin.call_graph_closure([0])
+        for k in closure:
+            offset = element.payload_offset
+            assert result.retain_ranges.contains_offset(offset)
+
+    def test_clock_charged(self, small_library):
+        clock = VirtualClock()
+        KernelLocator().locate(small_library, frozenset(), 75, clock=clock)
+        assert clock.now > 0
+
+    def test_library_without_gpu(self):
+        lib = build_small_library(archs=())
+        result = KernelLocator().locate(lib, frozenset(), 75)
+        assert result.element_count == 0
+        assert not result.retain_ranges
+
+    def test_decision_invariant(self):
+        with pytest.raises(LocationError):
+            ElementDecision(1, 75, 10, 2, retained=True,
+                            reason=RemovalReason.ARCH_MISMATCH)
+
+    @settings(max_examples=30)
+    @given(st.sets(st.sampled_from(
+        [f"k_{c}_{j}" for c in range(2) for j in range(4)]
+    )))
+    def test_retained_iff_used_entry_property(self, used):
+        lib = build_small_library()
+        result = KernelLocator().locate(lib, frozenset(used), 75)
+        for d in result.decisions:
+            element = lib.fatbin.element_by_index(d.index)
+            entry = set(element.cubin.entry_kernel_names())
+            should_retain = d.sm_arch == 75 and bool(entry & used)
+            assert d.retained == should_retain
+
+
+class TestFunctionLocator:
+    def test_ranges_merge_consecutive(self, small_library):
+        result = FunctionLocator().locate(small_library, np.array([0, 1, 2, 5]))
+        assert len(result.retain_ranges) == 2  # [0..3) and [5..6) runs
+        assert result.used_bytes == 4 * 64
+
+    def test_partition_of_text(self, small_library):
+        result = FunctionLocator().locate(small_library, np.array([3, 7]))
+        text = small_library.text
+        union = result.retain_ranges | result.remove_ranges
+        assert union.total() == text.size
+        assert not (result.retain_ranges & result.remove_ranges)
+
+    def test_empty_usage_removes_all(self, small_library):
+        result = FunctionLocator().locate(
+            small_library, np.zeros(0, dtype=np.int64)
+        )
+        assert result.used_functions == 0
+        assert result.removed_bytes == small_library.cpu_code_size
+
+    def test_full_usage_removes_nothing(self, small_library):
+        result = FunctionLocator().locate(small_library, np.arange(12))
+        assert not result.remove_ranges
+        assert result.removed_functions == 0
+
+    def test_out_of_range_rejected(self, small_library):
+        with pytest.raises(LocationError):
+            FunctionLocator().locate(small_library, np.array([999]))
+
+    @settings(max_examples=30)
+    @given(st.sets(st.integers(0, 11)))
+    def test_bytes_accounting_property(self, used):
+        lib = build_small_library()
+        indices = np.array(sorted(used), dtype=np.int64)
+        result = FunctionLocator().locate(lib, indices)
+        assert result.used_bytes == len(used) * 64
+        assert result.retain_ranges.total() == result.used_bytes
+        assert result.remove_ranges.total() == (12 - len(used)) * 64

@@ -1,0 +1,305 @@
+"""CUDA simulator tests: clock, memory, CUPTI, driver, module loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cuda.arch import DEVICES, get_device
+from repro.cuda.clock import VirtualClock
+from repro.cuda.costs import CostModel
+from repro.cuda.cupti import CallbackInfo, CallbackSite, Cupti
+from repro.cuda.driver import CudaDriver, LoadingMode
+from repro.cuda.memory import MemoryMeter
+from repro.errors import (
+    ConfigurationError,
+    CudaArchMismatchError,
+    CudaError,
+    DoubleFreeError,
+    MissingKernelError,
+    OutOfMemoryError,
+)
+
+from conftest import build_small_library
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        c = VirtualClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_measure(self):
+        c = VirtualClock()
+        with c.measure() as elapsed:
+            c.advance(3.0)
+        assert elapsed() == 3.0
+
+
+class TestMemoryMeter:
+    def test_peak_tracking(self):
+        m = MemoryMeter("m")
+        a = m.allocate("x", 100)
+        b = m.allocate("x", 50)
+        m.free(a)
+        assert m.current == 50
+        assert m.peak == 150
+
+    def test_category_breakdown(self):
+        m = MemoryMeter("m")
+        m.allocate("code", 10)
+        m.allocate("data", 5)
+        assert m.by_category == {"code": 10, "data": 5}
+
+    def test_category_peaks(self):
+        m = MemoryMeter("m")
+        a = m.allocate("code", 10)
+        m.free(a)
+        m.allocate("code", 3)
+        assert m.peak_by_category["code"] == 10
+
+    def test_capacity_enforced(self):
+        m = MemoryMeter("m", capacity=100)
+        m.allocate("x", 90)
+        with pytest.raises(OutOfMemoryError):
+            m.allocate("x", 20)
+
+    def test_double_free(self):
+        m = MemoryMeter("m")
+        a = m.allocate("x", 1)
+        a.free()
+        with pytest.raises(DoubleFreeError):
+            a.free()
+
+    def test_foreign_allocation_rejected(self):
+        a = MemoryMeter("a").allocate("x", 1)
+        with pytest.raises(ValueError):
+            MemoryMeter("b").free(a)
+
+    def test_headroom(self):
+        m = MemoryMeter("m", capacity=10)
+        m.allocate("x", 4)
+        assert m.headroom() == 6
+        assert MemoryMeter("n").headroom() is None
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryMeter("m").allocate("x", -1)
+
+
+class _Recorder:
+    sites = frozenset({CallbackSite.CU_MODULE_GET_FUNCTION})
+
+    def __init__(self, cost=0.5):
+        self.cost = cost
+        self.events = []
+
+    def cost_per_event(self, site):
+        return self.cost
+
+    def on_event(self, info):
+        self.events.append(info)
+
+
+class TestCupti:
+    def test_dispatch_charges_cost(self):
+        clock = VirtualClock()
+        cupti = Cupti(clock, attach_cost=1.0)
+        rec = _Recorder(cost=0.25)
+        cupti.subscribe(rec)
+        assert clock.now == 1.0
+        cupti.emit(CallbackInfo(CallbackSite.CU_MODULE_GET_FUNCTION, count=4))
+        assert clock.now == 2.0
+        assert len(rec.events) == 1
+
+    def test_uninterested_site_free(self):
+        clock = VirtualClock()
+        cupti = Cupti(clock)
+        rec = _Recorder()
+        cupti.subscribe(rec)
+        cupti.emit(CallbackInfo(CallbackSite.CU_LAUNCH_KERNEL, count=100))
+        assert clock.now == 0.0
+        assert rec.events == []
+
+    def test_double_subscribe_rejected(self):
+        cupti = Cupti(VirtualClock())
+        rec = _Recorder()
+        cupti.subscribe(rec)
+        from repro.errors import DetectionError
+
+        with pytest.raises(DetectionError):
+            cupti.subscribe(rec)
+
+    def test_unsubscribe(self):
+        cupti = Cupti(VirtualClock())
+        rec = _Recorder()
+        cupti.subscribe(rec)
+        cupti.unsubscribe(rec)
+        cupti.emit(CallbackInfo(CallbackSite.CU_MODULE_GET_FUNCTION))
+        assert rec.events == []
+
+    def test_zero_count_ignored(self):
+        cupti = Cupti(VirtualClock())
+        rec = _Recorder()
+        cupti.subscribe(rec)
+        cupti.emit(CallbackInfo(CallbackSite.CU_MODULE_GET_FUNCTION, count=0))
+        assert rec.events == []
+
+
+class TestDevices:
+    def test_catalog_has_paper_devices(self):
+        assert get_device("t4").sm_arch == 75
+        assert get_device("a100-40gb").sm_arch == 80
+        assert get_device("h100").sm_arch == 90
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigurationError):
+            get_device("tpu-v5")
+
+    def test_memory_sizes_sane(self):
+        for device in DEVICES.values():
+            assert device.memory_bytes >= 16 << 30
+
+
+def make_driver(mode=LoadingMode.EAGER, device="t4"):
+    return CudaDriver(
+        device=get_device(device),
+        clock=VirtualClock(),
+        loading_mode=mode,
+    )
+
+
+class TestDriver:
+    def test_requires_init(self, small_library):
+        driver = make_driver()
+        with pytest.raises(CudaError):
+            driver.module_load(small_library)
+
+    def test_init_allocates_context(self):
+        driver = make_driver()
+        driver.init()
+        assert driver.device_memory.by_category["context"] > 0
+
+    def test_init_idempotent(self):
+        driver = make_driver()
+        driver.init()
+        now = driver.clock.now
+        driver.init()
+        assert driver.clock.now == now
+
+    def test_eager_loads_matching_elements(self, small_library):
+        driver = make_driver()
+        driver.init()
+        module = driver.module_load(small_library)
+        # archs (70, 75) x 2 cubins: T4 matches sm_75 -> 2 elements.
+        assert len(module.matching_elements) == 2
+        assert driver.counters.elements_loaded == 2
+        assert driver.gpu_code_resident_bytes() > 0
+
+    def test_lazy_defers_element_load(self, small_library):
+        driver = make_driver(mode=LoadingMode.LAZY)
+        driver.init()
+        module = driver.module_load(small_library)
+        assert driver.counters.elements_loaded == 0
+        driver.module_get_function(module, "k_0_0")
+        assert driver.counters.elements_loaded == 1
+
+    def test_module_load_cached(self, small_library):
+        driver = make_driver()
+        driver.init()
+        m1 = driver.module_load(small_library)
+        m2 = driver.module_load(small_library)
+        assert m1 is m2
+        assert driver.counters.modules_loaded == 1
+
+    def test_arch_mismatch_raises(self, small_library):
+        driver = make_driver(device="h100")  # sm_90 not in (70, 75)
+        driver.init()
+        with pytest.raises(CudaArchMismatchError):
+            driver.module_load(small_library)
+
+    def test_get_function_resolves_entry(self, small_library):
+        driver = make_driver()
+        driver.init()
+        module = driver.module_load(small_library)
+        handle = driver.module_get_function(module, "k_1_1")
+        assert handle.kernel_name == "k_1_1"
+
+    def test_get_function_missing_kernel(self, small_library):
+        driver = make_driver()
+        driver.init()
+        module = driver.module_load(small_library)
+        with pytest.raises(MissingKernelError):
+            driver.module_get_function(module, "nonexistent")
+
+    def test_device_only_kernel_not_resolvable(self, small_library):
+        """GPU-launching kernels never pass through cuModuleGetFunction."""
+        driver = make_driver()
+        driver.init()
+        module = driver.module_load(small_library)
+        # conftest cubins: last kernel is device-launched (edge 0 -> n-1).
+        with pytest.raises(MissingKernelError):
+            driver.module_get_function(module, "k_0_3")
+
+    def test_unique_kernel_counted_once(self, small_library):
+        driver = make_driver()
+        driver.init()
+        module = driver.module_load(small_library)
+        driver.module_get_function(module, "k_0_0")
+        driver.module_get_function(module, "k_0_0")
+        assert driver.counters.get_function_calls == 2
+        assert driver.counters.unique_kernels == 1
+
+    def test_launch_counts_and_duration(self, small_library):
+        driver = make_driver()
+        driver.init()
+        module = driver.module_load(small_library)
+        handle = driver.module_get_function(module, "k_0_0")
+        before = driver.clock.now
+        driver.launch_kernel(handle, count=1000, duration=2.0)
+        assert driver.counters.launches == 1000
+        assert driver.clock.now >= before + 2.0
+
+    def test_launch_unloaded_module_rejected(self, small_library):
+        driver = make_driver()
+        driver.init()
+        module = driver.module_load(small_library)
+        handle = driver.module_get_function(module, "k_0_0")
+        other = make_driver()
+        other.init()
+        with pytest.raises(CudaError):
+            other.launch_kernel(handle)
+
+    def test_memcpy_h2d(self):
+        driver = make_driver()
+        driver.init()
+        before = driver.clock.now
+        driver.memcpy_h2d("weights", 1 << 30)
+        assert driver.device_memory.by_category["weights"] == 1 << 30
+        assert driver.clock.now > before
+
+    def test_detector_overhead_constant_in_launches(self, small_library):
+        """The §3.1 property: detection cost independent of launch count."""
+        costs = CostModel()
+
+        def run(launches: int) -> float:
+            from repro.core.detect import KernelDetector
+
+            driver = make_driver()
+            detector = KernelDetector(costs)
+            driver.cupti.subscribe(detector)
+            driver.init()
+            module = driver.module_load(small_library)
+            handle = driver.module_get_function(module, "k_0_0")
+            start = driver.clock.now
+            driver.launch_kernel(handle, count=launches)
+            return driver.clock.now - start - launches * costs.kernel_launch
+
+        assert run(10) == pytest.approx(run(100_000))

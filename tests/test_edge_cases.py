@@ -1,0 +1,241 @@
+"""Edge-case coverage: inspection tools, generator internals, runtime
+corner paths, stats helpers, and error surfaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cuda.arch import get_device
+from repro.cuda.driver import CudaDriver, LoadingMode
+from repro.cuda.clock import VirtualClock
+from repro.errors import ConfigurationError
+from repro.frameworks.catalog import get_framework
+from repro.frameworks.genlib import _allocate_counts, _prefix
+from repro.frameworks.ops import OpInstance, OpKind, Phase
+from repro.frameworks.runtime import FrameworkRuntime
+from repro.tools.inspect import describe_library, kernel_listing, readelf_sections
+from repro.utils.stats import ascii_violin, histogram
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import workload_by_id
+
+from conftest import TEST_SCALE, build_small_library
+
+
+class TestInspectTools:
+    def test_describe_contains_metrics(self, small_library):
+        out = describe_library(small_library, verbose=True)
+        assert "file size" in out
+        assert "functions" in out
+        assert "sm_70, sm_75" in out
+        assert "ELF file 1:" in out
+
+    def test_describe_without_gpu(self):
+        lib = build_small_library(archs=())
+        out = describe_library(lib)
+        assert "architectures" not in out
+
+    def test_readelf_lists_all_sections(self, small_library):
+        out = readelf_sections(small_library)
+        for name in (".text", ".nv_fatbin", ".symtab", ".strtab", ".shstrtab"):
+            assert name in out
+        assert "AX" in out  # .text flags
+
+    def test_kernel_listing_limit(self, small_library):
+        lines = kernel_listing(small_library, limit=2).splitlines()
+        assert len(lines) == 2
+        assert "entry" in lines[0]
+
+
+class TestGenlibInternals:
+    def test_prefix_strips_lib_and_suffix(self):
+        assert _prefix("libtorch_cuda.so") == "torch_cuda"
+        assert _prefix("libcudnn.so.8") == "cudnn"
+        assert _prefix("_raylet.so") == "_raylet"
+        assert _prefix("tokenizers.abi3.so") == "tokenizers_abi3"
+
+    def test_allocate_counts_conserves_total(self):
+        counts = _allocate_counts(100, [3.0, 1.0, 1.0])
+        assert sum(counts) == 100
+        assert counts[0] > counts[1]
+
+    def test_allocate_counts_minimum_one(self):
+        counts = _allocate_counts(3, [100.0, 0.001, 0.001])
+        assert all(c >= 1 for c in counts)
+        assert sum(counts) == 3
+
+    def test_allocate_counts_empty(self):
+        assert _allocate_counts(0, [1.0]) == [0]
+        assert _allocate_counts(10, []) == []
+
+    @given(st.integers(1, 200),
+           st.lists(st.floats(0.1, 10), min_size=1, max_size=8))
+    def test_allocate_counts_property(self, total, weights):
+        if total < len(weights):
+            return
+        counts = _allocate_counts(total, weights)
+        assert sum(counts) == total
+        assert all(c >= 1 for c in counts)
+
+    def test_scale_changes_counts_not_bytes(self):
+        from repro.frameworks.catalog import pytorch_spec
+        from repro.frameworks.genlib import generate_library
+
+        spec = pytorch_spec().library("libcublas.so.12")
+        small = generate_library(spec, "x", scale=0.02)
+        big = generate_library(spec, "x", scale=0.1)
+        assert big.function_count > small.function_count
+        assert big.cpu_code_size == small.cpu_code_size == spec.text_bytes
+
+
+class TestRuntimeEdgeCases:
+    def _runtime(self, mode=LoadingMode.EAGER, features=frozenset({"text"})):
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        rt = FrameworkRuntime(
+            framework=fw, devices=(get_device("t4"),), loading_mode=mode
+        )
+        rt.boot(features)
+        return rt
+
+    def test_no_devices_rejected(self):
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        with pytest.raises(ConfigurationError):
+            FrameworkRuntime(framework=fw, devices=())
+
+    def test_run_op_before_boot_rejected(self):
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        rt = FrameworkRuntime(framework=fw, devices=(get_device("t4"),))
+        with pytest.raises(ConfigurationError):
+            rt.run_op(OpInstance(OpKind.GEMM, "m"), Phase.FORWARD, 1)
+
+    def test_lazy_boot_loads_no_elements(self):
+        rt = self._runtime(mode=LoadingMode.LAZY)
+        assert rt.drivers[0].counters.elements_loaded == 0
+        rt.run_op(OpInstance(OpKind.GEMM, "m512"), Phase.FORWARD, 8)
+        assert rt.drivers[0].counters.elements_loaded > 0
+
+    def test_eager_boot_loads_matching_elements(self):
+        rt = self._runtime(mode=LoadingMode.EAGER)
+        loaded = rt.drivers[0].counters.elements_loaded
+        total_matching = sum(
+            len(m.matching_elements) for m in rt.modules[0].values()
+        )
+        assert loaded == total_matching > 0
+
+    def test_optimizer_phase_falls_back_to_any_route(self):
+        rt = self._runtime()
+        op = OpInstance(OpKind.OPTIMIZER, "adam")
+        resolved = rt.run_op(op, Phase.OPTIMIZER, 8)
+        assert resolved.soname == "libtorch_cuda.so"
+
+    def test_peak_helpers(self):
+        rt = self._runtime()
+        assert rt.peak_host_bytes() > 0
+        assert rt.peak_device_bytes() > 0
+
+    def test_overrides_substitute_library(self):
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        original = fw.libraries["libtorch_cuda.so"]
+        replacement = original.copy()
+        replacement.tags["removed_bytes_total"] = 12345
+        rt = FrameworkRuntime(framework=fw, devices=(get_device("t4"),))
+        rt.boot(frozenset({"text"}),
+                overrides={"libtorch_cuda.so": replacement})
+        loaded = rt.process.require("libtorch_cuda.so")
+        assert loaded.lib is replacement
+
+
+class TestWorkloadVariants:
+    def test_h100_lazy_runs(self):
+        spec = workload_by_id("transformers/inference/llama2-7b").variant(
+            device_name="h100", loading_mode=LoadingMode.LAZY
+        )
+        fw = get_framework("transformers", scale=TEST_SCALE)
+        m = WorkloadRunner(spec, fw).run()
+        assert m.peak_gpu_mem_bytes < 96 << 30
+
+    def test_vllm_pool_fills_device_fraction(self):
+        spec = workload_by_id("vllm/inference/llama2-7b")
+        fw = get_framework("vllm", scale=TEST_SCALE)
+        m = WorkloadRunner(spec, fw).run()
+        t4 = get_device("t4")
+        assert m.peak_gpu_mem_bytes == pytest.approx(
+            0.9 * t4.memory_bytes, rel=0.02
+        )
+
+    def test_tf_pool_dominates_gpu_peak(self):
+        spec = workload_by_id("tensorflow/inference/mobilenetv2")
+        fw = get_framework("tensorflow", scale=TEST_SCALE)
+        m = WorkloadRunner(spec, fw).run()
+        t4 = get_device("t4")
+        assert m.peak_gpu_mem_bytes > 0.8 * t4.memory_bytes
+
+    def test_larger_batch_uses_more_gpu_memory(self):
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        small = WorkloadRunner(
+            workload_by_id("pytorch/train/mobilenetv2").variant(batch_size=8),
+            fw).run()
+        large = WorkloadRunner(
+            workload_by_id("pytorch/train/mobilenetv2").variant(batch_size=64),
+            fw).run()
+        assert large.peak_gpu_mem_bytes > small.peak_gpu_mem_bytes
+
+    def test_distinct_devices_distinct_used_elements(self):
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        base = workload_by_id("pytorch/inference/mobilenetv2")
+        t4 = WorkloadRunner(base, fw).run()
+        v100 = WorkloadRunner(base.variant(device_name="v100"), fw).run()
+        # Same kernels by name; different elements loaded per architecture.
+        assert t4.used_kernels == v100.used_kernels
+        assert t4.counters["elements_loaded"] != v100.counters[
+            "elements_loaded"
+        ] or t4.peak_gpu_mem_bytes != v100.peak_gpu_mem_bytes
+
+
+class TestStatsEdges:
+    def test_histogram_range(self):
+        edges, counts = histogram([5, 5, 95], bins=10)
+        assert counts.sum() == 3
+        assert counts[0] == 2 and counts[-1] == 1
+
+    def test_ascii_violin_empty(self):
+        lines = ascii_violin([], bins=5)
+        assert len(lines) == 5
+        assert all(line.endswith("|") for line in lines)
+
+    def test_ascii_violin_peak_width(self):
+        lines = ascii_violin([50] * 100, width=20, bins=10)
+        assert any("#" * 20 in line for line in lines)
+
+
+class TestDriverLazyHostAccounting:
+    def test_lazy_element_load_charges_host(self, small_library):
+        from repro.cuda.memory import MemoryMeter
+
+        host = MemoryMeter("host")
+        driver = CudaDriver(
+            device=get_device("t4"),
+            clock=VirtualClock(),
+            host_memory=host,
+            loading_mode=LoadingMode.LAZY,
+        )
+        driver.init()
+        module = driver.module_load(small_library)
+        assert host.current == 0
+        driver.module_get_function(module, "k_0_0")
+        assert host.by_category.get("fatbin_touched", 0) > 0
+
+    def test_eager_element_load_skips_host(self, small_library):
+        from repro.cuda.memory import MemoryMeter
+
+        host = MemoryMeter("host")
+        driver = CudaDriver(
+            device=get_device("t4"),
+            clock=VirtualClock(),
+            host_memory=host,
+            loading_mode=LoadingMode.EAGER,
+        )
+        driver.init()
+        driver.module_load(small_library)
+        assert host.by_category.get("fatbin_touched", 0) == 0

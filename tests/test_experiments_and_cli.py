@@ -1,0 +1,143 @@
+"""Experiment harness and CLI tests.
+
+Experiments run at the tiny test scale: we assert each produces its table
+and that the *structural* paper-shape checks hold (a few checks are
+scale-sensitive and only asserted at the default/benchmark scale; see
+benchmarks/).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import common as excommon
+from repro.experiments.cli import main as experiments_main
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.tools.cli import main as tool_main
+from repro.workloads.spec import workload_by_id
+
+from conftest import TEST_SCALE
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _warm_cache():
+    """Experiments share the report cache; warm it once per module."""
+    yield
+
+
+class TestHarness:
+    def test_report_cached(self):
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        a = excommon.report_for(spec, TEST_SCALE)
+        b = excommon.report_for(spec, TEST_SCALE)
+        assert a is b
+
+    def test_cell_formats(self):
+        assert excommon.cell_mb(100 << 20, 45 << 20) == "100 (55)"
+        assert excommon.cell_count(616_000, 43_000) == "616K (93)"
+
+    def test_shape_check_strings(self):
+        assert excommon.shape_check("x", True).startswith("[PASS]")
+        assert excommon.shape_check("x", False).startswith("[DEVIATION]")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("table99")
+
+
+class TestExperimentOutputs:
+    def test_registry_complete(self):
+        expected = {
+            "fig1", "table1", "table2", "table3", "table4", "table5",
+            "fig5", "fig6", "fig7", "table6", "table7", "table8",
+            "sec46", "sec5_used_bloat", "table9", "table10", "ablation_granularity",
+            "ablation_arch", "ablation_detector_scaling",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    @pytest.mark.parametrize("eid", ["fig1", "table1"])
+    def test_cheap_experiments_render(self, eid):
+        out = run_experiment(eid, scale=TEST_SCALE)
+        assert EXPERIMENTS[eid].TITLE.split(":")[0] in out
+
+    def test_table2_checks_pass_at_test_scale(self):
+        out = run_experiment("table2", scale=TEST_SCALE)
+        assert "MobileNetV2" in out
+        assert "[PASS] GPU code is more bloated than CPU code" in out
+
+    def test_fig7_reason_i_dominates(self):
+        out = run_experiment("fig7", scale=TEST_SCALE)
+        assert "[PASS] Reason I" in out
+
+    def test_table5_runs(self):
+        out = run_experiment("table5", scale=TEST_SCALE)
+        assert "Average absolute reduction" in out
+
+    def test_sec46_detector_beats_nsys(self):
+        out = run_experiment("sec46", scale=TEST_SCALE)
+        assert "[PASS] Detector overhead well below NSys" in out
+
+    def test_ablation_granularity(self):
+        out = run_experiment("ablation_granularity", scale=TEST_SCALE)
+        assert "[PASS] Exact-kernel retention breaks" in out
+
+    def test_ablation_arch(self):
+        out = run_experiment("ablation_arch", scale=TEST_SCALE)
+        assert "[PASS] Single-arch build eliminates Reason I" in out
+
+    def test_table6_modes_agree(self):
+        out = run_experiment("table6", scale=TEST_SCALE)
+        assert "size reductions identical across loading modes" in out
+
+    def test_table7_lazy_collapse(self):
+        out = run_experiment("table7", scale=TEST_SCALE)
+        assert "[PASS] vllm: CPU-memory savings collapse under lazy loading" in out
+
+
+class TestExperimentsCli:
+    def test_list(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig7" in out
+
+    def test_run_single(self, capsys, tmp_path):
+        target = tmp_path / "out.txt"
+        code = experiments_main(
+            ["table1", "--scale", str(TEST_SCALE), "-o", str(target)]
+        )
+        assert code == 0
+        assert "MobileNetV2" in target.read_text()
+
+
+class TestToolCli:
+    def test_workloads(self, capsys):
+        assert tool_main(["workloads"]) == 0
+        assert "pytorch/train/mobilenetv2" in capsys.readouterr().out
+
+    def test_inspect(self, capsys):
+        code = tool_main(
+            ["--scale", str(TEST_SCALE), "inspect", "pytorch",
+             "libtorch_cuda.so", "--sections", "--kernels"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GPU code (.nv_fatbin)" in out
+        assert ".symtab" in out
+        assert "sm_75" in out
+
+    def test_inspect_unknown_library(self, capsys):
+        code = tool_main(
+            ["--scale", str(TEST_SCALE), "inspect", "pytorch", "nope.so"]
+        )
+        assert code == 1
+
+    def test_debloat(self, capsys):
+        code = tool_main(
+            ["--scale", str(TEST_SCALE), "debloat",
+             "pytorch/inference/mobilenetv2", "--top", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verification: verified" in out
+        assert "reduction) across 111 libraries" in out

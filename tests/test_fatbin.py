@@ -1,0 +1,247 @@
+"""Fatbin container tests: headers, cubins, call graphs, parser, cuobjdump."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, CubinFormatError, FatbinFormatError
+from repro.fatbin import constants as FC
+from repro.fatbin.builder import FatbinBuilder
+from repro.fatbin.cubin import Cubin, KernelFlags
+from repro.fatbin.cuobjdump import (
+    extract_cubins,
+    find_kernel,
+    kernel_inventory,
+    list_fatbin_elements,
+    total_gpu_code_bytes,
+)
+from repro.fatbin.parser import parse_fatbin
+from repro.fatbin.structs import ElementHeader, RegionHeader
+from repro.utils.sparsefile import SparseFile
+
+from conftest import build_small_library
+
+
+def make_cubin(n=5, entries=2, edges=((0, 3), (1, 4))):
+    mask = np.zeros(n, dtype=bool)
+    mask[:entries] = True
+    return Cubin.build(
+        names=[f"k{i}" for i in range(n)],
+        code_sizes=np.full(n, 100, dtype=np.int64),
+        entry_mask=mask,
+        launch_edges=list(edges),
+    )
+
+
+class TestHeaders:
+    def test_region_roundtrip(self):
+        hdr = RegionHeader(body_size=4096)
+        assert RegionHeader.unpack(hdr.pack()) == hdr
+
+    def test_region_magic_checked(self):
+        raw = bytearray(RegionHeader().pack())
+        raw[0] ^= 0xFF
+        with pytest.raises(FatbinFormatError):
+            RegionHeader.unpack(bytes(raw))
+
+    def test_element_roundtrip(self):
+        hdr = ElementHeader(sm_arch=80, payload_size=100, padded_payload_size=104)
+        assert ElementHeader.unpack(hdr.pack()) == hdr
+
+    def test_element_kind_checked(self):
+        hdr = ElementHeader(kind=99, payload_size=8, padded_payload_size=8)
+        with pytest.raises(FatbinFormatError):
+            ElementHeader.unpack(hdr.pack())
+
+    def test_element_padding_invariant(self):
+        hdr = ElementHeader(payload_size=100, padded_payload_size=96)
+        with pytest.raises(FatbinFormatError):
+            ElementHeader.unpack(hdr.pack())
+
+    def test_pad_to(self):
+        assert FC.pad_to(5) == 8
+        assert FC.pad_to(8) == 8
+        assert FC.pad_to(0) == 0
+
+
+class TestCubin:
+    def test_build_counts(self):
+        cubin = make_cubin()
+        assert len(cubin) == 5
+        assert cubin.code_size == 500
+        assert cubin.entry_kernel_names() == ["k0", "k1"]
+
+    def test_device_flags_from_edges(self):
+        cubin = make_cubin()
+        assert set(cubin.device_only_names()) == {"k3", "k4"}
+
+    def test_launches(self):
+        cubin = make_cubin()
+        assert list(cubin.launches(0)) == [3]
+        assert list(cubin.launches(2)) == []
+
+    def test_call_graph_closure(self):
+        cubin = make_cubin(edges=((0, 3), (3, 4)))
+        assert cubin.call_graph_closure([0]) == {0, 3, 4}
+
+    def test_closure_handles_cycles(self):
+        cubin = make_cubin(edges=((0, 3), (3, 0)))
+        assert cubin.call_graph_closure([0]) == {0, 3}
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_cubin(edges=((0, 99),))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Cubin.build(["a"], np.array([1, 2]), np.array([True]))
+
+    def test_serialize_parse_roundtrip(self):
+        cubin = make_cubin()
+        out = SparseFile(0)
+        size = cubin.serialize_into(out, 0)
+        assert size == cubin.serialized_size()
+        parsed = Cubin.parse(out, 0, size)
+        assert parsed.names == cubin.names
+        assert np.array_equal(parsed.edges, cubin.edges)
+        assert parsed.entry_kernel_names() == cubin.entry_kernel_names()
+
+    def test_code_area_stays_sparse(self):
+        cubin = make_cubin()
+        out = SparseFile(0)
+        size = cubin.serialize_into(out, 0)
+        assert out.materialized_size < size - cubin.code_size + 64
+
+    def test_parse_bad_magic(self):
+        out = SparseFile(64)
+        with pytest.raises(CubinFormatError):
+            Cubin.parse(out, 0, 64)
+
+    def test_flags_enum(self):
+        assert KernelFlags.ENTRY | KernelFlags.DEVICE == 3
+
+    @settings(max_examples=50)
+    @given(st.integers(1, 30), st.integers(0, 20))
+    def test_roundtrip_property(self, n, n_edges):
+        entries = max(1, n // 2)
+        rng = np.random.default_rng(n * 31 + n_edges)
+        edges = [
+            (int(rng.integers(0, entries)), int(rng.integers(0, n)))
+            for _ in range(n_edges)
+        ]
+        mask = np.zeros(n, dtype=bool)
+        mask[:entries] = True
+        cubin = Cubin.build(
+            [f"k{i}" for i in range(n)],
+            rng.integers(32, 512, size=n).astype(np.int64),
+            mask,
+            edges,
+        )
+        out = SparseFile(0)
+        size = cubin.serialize_into(out, 128)
+        parsed = Cubin.parse(out, 128, size)
+        assert parsed.names == cubin.names
+        assert np.array_equal(parsed.table["code_size"], cubin.table["code_size"])
+
+
+class TestBuilderParser:
+    def _image(self, archs=(70, 75), cubins=2):
+        fb = FatbinBuilder()
+        for arch in archs:
+            region = fb.add_region()
+            for _ in range(cubins):
+                region.add_element(make_cubin(), sm_arch=arch)
+        payload = fb.build()
+        return parse_fatbin(payload.copy()), payload
+
+    def test_element_indices_one_based_global(self):
+        image, _ = self._image()
+        assert [e.index for e in image.elements()] == [1, 2, 3, 4]
+
+    def test_architectures(self):
+        image, _ = self._image(archs=(90, 75))
+        assert image.architectures() == [75, 90]
+
+    def test_element_by_index(self):
+        image, _ = self._image()
+        assert image.element_by_index(3).sm_arch == 75
+        with pytest.raises(FatbinFormatError):
+            image.element_by_index(99)
+
+    def test_element_ranges_disjoint_and_in_bounds(self):
+        image, payload = self._image()
+        prev_end = 0
+        for element in image.elements():
+            rng = element.file_range
+            assert rng.start >= prev_end
+            assert rng.stop <= payload.logical_size
+            prev_end = rng.stop
+
+    def test_empty_region_rejected(self):
+        fb = FatbinBuilder()
+        fb.add_region()
+        with pytest.raises(ConfigurationError):
+            fb.build()
+
+    def test_invalid_arch_rejected(self):
+        fb = FatbinBuilder()
+        with pytest.raises(ConfigurationError):
+            fb.add_region().add_element(make_cubin(), sm_arch=0)
+
+    def test_truncated_fatbin_rejected(self):
+        _, payload = self._image()
+        truncated = SparseFile.from_bytes(payload.to_bytes()[:40])
+        with pytest.raises(FatbinFormatError):
+            parse_fatbin(truncated)
+
+    def test_parse_with_base_offset(self):
+        _, payload = self._image()
+        shifted = SparseFile(payload.logical_size + 512)
+        for extent in payload.extents():
+            shifted.write(512 + extent.start,
+                          payload.read(extent.start, len(extent)))
+        image = parse_fatbin(shifted, base_offset=512,
+                             size=payload.logical_size)
+        assert image.element_count() == 4
+        assert image.elements()[0].header_offset >= 512
+
+    def test_cubin_lazy_parse(self):
+        image, _ = self._image()
+        element = image.elements()[0]
+        assert element.cubin.kernel_names() == [f"k{i}" for i in range(5)]
+
+
+class TestCuobjdump:
+    def test_extract_matches_elements(self, small_library):
+        cubins = extract_cubins(small_library)
+        assert len(cubins) == small_library.element_count
+        assert cubins[0].index == 1
+        assert all("k_" in name for c in cubins for name in c.kernel_names)
+
+    def test_extract_filename_convention(self, small_library):
+        c = extract_cubins(small_library)[0]
+        assert c.filename == f"extracted.1.sm_{c.sm_arch}.cubin"
+
+    def test_listing(self, small_library):
+        lines = list_fatbin_elements(small_library)
+        assert len(lines) == small_library.element_count
+        assert lines[0].startswith("ELF file 1:")
+
+    def test_find_kernel(self, small_library):
+        hits = find_kernel(small_library, "k_0_0")
+        # Present in cubin 0 of every architecture.
+        assert len(hits) == 2
+
+    def test_inventory(self, small_library):
+        inv = kernel_inventory(small_library)
+        assert len(inv["k_0_0"]) == 2
+
+    def test_total_bytes_within_section(self, small_library):
+        assert total_gpu_code_bytes(small_library) <= small_library.gpu_code_size
+
+    def test_no_gpu_library(self):
+        lib = build_small_library(archs=())
+        assert extract_cubins(lib) == []
+        assert total_gpu_code_bytes(lib) == 0

@@ -1,0 +1,152 @@
+"""Integration: the paper's headline quantitative shapes must hold.
+
+These assertions encode the calibrated bands (paper value, generous
+tolerance) for the reproduction's key results.  They are the regression
+fence around everything the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.debloat import Debloater
+from repro.frameworks.catalog import get_framework
+from repro.utils.units import MB
+from repro.workloads.spec import workload_by_id
+
+from conftest import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def train_report():
+    fw = get_framework("pytorch", scale=TEST_SCALE)
+    return Debloater(fw).debloat(workload_by_id("pytorch/train/mobilenetv2"))
+
+
+#: Scale for count-magnitude checks: at very small scales per-kind cubin
+#: floors dominate counts, so these run at the default experiment scale.
+COUNT_SCALE = 0.125
+
+
+@pytest.fixture(scope="module")
+def train_report_default():
+    fw = get_framework("pytorch", scale=COUNT_SCALE)
+    return Debloater(fw).debloat(workload_by_id("pytorch/train/mobilenetv2"))
+
+
+class TestTable2Shape:
+    """PyTorch/Train/MobileNetV2 row: 113 libs, 3,762 MB (55%), CPU 557 MB
+    (68%), 616K fns (93%), GPU 2,279 MB (75%), 14,062 elements (98%)."""
+
+    def test_library_count_exact(self, train_report):
+        assert train_report.n_libraries == 113
+
+    def test_total_file_size_band(self, train_report):
+        assert train_report.total_file_size / MB == pytest.approx(3762, rel=0.15)
+
+    def test_file_reduction_band(self, train_report):
+        assert 45 <= train_report.file_reduction_pct <= 70
+
+    def test_cpu_size_band(self, train_report):
+        assert train_report.total_cpu_size / MB == pytest.approx(557, rel=0.25)
+
+    def test_cpu_reduction_band(self, train_report):
+        assert 55 <= train_report.cpu_reduction_pct <= 90
+
+    def test_function_reduction_band(self, train_report):
+        assert 80 <= train_report.function_reduction_pct <= 97
+
+    def test_gpu_size_band(self, train_report):
+        assert train_report.total_gpu_size / MB == pytest.approx(2279, rel=0.15)
+
+    def test_gpu_reduction_band(self, train_report):
+        assert 65 <= train_report.gpu_reduction_pct <= 92
+
+    def test_element_count_paper_magnitude(self, train_report_default):
+        # 14,062 elements at scale 1; counts scale linearly above the
+        # per-kind cubin floor.
+        assert train_report_default.total_elements / COUNT_SCALE == (
+            pytest.approx(14_062, rel=0.15)
+        )
+
+    def test_element_reduction_band(self, train_report_default):
+        assert train_report_default.element_reduction_pct >= 95
+
+    def test_element_reduction_band_tiny_scale(self, train_report):
+        # Retention floors bite harder at 2% scale; still >90%.
+        assert train_report.element_reduction_pct >= 90
+
+    def test_gpu_more_bloated_than_cpu(self, train_report):
+        assert train_report.gpu_reduction_pct >= (
+            train_report.cpu_reduction_pct - 15
+        )
+
+
+class TestTable3Shape:
+    """libtorch_cuda.so: 841 MB (76%), CPU 42 MB (91%), GPU 729 MB (82%),
+    2,324 elements (98%)."""
+
+    def test_core_library_row(self, train_report):
+        core = train_report.library("libtorch_cuda.so")
+        assert core.file_size / MB == pytest.approx(841, rel=0.05)
+        assert core.cpu_size / MB == pytest.approx(42, rel=0.05)
+        assert core.gpu_size / MB == pytest.approx(729, rel=0.10)
+        assert 60 <= core.file_reduction_pct <= 90
+        assert 80 <= core.cpu_reduction_pct <= 98
+        assert 70 <= core.gpu_reduction_pct <= 95
+
+    def test_core_library_element_magnitude(self, train_report_default):
+        core = train_report_default.library("libtorch_cuda.so")
+        assert core.n_elements / COUNT_SCALE == pytest.approx(2324, rel=0.1)
+
+
+class TestFig7Shape:
+    def test_reason_i_band(self, train_report):
+        shares = train_report.removal_reason_shares()
+        from repro.core.locate import RemovalReason
+
+        assert 78 <= shares[RemovalReason.ARCH_MISMATCH] <= 95
+
+
+class TestTable5Shape:
+    def test_runtime_improvements(self, train_report):
+        base, after = train_report.baseline, train_report.debloated_run
+        # Training: small relative time gain (paper 2.3%).
+        time_red = 1 - after.execution_time_s / base.execution_time_s
+        assert 0.005 <= time_red <= 0.12
+        # CPU memory: large gain (paper 64.2%).
+        cpu_red = 1 - after.peak_cpu_mem_bytes / base.peak_cpu_mem_bytes
+        assert cpu_red >= 0.25
+        # GPU memory: material gain for PyTorch (paper 48.1%).
+        gpu_red = 1 - after.peak_gpu_mem_bytes / base.peak_gpu_mem_bytes
+        assert gpu_red >= 0.15
+
+    def test_baseline_magnitudes(self, train_report):
+        base = train_report.baseline
+        assert base.execution_time_s == pytest.approx(179, rel=0.35)
+        assert base.peak_cpu_mem_mb == pytest.approx(5487, rel=0.35)
+        assert base.peak_gpu_mem_mb == pytest.approx(1539, rel=0.35)
+
+
+class TestCrossFramework:
+    def test_tensorflow_used_bloat(self):
+        fw = get_framework("tensorflow", scale=TEST_SCALE)
+        report = Debloater(fw).debloat(
+            workload_by_id("tensorflow/inference/mobilenetv2")
+        )
+        tf_core = report.library("libtensorflow_cc.so.2")
+        # Paper: only ~52% of tf_cc functions removable vs ~93 for torch.
+        assert tf_core.function_reduction_pct <= 70
+        assert report.verification.ok
+
+    def test_every_table1_workload_verifies(self):
+        from repro.workloads.spec import TABLE1_WORKLOADS
+        from repro.core.debloat import DebloatOptions
+
+        for spec in TABLE1_WORKLOADS:
+            fw = get_framework(spec.framework, scale=TEST_SCALE)
+            report = Debloater(
+                fw, DebloatOptions(runtime_comparison_top_n=0)
+            ).debloat(spec)
+            assert report.verification is not None
+            assert report.verification.ok, spec.workload_id

@@ -1,0 +1,113 @@
+"""Report aggregation and JSON-export tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.debloat import Debloater
+from repro.core.export import library_to_dict, report_to_dict, report_to_json
+from repro.core.report import DebloatTiming, LibraryReduction
+from repro.frameworks.catalog import get_framework
+from repro.workloads.spec import workload_by_id
+
+from conftest import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def report():
+    fw = get_framework("pytorch", scale=TEST_SCALE)
+    return Debloater(fw).debloat(workload_by_id("pytorch/inference/mobilenetv2"))
+
+
+class TestLibraryReduction:
+    def _row(self):
+        return LibraryReduction(
+            soname="x.so", file_size=1000, cpu_size=400, n_functions=10,
+            gpu_size=500, n_elements=6, file_size_after=300,
+            cpu_size_after=100, n_functions_after=2, gpu_size_after=100,
+            n_elements_after=1,
+        )
+
+    def test_reduction_percentages(self):
+        row = self._row()
+        assert row.file_reduction_pct == 70.0
+        assert row.cpu_reduction_pct == 75.0
+        assert row.function_reduction_pct == 80.0
+        assert row.gpu_reduction_pct == 80.0
+        assert row.element_reduction_pct == pytest.approx(83.333, rel=1e-3)
+        assert row.file_reduction_bytes == 700
+        assert row.has_gpu_code
+
+    def test_zero_divisions_safe(self):
+        row = LibraryReduction(
+            soname="x.so", file_size=0, cpu_size=0, n_functions=0,
+            gpu_size=0, n_elements=0, file_size_after=0, cpu_size_after=0,
+            n_functions_after=0, gpu_size_after=0, n_elements_after=0,
+        )
+        assert row.file_reduction_pct == 0.0
+        assert not row.has_gpu_code
+
+
+class TestWorkloadReportAggregates:
+    def test_totals_sum_rows(self, report):
+        assert report.total_file_size == sum(
+            lib.file_size for lib in report.libraries
+        )
+        assert report.total_elements_after == sum(
+            lib.n_elements_after for lib in report.libraries
+        )
+
+    def test_library_lookup(self, report):
+        assert report.library("libtorch_cuda.so").soname == "libtorch_cuda.so"
+        with pytest.raises(KeyError):
+            report.library("nope.so")
+
+    def test_top_by_file_reduction_ordered(self, report):
+        top = report.top_by_file_reduction(5)
+        values = [lib.file_reduction_bytes for lib in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_largest_library(self, report):
+        assert report.largest_library().soname == "libtorch_cuda.so"
+
+    def test_element_decisions_count(self, report):
+        assert len(report.element_decisions()) == report.total_elements
+
+    def test_timing_total(self):
+        t = DebloatTiming(1.0, 2.0, 3.0, 4.0)
+        assert t.total_s == 10.0
+
+
+class TestJsonExport:
+    def test_roundtrips_through_json(self, report):
+        payload = json.loads(report_to_json(report))
+        assert payload["workload_id"] == "pytorch/inference/mobilenetv2"
+        assert payload["n_libraries"] == 111
+        assert payload["verification"]["ok"] is True
+        assert len(payload["libraries"]) == 111
+
+    def test_totals_consistent(self, report):
+        payload = report_to_dict(report)
+        assert payload["totals"]["file_size"] == report.total_file_size
+        assert payload["totals"]["file_reduction_pct"] == pytest.approx(
+            report.file_reduction_pct, abs=0.01
+        )
+
+    def test_reason_shares_sum(self, report):
+        payload = report_to_dict(report)
+        assert sum(payload["removal_reasons_pct"].values()) == pytest.approx(
+            100.0, abs=0.1
+        )
+
+    def test_runtime_block(self, report):
+        payload = report_to_dict(report)
+        base, after = payload["runtime"]["execution_time_s"]
+        assert after < base
+
+    def test_library_dict_fields(self, report):
+        row = library_to_dict(report.library("libtorch_cuda.so"))
+        assert row["soname"] == "libtorch_cuda.so"
+        assert row["elements"] > row["elements_after"]
+        assert 0 <= row["gpu_reduction_pct"] <= 100

@@ -1,0 +1,193 @@
+"""Unit + property tests for the interval algebra (the tool's core currency)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.intervals import Range, RangeSet
+
+
+def ranges_strategy(max_val: int = 200, max_count: int = 8):
+    pair = st.tuples(
+        st.integers(0, max_val), st.integers(0, max_val)
+    ).map(lambda ab: (min(ab), max(ab)))
+    return st.lists(pair, max_size=max_count).map(RangeSet)
+
+
+class TestRange:
+    def test_length(self):
+        assert len(Range(3, 10)) == 7
+
+    def test_empty_allowed(self):
+        assert len(Range(5, 5)) == 0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Range(-1, 4)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Range(6, 2)
+
+    def test_contains(self):
+        r = Range(2, 5)
+        assert 2 in r and 4 in r
+        assert 5 not in r and 1 not in r
+
+    def test_overlaps(self):
+        assert Range(0, 5).overlaps(Range(4, 9))
+        assert not Range(0, 5).overlaps(Range(5, 9))
+
+    def test_touches_adjacent(self):
+        assert Range(0, 5).touches(Range(5, 9))
+
+    def test_intersect(self):
+        assert Range(0, 5).intersect(Range(3, 9)) == Range(3, 5)
+        assert Range(0, 3).intersect(Range(4, 9)) is None
+
+    def test_shift(self):
+        assert Range(1, 4).shift(10) == Range(11, 14)
+
+    def test_ordering(self):
+        assert Range(1, 5) < Range(2, 3)
+
+
+class TestRangeSetConstruction:
+    def test_empty(self):
+        assert not RangeSet.empty()
+        assert RangeSet.empty().total() == 0
+
+    def test_drops_empty_ranges(self):
+        assert len(RangeSet([(3, 3), (5, 5)])) == 0
+
+    def test_merges_overlapping(self):
+        rs = RangeSet([(0, 5), (3, 8)])
+        assert rs.ranges == (Range(0, 8),)
+
+    def test_merges_adjacent(self):
+        rs = RangeSet([(0, 5), (5, 8)])
+        assert rs.ranges == (Range(0, 8),)
+
+    def test_keeps_disjoint(self):
+        rs = RangeSet([(0, 2), (4, 6)])
+        assert len(rs) == 2
+
+    def test_sorts(self):
+        rs = RangeSet([(10, 12), (0, 2)])
+        assert rs.ranges[0] == Range(0, 2)
+
+    def test_accepts_tuples_and_ranges(self):
+        rs = RangeSet([Range(0, 1), (2, 3)])
+        assert rs.total() == 2
+
+    def test_single(self):
+        assert RangeSet.single(4, 9).total() == 5
+
+    def test_equality_and_hash(self):
+        a = RangeSet([(0, 3), (3, 6)])
+        b = RangeSet([(0, 6)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRangeSetQueries:
+    def test_total(self):
+        assert RangeSet([(0, 3), (10, 14)]).total() == 7
+
+    def test_contains_offset(self):
+        rs = RangeSet([(0, 3), (10, 14)])
+        assert rs.contains_offset(0)
+        assert rs.contains_offset(13)
+        assert not rs.contains_offset(3)
+        assert not rs.contains_offset(9)
+
+    def test_covers_full(self):
+        rs = RangeSet([(0, 10)])
+        assert rs.covers((2, 8))
+        assert not rs.covers((8, 12))
+
+    def test_covers_empty_range(self):
+        assert RangeSet.empty().covers((5, 5))
+
+    def test_covers_across_merge(self):
+        rs = RangeSet([(0, 5), (5, 10)])
+        assert rs.covers((3, 8))
+
+    def test_bounds(self):
+        assert RangeSet([(3, 4), (8, 12)]).bounds() == Range(3, 12)
+        assert RangeSet.empty().bounds() is None
+
+
+class TestRangeSetAlgebra:
+    def test_union(self):
+        a = RangeSet([(0, 3)])
+        b = RangeSet([(2, 6)])
+        assert (a | b).ranges == (Range(0, 6),)
+
+    def test_intersection(self):
+        a = RangeSet([(0, 5), (10, 15)])
+        b = RangeSet([(3, 12)])
+        assert (a & b).ranges == (Range(3, 5), Range(10, 12))
+
+    def test_difference(self):
+        a = RangeSet([(0, 10)])
+        b = RangeSet([(3, 5), (7, 8)])
+        assert (a - b).ranges == (Range(0, 3), Range(5, 7), Range(8, 10))
+
+    def test_difference_no_overlap(self):
+        a = RangeSet([(0, 5)])
+        b = RangeSet([(10, 20)])
+        assert (a - b) == a
+
+    def test_complement(self):
+        rs = RangeSet([(2, 4)])
+        assert rs.complement((0, 6)).ranges == (Range(0, 2), Range(4, 6))
+
+    def test_shift(self):
+        rs = RangeSet([(0, 2), (5, 6)]).shift(100)
+        assert rs.ranges == (Range(100, 102), Range(105, 106))
+
+    def test_clamp(self):
+        rs = RangeSet([(0, 10)]).clamp((3, 7))
+        assert rs.ranges == (Range(3, 7),)
+
+
+class TestRangeSetProperties:
+    @given(ranges_strategy(), ranges_strategy())
+    def test_union_commutative(self, a, b):
+        assert (a | b) == (b | a)
+
+    @given(ranges_strategy(), ranges_strategy())
+    def test_intersection_commutative(self, a, b):
+        assert (a & b) == (b & a)
+
+    @given(ranges_strategy(), ranges_strategy())
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        assert not ((a - b) & b)
+
+    @given(ranges_strategy(), ranges_strategy())
+    def test_difference_union_restores(self, a, b):
+        """(a - b) | (a & b) == a: removal is lossless partitioning."""
+        assert ((a - b) | (a & b)) == a
+
+    @given(ranges_strategy())
+    def test_complement_partitions_universe(self, a):
+        universe = Range(0, 256)
+        clamped = a.clamp(universe)
+        comp = clamped.complement(universe)
+        assert clamped.total() + comp.total() == len(universe)
+        assert not (clamped & comp)
+
+    @given(ranges_strategy(), ranges_strategy(), ranges_strategy())
+    def test_union_associative(self, a, b, c):
+        assert ((a | b) | c) == (a | (b | c))
+
+    @given(ranges_strategy())
+    def test_normalization_idempotent(self, a):
+        assert RangeSet(a.ranges) == a
+
+    @given(ranges_strategy(), st.integers(0, 255))
+    def test_contains_matches_linear_scan(self, a, offset):
+        expected = any(offset in r for r in a)
+        assert a.contains_offset(offset) == expected

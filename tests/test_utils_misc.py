@@ -1,0 +1,187 @@
+"""Tests for RNG streams, stats helpers, units, and table rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import RngStream, stable_seed
+from repro.utils.stats import (
+    FiveNumberSummary,
+    ascii_violin,
+    items_for_share,
+    jaccard,
+    pareto_series,
+    top_k_share,
+)
+from repro.utils.tables import Table, kv_block
+from repro.utils.units import (
+    fmt_bytes,
+    fmt_count,
+    fmt_mb,
+    fmt_value_with_reduction,
+    mb,
+    pct_reduction,
+)
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_token_boundaries_matter(self):
+        assert stable_seed("ab", "c") != stable_seed("a", "bc")
+
+    def test_order_matters(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+
+class TestRngStream:
+    def test_same_identity_same_draws(self):
+        a = RngStream("x", 1).integers(0, 1000, size=10)
+        b = RngStream("x", 1).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_child_independent(self):
+        parent = RngStream("x")
+        assert parent.child("a").seed != parent.child("b").seed
+
+    def test_heavy_tail_exact_total(self):
+        sizes = RngStream("t").heavy_tail_sizes(100, 50_000, min_size=8)
+        assert sizes.sum() == 50_000
+        assert sizes.min() >= 8
+
+    def test_heavy_tail_is_heavy(self):
+        sizes = RngStream("t2").heavy_tail_sizes(500, 1_000_000, alpha=1.1)
+        assert sizes.max() > 10 * np.median(sizes)
+
+    def test_heavy_tail_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            RngStream("t").heavy_tail_sizes(10, 5, min_size=1)
+
+    def test_heavy_tail_weights_bias(self):
+        rng = RngStream("w")
+        weights = np.ones(1000)
+        weights[:100] = 50.0
+        sizes = rng.heavy_tail_sizes(1000, 10_000_000, weights=weights)
+        assert sizes[:100].mean() > 5 * sizes[100:].mean()
+
+    def test_subset_mask_count(self):
+        mask = RngStream("m").subset_mask(200, 0.25)
+        assert mask.sum() == 50
+
+    def test_subset_mask_at_least_one(self):
+        mask = RngStream("m").subset_mask(100, 0.001)
+        assert mask.sum() == 1
+
+    def test_subset_mask_empty(self):
+        assert RngStream("m").subset_mask(0, 0.5).size == 0
+
+    def test_lognormal_int_clips(self):
+        vals = RngStream("l").lognormal_int(0.0, 3.0, size=100, low=5)
+        assert vals.min() >= 5
+
+    @given(st.integers(1, 50), st.integers(0, 10_000))
+    def test_heavy_tail_property_exact_sum(self, count, extra):
+        total = count * 4 + extra
+        sizes = RngStream("p", count, extra).heavy_tail_sizes(
+            count, total, min_size=4
+        )
+        assert sizes.sum() == total
+
+
+class TestStats:
+    def test_five_number(self):
+        s = FiveNumberSummary.from_values([0, 25, 50, 75, 100])
+        assert s.median == 50
+        assert s.minimum == 0 and s.maximum == 100
+        assert s.count == 5
+
+    def test_five_number_empty(self):
+        assert FiveNumberSummary.from_values([]).count == 0
+
+    def test_pareto_series_sorted(self):
+        vals, cum = pareto_series([1, 5, 3])
+        assert list(vals) == [5, 3, 1]
+        assert cum[-1] == pytest.approx(100.0)
+
+    def test_top_k_share(self):
+        # One item holds 90 of 100 -> top 10% of 10 items = that item.
+        values = [90] + [10 / 9] * 9
+        assert top_k_share(values, 0.1) == pytest.approx(90.0)
+
+    def test_items_for_share(self):
+        values = [50, 40, 5, 5]
+        assert items_for_share(values, 90.0) == 2
+
+    def test_jaccard_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_jaccard_empty_sets(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_jaccard_formula(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(2 / 4)
+
+    def test_ascii_violin_lines(self):
+        lines = ascii_violin([10, 10, 90], bins=10)
+        assert len(lines) == 10
+
+
+class TestUnits:
+    def test_mb_roundtrip(self):
+        assert fmt_mb(mb(881)) == "881"
+
+    def test_fmt_bytes_units(self):
+        assert fmt_bytes(512) == "512 B"
+        assert "KB" in fmt_bytes(2048)
+        assert "GB" in fmt_bytes(3 << 30)
+
+    def test_fmt_count_k(self):
+        assert fmt_count(616_000) == "616K"
+
+    def test_fmt_count_small(self):
+        assert fmt_count(113) == "113"
+
+    def test_pct_reduction(self):
+        assert pct_reduction(100, 25) == 75.0
+
+    def test_pct_reduction_zero_before(self):
+        assert pct_reduction(0, 0) == 0.0
+
+    def test_value_with_reduction_cell(self):
+        assert fmt_value_with_reduction(mb(100), mb(45), as_mb=True) == "100 (55)"
+
+
+class TestTables:
+    def test_render_alignment(self):
+        t = Table(["a", "bbb"])
+        t.add_row("xx", 1)
+        out = t.render()
+        assert "a   bbb" in out
+        assert "xx  1" in out
+
+    def test_row_arity_checked(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_markdown_mode(self):
+        t = Table(["a"], title="T")
+        t.add_row("v")
+        md = t.render(markdown=True)
+        assert md.startswith("**T**")
+        assert "| v" in md
+
+    def test_add_rows(self):
+        t = Table(["a", "b"])
+        t.add_rows([(1, 2), (3, 4)])
+        assert len(t.rows) == 2
+
+    def test_kv_block(self):
+        out = kv_block("Title", [("key", "value"), ("k2", 3)])
+        assert "Title" in out and "key" in out and ": 3" in out

@@ -1,0 +1,210 @@
+"""Unit + model-based property tests for the sparse file container."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.intervals import Range, RangeSet
+from repro.utils.sparsefile import SparseFile
+
+
+class TestBasics:
+    def test_empty(self):
+        f = SparseFile()
+        assert f.logical_size == 0
+        assert f.materialized_size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SparseFile(-1)
+
+    def test_holes_read_zero(self):
+        f = SparseFile(10)
+        assert f.read(0, 10) == b"\x00" * 10
+
+    def test_write_extends_logical_size(self):
+        f = SparseFile(0)
+        f.write(100, b"ab")
+        assert f.logical_size == 102
+
+    def test_write_then_read(self):
+        f = SparseFile(20)
+        f.write(5, b"hello")
+        assert f.read(5, 5) == b"hello"
+        assert f.read(0, 20) == b"\x00" * 5 + b"hello" + b"\x00" * 10
+
+    def test_read_past_end_rejected(self):
+        f = SparseFile(10)
+        with pytest.raises(ValueError):
+            f.read(5, 6)
+
+    def test_read_negative_rejected(self):
+        f = SparseFile(10)
+        with pytest.raises(ValueError):
+            f.read(-1, 2)
+
+    def test_empty_write_is_noop(self):
+        f = SparseFile(10)
+        f.write(5, b"")
+        assert f.materialized_size == 0
+
+
+class TestExtentMerging:
+    def test_adjacent_writes_merge(self):
+        f = SparseFile(20)
+        f.write(0, b"aa")
+        f.write(2, b"bb")
+        assert len(f.extents()) == 1
+        assert f.read(0, 4) == b"aabb"
+
+    def test_overlapping_write_wins(self):
+        f = SparseFile(20)
+        f.write(0, b"aaaa")
+        f.write(2, b"bb")
+        assert f.read(0, 4) == b"aabb"
+
+    def test_disjoint_writes_stay_separate(self):
+        f = SparseFile(20)
+        f.write(0, b"a")
+        f.write(10, b"b")
+        assert len(f.extents()) == 2
+
+    def test_bridging_write_merges_three(self):
+        f = SparseFile(30)
+        f.write(0, b"aa")
+        f.write(10, b"cc")
+        f.write(2, b"b" * 8)
+        assert len(f.extents()) == 1
+        assert f.read(0, 12) == b"aa" + b"b" * 8 + b"cc"
+
+
+class TestZero:
+    def test_zero_punches_hole(self):
+        f = SparseFile(10)
+        f.write(0, b"x" * 10)
+        f.zero(3, 4)
+        assert f.read(0, 10) == b"xxx\x00\x00\x00\x00xxx"
+        assert f.materialized_size == 6
+
+    def test_zero_whole_extent_removes_it(self):
+        f = SparseFile(10)
+        f.write(2, b"ab")
+        f.zero(0, 10)
+        assert f.materialized_size == 0
+
+    def test_zero_beyond_end_clamped(self):
+        f = SparseFile(5)
+        f.write(0, b"abcde")
+        f.zero(3, 100)
+        assert f.read(0, 5) == b"abc\x00\x00"
+
+    def test_zero_ranges(self):
+        f = SparseFile(10)
+        f.write(0, b"y" * 10)
+        f.zero_ranges(RangeSet([(0, 2), (8, 10)]))
+        assert f.read(0, 10) == b"\x00\x00yyyyyy\x00\x00"
+
+    def test_zero_noop_on_hole(self):
+        f = SparseFile(10)
+        f.zero(0, 5)
+        assert f.materialized_size == 0
+
+
+class TestTruncate:
+    def test_shrink_drops_extents(self):
+        f = SparseFile(20)
+        f.write(15, b"abc")
+        f.truncate(10)
+        assert f.logical_size == 10
+        assert f.materialized_size == 0
+
+    def test_shrink_trims_partial_extent(self):
+        f = SparseFile(10)
+        f.write(4, b"abcd")
+        f.truncate(6)
+        assert f.read(4, 2) == b"ab"
+        assert f.materialized_size == 2
+
+    def test_grow(self):
+        f = SparseFile(5)
+        f.truncate(50)
+        assert f.read(40, 10) == b"\x00" * 10
+
+
+class TestConversions:
+    def test_bytes_roundtrip(self):
+        data = b"\x00abc\x00\x00def"
+        f = SparseFile.from_bytes(data)
+        assert f.to_bytes() == data
+
+    def test_copy_independent(self):
+        f = SparseFile(10)
+        f.write(0, b"abc")
+        g = f.copy()
+        g.write(0, b"xyz")
+        assert f.read(0, 3) == b"abc"
+
+    def test_equality(self):
+        a = SparseFile(10)
+        b = SparseFile(10)
+        a.write(1, b"q")
+        assert a != b
+        b.write(1, b"q")
+        assert a == b
+
+    def test_dump_to_real_file(self):
+        f = SparseFile(16)
+        f.write(4, b"data")
+        buf = io.BytesIO()
+        f.dump(buf)
+        assert buf.getvalue()[4:8] == b"data"
+
+    def test_extents_reported(self):
+        f = SparseFile(100)
+        f.write(10, b"ab")
+        f.write(50, b"cd")
+        assert f.extents() == RangeSet([Range(10, 12), Range(50, 52)])
+
+
+# -- model-based property test ------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 60),
+                  st.binary(min_size=1, max_size=16)),
+        st.tuples(st.just("zero"), st.integers(0, 60), st.integers(0, 30)),
+    ),
+    max_size=12,
+)
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=200)
+    @given(_ops)
+    def test_matches_bytearray_model(self, ops):
+        """SparseFile behaves exactly like a zero-initialized bytearray."""
+        size = 96
+        sparse = SparseFile(size)
+        model = bytearray(size)
+        for op in ops:
+            if op[0] == "write":
+                _, offset, data = op
+                if offset + len(data) > size:
+                    data = data[: size - offset]
+                if data:
+                    sparse.write(offset, data)
+                    model[offset : offset + len(data)] = data
+            else:
+                _, offset, length = op
+                sparse.zero(offset, length)
+                end = min(offset + length, size)
+                if offset < end:
+                    model[offset:end] = b"\x00" * (end - offset)
+        assert sparse.to_bytes() == bytes(model)
+        # Materialized bytes never exceed the number of nonzero-ish bytes
+        # plus overwritten runs; at minimum, all nonzero bytes are stored.
+        nonzero = sum(1 for b in model if b)
+        assert sparse.materialized_size >= nonzero

@@ -1,0 +1,220 @@
+"""Workload tests: models, datasets, specs, runner determinism and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cuda.driver import LoadingMode
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import DATASETS, get_dataset
+from repro.workloads.models import (
+    LEADERBOARD_LLMS,
+    get_model,
+    llama2_7b,
+    mobilenet_v2,
+    transformer_base,
+)
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import TABLE1_WORKLOADS, WorkloadSpec, workload_by_id
+
+from conftest import TEST_SCALE
+from repro.frameworks.catalog import get_framework
+
+
+class TestDatasets:
+    def test_catalog(self):
+        assert set(DATASETS) == {"cifar10", "multi30k", "wmt14", "manual"}
+
+    def test_cifar_counts(self):
+        ds = get_dataset("cifar10")
+        assert ds.train_samples == 50_000
+        assert ds.test_samples == 10_000
+
+    def test_splits(self):
+        ds = get_dataset("multi30k")
+        assert ds.samples("train") == 29_000
+        with pytest.raises(ConfigurationError):
+            ds.samples("validation")
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_dataset("imagenet")
+
+
+class TestModels:
+    def test_mobilenet_structure(self):
+        model = mobilenet_v2()
+        convs = [op for op in model.ops if op.kind.value == "conv2d"]
+        dws = [op for op in model.ops if op.kind.value == "dwconv"]
+        assert len(dws) == 17  # one depthwise per inverted-residual block
+        assert len(convs) > 30
+        # Distinct shape signatures per stage (repeat blocks within a stage
+        # legitimately share signatures) -> many unique kernels.
+        distinct = len({op.shape_sig for op in convs})
+        assert 15 <= distinct < len(convs)
+
+    def test_mobilenet_params(self):
+        assert mobilenet_v2().params == pytest.approx(4.3e6, rel=0.01)
+
+    def test_transformer_repeats_shapes(self):
+        model = transformer_base()
+        gemms = [op for op in model.ops if op.kind.value == "gemm"]
+        # 6 encoder + 6 decoder layers reuse identical signatures.
+        assert len({op.shape_sig for op in gemms}) < len(gemms)
+
+    def test_llama_is_fp16_decoder(self):
+        model = llama2_7b()
+        assert model.weights_dtype_bytes == 2
+        assert model.gen_tokens == 64
+        assert model.kv_bytes_per_token > 0
+
+    def test_leaderboard_models(self):
+        assert len(LEADERBOARD_LLMS) == 9
+        assert get_model("yi-15-34b").params == pytest.approx(34.4e9)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("gpt-5")
+
+    def test_flops_per_sample(self):
+        ds = get_dataset("multi30k")
+        model = transformer_base()
+        assert model.flops_per_sample(ds) == pytest.approx(
+            2 * model.params * ds.tokens_per_sample
+        )
+        assert mobilenet_v2().flops_per_sample(ds) == 0.3e9
+
+    def test_activation_bytes(self):
+        model = mobilenet_v2()
+        assert model.activation_bytes(16, True) > model.activation_bytes(16, False)
+
+
+class TestWorkloadSpec:
+    def test_table1_has_ten(self):
+        assert len(TABLE1_WORKLOADS) == 10
+
+    def test_ids_unique(self):
+        ids = [w.workload_id for w in TABLE1_WORKLOADS]
+        assert len(set(ids)) == len(ids)
+
+    def test_lookup(self):
+        spec = workload_by_id("pytorch/train/mobilenetv2")
+        assert spec.batch_size == 16
+        assert spec.epochs == 3
+        with pytest.raises(ConfigurationError):
+            workload_by_id("caffe/train/alexnet")
+
+    def test_n_batches_training(self):
+        spec = workload_by_id("pytorch/train/mobilenetv2")
+        assert spec.n_batches() == 3 * (50_000 // 16)
+
+    def test_n_batches_inference_single(self):
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        assert spec.n_batches() == 1
+
+    def test_n_batches_llm_decode(self):
+        spec = workload_by_id("vllm/inference/llama2-7b")
+        assert spec.n_batches() == 64
+
+    def test_features(self):
+        spec = workload_by_id("pytorch/train/mobilenetv2")
+        assert spec.features == frozenset({"vision", "conv", "train"})
+
+    def test_variant(self):
+        spec = workload_by_id("vllm/inference/llama2-7b").variant(
+            device_name="h100", loading_mode=LoadingMode.LAZY
+        )
+        assert spec.devices()[0].sm_arch == 90
+        assert spec.loading_mode is LoadingMode.LAZY
+
+    def test_train_needs_train_split(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                framework="vllm",
+                operation="train",
+                model=llama2_7b(),
+                dataset=get_dataset("manual"),
+                batch_size=1,
+            )
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        spec = workload_by_id("pytorch/train/mobilenetv2")
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        return WorkloadRunner(spec, fw).run()
+
+    def test_deterministic(self, metrics):
+        spec = workload_by_id("pytorch/train/mobilenetv2")
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        again = WorkloadRunner(spec, fw).run()
+        assert again.execution_time_s == metrics.execution_time_s
+        assert again.peak_cpu_mem_bytes == metrics.peak_cpu_mem_bytes
+        assert again.peak_gpu_mem_bytes == metrics.peak_gpu_mem_bytes
+        assert again.output_digest == metrics.output_digest
+        assert again.used_kernels == metrics.used_kernels
+
+    def test_loads_expected_libraries(self, metrics):
+        assert metrics.counters["n_libraries"] == 113  # paper Table 2
+
+    def test_launch_volume_matches_batches(self, metrics):
+        spec = workload_by_id("pytorch/train/mobilenetv2")
+        assert metrics.counters["launches"] > spec.n_batches() * 100
+
+    def test_kernels_used_nontrivial(self, metrics):
+        assert metrics.total_used_kernels() > 50
+        assert "libtorch_cuda.so" in metrics.used_kernels
+        assert "libcudnn_cnn_infer.so.8" in metrics.used_kernels
+
+    def test_functions_used_nontrivial(self, metrics):
+        assert metrics.total_used_functions() > 500
+
+    def test_train_uses_more_kernels_than_inference(self, metrics):
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        infer = WorkloadRunner(spec, fw).run()
+        assert infer.total_used_kernels() < metrics.total_used_kernels()
+
+    def test_digest_differs_across_workloads(self, metrics):
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        other = WorkloadRunner(spec, fw).run()
+        assert other.output_digest != metrics.output_digest
+
+    def test_epochs_scale_time_not_memory(self):
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        short = WorkloadRunner(
+            workload_by_id("pytorch/train/mobilenetv2").variant(epochs=1), fw
+        ).run()
+        long = WorkloadRunner(
+            workload_by_id("pytorch/train/mobilenetv2").variant(epochs=3), fw
+        ).run()
+        assert long.execution_time_s > 2 * short.execution_time_s
+        assert long.peak_gpu_mem_bytes == short.peak_gpu_mem_bytes
+
+    def test_lazy_mode_lower_cpu_memory(self):
+        fw = get_framework("transformers", scale=TEST_SCALE)
+        spec = workload_by_id("transformers/inference/llama2-7b")
+        eager = WorkloadRunner(spec, fw).run()
+        lazy = WorkloadRunner(
+            spec.variant(loading_mode=LoadingMode.LAZY), fw
+        ).run()
+        assert lazy.peak_cpu_mem_bytes < eager.peak_cpu_mem_bytes
+
+    def test_all_workloads_run(self, all_workloads):
+        for spec in all_workloads:
+            fw = get_framework(spec.framework, scale=TEST_SCALE)
+            m = WorkloadRunner(spec, fw).run()
+            assert m.execution_time_s > 0
+            assert m.peak_gpu_mem_bytes > 0
+
+    def test_distributed_inference_runs(self):
+        from repro.experiments.table10_distributed import distributed_spec
+
+        spec = distributed_spec("vllm", LEADERBOARD_LLMS[1])
+        fw = get_framework("vllm", scale=TEST_SCALE)
+        m = WorkloadRunner(spec, fw).run()
+        # Every GPU-code library is loaded as a module on each of 8 ranks.
+        assert m.counters["modules_loaded"] % 8 == 0
+        assert m.counters["modules_loaded"] >= 8
