@@ -1,0 +1,2 @@
+"""Benchmark suite package (importable so ``benchmarks.conftest`` is
+unambiguous next to ``tests.conftest``)."""

@@ -1,7 +1,7 @@
 """Ablation benchmark: multi-arch fatbins vs single-arch build (design
 choice 3 in DESIGN.md)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_ablation_architecture_bloat(benchmark):

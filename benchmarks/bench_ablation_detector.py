@@ -1,7 +1,7 @@
 """Ablation benchmark: detector vs NSys overhead scaling with workload
 length (design choice 2 in DESIGN.md)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_ablation_detector_scaling(benchmark):

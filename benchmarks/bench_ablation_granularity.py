@@ -1,7 +1,7 @@
 """Ablation benchmark: whole-element vs exact-kernel retention (design
 choice 1 in DESIGN.md)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_ablation_retention_granularity(benchmark):

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 1 (CPU/GPU code share of top PyTorch libs)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_fig1_code_distribution(benchmark):

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 5 (reduction distributions)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_fig5_distributions(benchmark):

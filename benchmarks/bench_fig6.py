@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 6 (Pareto chart of per-library reduction)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_fig6_pareto(benchmark):

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Figure 7 (element-removal reasons)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_fig7_reasons(benchmark):

@@ -1,0 +1,148 @@
+"""Micro-benchmark: the vectorized interval engine vs the pure-Python seed.
+
+Drives large random range sets (10k ranges, the magnitude a paper-scale
+library's locate/compact round produces) through the full algebra -
+normalize, union, intersection, difference, complement, coverage and
+membership queries - for both engines:
+
+* ``RangeSet``   - the NumPy-backed production engine;
+* ``PyRangeSet`` - the seed pure-Python implementation, kept in
+  ``repro.utils._intervals_py`` as the reference.
+
+``test_vectorized_speedup`` asserts the >= 5x acceptance floor with plain
+timers (it runs under a normal ``pytest benchmarks/bench_intervals.py``
+invocation); the ``bench_*`` functions integrate with pytest-benchmark for
+trajectory tracking.  ``python benchmarks/bench_intervals.py`` regenerates
+``BENCH_intervals.json``, the recorded baseline future PRs compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils._intervals_py import PyRangeSet
+from repro.utils.intervals import RangeSet
+
+N_RANGES = 10_000
+SPAN = 10_000_000
+MAX_LEN = 2_000
+SEED = 20250727
+SPEEDUP_FLOOR = 5.0
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_intervals.json"
+
+
+def make_pairs(rng: np.random.Generator, n: int = N_RANGES):
+    starts = rng.integers(0, SPAN, n)
+    lengths = rng.integers(1, MAX_LEN, n)
+    return list(zip(starts.tolist(), (starts + lengths).tolist()))
+
+
+def workload():
+    rng = np.random.default_rng(SEED)
+    pairs_a = make_pairs(rng)
+    pairs_b = make_pairs(rng)
+    offsets = rng.integers(0, SPAN + MAX_LEN, N_RANGES)
+    probes = make_pairs(rng, 200)
+    return pairs_a, pairs_b, offsets, probes
+
+
+def full_algebra(cls, pairs_a, pairs_b, offsets, probes) -> int:
+    """Construction + the whole interval algebra; returns a checksum."""
+    a, b = cls(pairs_a), cls(pairs_b)
+    union = a | b
+    inter = a & b
+    diff = a - b
+    comp = a.complement((0, SPAN + MAX_LEN))
+    covered = sum(1 for p in probes if a.covers(p))
+    if hasattr(a, "contains_offsets"):  # batched path (vectorized engine)
+        hits = int(a.contains_offsets(offsets).sum())
+    else:  # scalar path (reference engine)
+        hits = sum(1 for o in offsets.tolist() if a.contains_offset(o))
+    return (
+        union.total() + inter.total() + diff.total() + comp.total()
+        + covered + hits
+    )
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_engines_agree():
+    """Both engines produce the same checksum on the benchmark workload."""
+    args = workload()
+    assert full_algebra(RangeSet, *args) == full_algebra(PyRangeSet, *args)
+
+
+def test_vectorized_speedup():
+    """Acceptance: >= 5x over the seed engine on 10k-range workloads."""
+    args = workload()
+    py_s = _time(lambda: full_algebra(PyRangeSet, *args))
+    np_s = _time(lambda: full_algebra(RangeSet, *args))
+    speedup = py_s / np_s
+    print(f"\npure-python {py_s * 1e3:.1f} ms, numpy {np_s * 1e3:.1f} ms, "
+          f"speedup {speedup:.1f}x")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized engine only {speedup:.1f}x faster (floor "
+        f"{SPEEDUP_FLOOR}x): py={py_s * 1e3:.1f}ms np={np_s * 1e3:.1f}ms"
+    )
+
+
+def test_bench_intervals_numpy(benchmark):
+    args = workload()
+    benchmark(full_algebra, RangeSet, *args)
+
+
+def test_bench_intervals_reference(benchmark):
+    args = workload()
+    benchmark(full_algebra, PyRangeSet, *args)
+
+
+def test_bench_intervals_batched_construction(benchmark):
+    """from_arrays: the no-Python-objects fast path the locators use."""
+    rng = np.random.default_rng(SEED)
+    starts = rng.integers(0, SPAN, N_RANGES)
+    stops = starts + rng.integers(1, MAX_LEN, N_RANGES)
+    benchmark(RangeSet.from_arrays, starts, stops)
+
+
+def main() -> None:
+    """Regenerate the recorded baseline (run on the reference machine)."""
+    args = workload()
+    py_s = _time(lambda: full_algebra(PyRangeSet, *args), repeats=5)
+    np_s = _time(lambda: full_algebra(RangeSet, *args), repeats=5)
+    rng = np.random.default_rng(SEED)
+    starts = rng.integers(0, SPAN, N_RANGES)
+    stops = starts + rng.integers(1, MAX_LEN, N_RANGES)
+    batched_s = _time(lambda: RangeSet.from_arrays(starts, stops), repeats=5)
+    baseline = {
+        "workload": {
+            "n_ranges": N_RANGES,
+            "span": SPAN,
+            "max_len": MAX_LEN,
+            "seed": SEED,
+            "ops": "construct + union + intersection + difference + "
+                   "complement + 200 covers + 10k membership",
+        },
+        "pure_python_ms": round(py_s * 1e3, 2),
+        "numpy_ms": round(np_s * 1e3, 2),
+        "from_arrays_ms": round(batched_s * 1e3, 3),
+        "speedup": round(py_s / np_s, 1),
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(json.dumps(baseline, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Benchmark: regenerate the Section 4.6 overhead comparison."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_sec46_detector_vs_nsys(benchmark):

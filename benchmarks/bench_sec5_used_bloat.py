@@ -1,6 +1,6 @@
 """Benchmark: the §5 used-bloat analysis (future-work extension)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_sec5_used_bloat(benchmark):

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 1 (the workload matrix)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table1_workloads(benchmark):

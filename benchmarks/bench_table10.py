@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 10 (distributed inference, 8x A100)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table10_distributed(benchmark):

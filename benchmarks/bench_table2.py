@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 2 (per-workload reductions, full pipeline)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table2_overall_reductions(benchmark):

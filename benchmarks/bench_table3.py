@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 3 (core-library reductions)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table3_core_libraries(benchmark):

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 4 (Jaccard similarity in libtorch_cuda.so)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table4_jaccard_torch(benchmark):

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 5 (runtime improvements on the T4)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table5_runtime(benchmark):

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 6 (H100 size reductions, eager vs lazy)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table6_h100_sizes(benchmark):

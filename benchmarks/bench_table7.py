@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 7 (H100 runtime, eager vs lazy)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table7_h100_runtime(benchmark):

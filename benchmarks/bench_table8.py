@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 8 (end-to-end debloating time)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table8_e2e_time(benchmark):

@@ -1,6 +1,6 @@
 """Benchmark: regenerate Table 9 (Jaccard similarity in tensorflow_cc.so)."""
 
-from conftest import run_and_check
+from benchmarks.conftest import run_and_check
 
 
 def test_table9_jaccard_tf(benchmark):

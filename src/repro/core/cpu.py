@@ -17,7 +17,7 @@ from repro.cuda.clock import VirtualClock
 from repro.cuda.costs import DEFAULT_COSTS, CostModel
 from repro.elf.image import SharedLibrary
 from repro.loader.profiler import FunctionProfiler
-from repro.utils.intervals import Range, RangeSet
+from repro.utils.intervals import RangeSet
 
 
 @dataclass
@@ -134,7 +134,4 @@ def _runs_to_ranges(values: np.ndarray, sizes: np.ndarray,
     breaks = np.flatnonzero(starts[1:] != ends[:-1])
     run_starts = np.concatenate(([0], breaks + 1))
     run_ends = np.concatenate((breaks, [len(starts) - 1]))
-    return RangeSet(
-        Range(int(starts[a]), int(ends[b]))
-        for a, b in zip(run_starts, run_ends)
-    )
+    return RangeSet.from_arrays(starts[run_starts], ends[run_ends])

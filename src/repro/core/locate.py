@@ -21,12 +21,14 @@ import enum
 from dataclasses import dataclass
 from functools import cached_property
 
+import numpy as np
+
 from repro.cuda.clock import VirtualClock
 from repro.cuda.costs import DEFAULT_COSTS, CostModel
 from repro.elf.image import SharedLibrary
 from repro.errors import LocationError
 from repro.fatbin.cuobjdump import extract_cubins
-from repro.utils.intervals import Range, RangeSet
+from repro.utils.intervals import RangeSet
 
 
 class RemovalReason(enum.Enum):
@@ -125,8 +127,8 @@ class KernelLocator:
             )
 
         decisions: list[ElementDecision] = []
-        retain: list[Range] = []
-        remove: list[Range] = []
+        retain: list[tuple[int, int]] = []
+        remove: list[tuple[int, int]] = []
         for extracted in cubins:
             element = image.element_by_index(extracted.index)
             if element.sm_arch != extracted.sm_arch:
@@ -170,12 +172,22 @@ class KernelLocator:
                         reason=RemovalReason.NO_USED_KERNELS,
                     )
             decisions.append(decision)
-            (retain if decision.retained else remove).append(rng)
+            (retain if decision.retained else remove).append(
+                (rng.start, rng.stop)
+            )
 
         return LocateResult(
             soname=lib.soname,
             device_arch=device_arch,
             decisions=decisions,
-            retain_ranges=RangeSet(retain),
-            remove_ranges=RangeSet(remove),
+            retain_ranges=_ranges_from_pairs(retain),
+            remove_ranges=_ranges_from_pairs(remove),
         )
+
+
+def _ranges_from_pairs(pairs: list[tuple[int, int]]) -> RangeSet:
+    """Batched RangeSet construction from collected (start, stop) pairs."""
+    if not pairs:
+        return RangeSet.empty()
+    arr = np.asarray(pairs, dtype=np.int64)
+    return RangeSet.from_arrays(arr[:, 0], arr[:, 1])

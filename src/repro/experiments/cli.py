@@ -32,6 +32,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-o", "--output", default=None, help="also write output to this file"
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cross-experiment pipeline cache (recompute every "
+        "pipeline; outputs are byte-identical either way)",
+    )
     return parser
 
 
@@ -41,6 +47,11 @@ def main(argv: list[str] | None = None) -> int:
         for eid, module in EXPERIMENTS.items():
             print(f"{eid:28s} {module.TITLE}")
         return 0
+
+    if args.no_cache:
+        from repro.experiments.common import PIPELINE_CACHE
+
+        PIPELINE_CACHE.configure(enabled=False)
 
     ids = list(EXPERIMENTS) if args.ids == ["all"] or args.ids == [] else args.ids
     chunks: list[str] = []

@@ -1,12 +1,33 @@
-"""Shared experiment harness: cached pipelines + rendering helpers.
+"""Shared experiment harness: the cross-experiment pipeline cache + rendering.
 
-Running the Negativa-ML pipeline for one workload takes a few seconds at
-the default entity scale; experiments share results through a module-level
-cache keyed by the full run identity (workload, device, world size, loading
-mode, scale) so regenerating all tables runs each pipeline once.
+Running the Negativa-ML pipeline for one workload takes a few seconds at the
+default entity scale, and the ~19 table/figure experiments overwhelmingly
+re-request the same (workload, scale) pipelines.  :class:`PipelineCache`
+memoizes :class:`~repro.core.report.WorkloadDebloatReport` objects so each
+pipeline runs once per process and every experiment after the first is pure
+rendering.
+
+**Cache key.**  ``(workload_id, dataset, batch_size, epochs, device,
+world_size, loading_mode, framework, scale, frozen(options))`` - the full
+run identity.  ``options`` (a :class:`~repro.core.debloat.DebloatOptions`)
+is frozen recursively into a hashable tuple, so two option objects with
+equal fields share an entry and any field change (ablation flags, cost
+model, top-N) misses.
+
+**Invalidation hook.**  :meth:`PipelineCache.invalidate` drops entries by
+``workload_id``/``framework``/``scale`` filters (no filter = everything) and
+returns the eviction count; use it after mutating a framework build or cost
+model mid-process.  ``clear_report_cache()`` remains as the historical
+alias.  Set the environment variable ``REPRO_PIPELINE_CACHE=0`` (or call
+``PIPELINE_CACHE.configure(enabled=False)``) to bypass caching entirely -
+outputs are byte-identical either way, it only costs recomputation.
 """
 
 from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
 
 from repro.core.debloat import Debloater, DebloatOptions
 from repro.core.report import WorkloadDebloatReport
@@ -21,20 +42,110 @@ from repro.workloads.spec import TABLE1_WORKLOADS, WorkloadSpec
 #: paper-magnitude counts.
 DEFAULT_SCALE = 0.125
 
-_REPORT_CACHE: dict[tuple, WorkloadDebloatReport] = {}
+
+def _freeze(value) -> object:
+    """Recursively convert a value into a hashable cache-key component."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return tuple(
+            (f.name, _freeze(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(v) for v in value))
+    if isinstance(value, (str, int, float, bool, bytes)) or value is None:
+        return value
+    return repr(value)
 
 
-def _workload_key(spec: WorkloadSpec, scale: float) -> tuple:
-    return (
-        spec.workload_id,
-        spec.dataset.name,
-        spec.batch_size,
-        spec.epochs,
-        spec.device_name,
-        spec.world_size,
-        spec.loading_mode.value,
-        scale,
+@dataclass
+class PipelineCache:
+    """Memoizes debloat pipeline reports across experiments."""
+
+    enabled: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_PIPELINE_CACHE", "1")
+        not in ("0", "false", "no")
     )
+    hits: int = 0
+    misses: int = 0
+    _store: dict[tuple, WorkloadDebloatReport] = field(default_factory=dict)
+
+    @staticmethod
+    def key(
+        spec: WorkloadSpec, scale: float, options: DebloatOptions | None
+    ) -> tuple:
+        return (
+            spec.workload_id,
+            spec.dataset.name,
+            spec.batch_size,
+            spec.epochs,
+            spec.device_name,
+            spec.world_size,
+            spec.loading_mode.value,
+            spec.framework,
+            scale,
+            _freeze(options or DebloatOptions()),
+        )
+
+    def get_or_run(
+        self,
+        spec: WorkloadSpec,
+        scale: float,
+        options: DebloatOptions | None,
+    ) -> WorkloadDebloatReport:
+        key = self.key(spec, scale, options)
+        if self.enabled:
+            cached = self._store.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        framework = get_framework(spec.framework, scale=scale)
+        debloater = Debloater(framework, options or DebloatOptions())
+        report = debloater.debloat(spec)
+        if self.enabled:
+            self._store[key] = report
+        return report
+
+    def invalidate(
+        self,
+        workload_id: str | None = None,
+        framework: str | None = None,
+        scale: float | None = None,
+    ) -> int:
+        """Drop matching entries (filters ANDed; no filters drops everything)."""
+        doomed = [
+            key
+            for key in self._store
+            if (workload_id is None or key[0] == workload_id)
+            and (framework is None or key[7] == framework)
+            and (scale is None or key[8] == scale)
+        ]
+        for key in doomed:
+            del self._store[key]
+        return len(doomed)
+
+    def configure(self, enabled: bool) -> None:
+        self.enabled = enabled
+        if not enabled:
+            self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: The process-wide cache every experiment shares.
+PIPELINE_CACHE = PipelineCache()
 
 
 def framework_for(spec: WorkloadSpec, scale: float = DEFAULT_SCALE) -> Framework:
@@ -47,17 +158,7 @@ def report_for(
     options: DebloatOptions | None = None,
 ) -> WorkloadDebloatReport:
     """Run (or fetch cached) the full debloat pipeline for a workload."""
-    key = _workload_key(spec, scale)
-    if options is not None:
-        key = key + (id(type(options)), options)
-    cached = _REPORT_CACHE.get(key)
-    if cached is not None:
-        return cached
-    framework = framework_for(spec, scale)
-    debloater = Debloater(framework, options or DebloatOptions())
-    report = debloater.debloat(spec)
-    _REPORT_CACHE[key] = report
-    return report
+    return PIPELINE_CACHE.get_or_run(spec, scale, options)
 
 
 def table1_reports(
@@ -68,7 +169,8 @@ def table1_reports(
 
 
 def clear_report_cache() -> None:
-    _REPORT_CACHE.clear()
+    """Historical alias for a full :meth:`PipelineCache.invalidate`."""
+    PIPELINE_CACHE.invalidate()
 
 
 # -- rendering helpers ---------------------------------------------------------------

@@ -53,13 +53,25 @@ EXPERIMENTS: dict[str, ModuleType] = {
 }
 
 
-def run_experiment(experiment_id: str, scale: float | None = None) -> str:
-    """Run one experiment by id and return its rendered output."""
+def run_experiment(
+    experiment_id: str, scale: float | None = None, fresh: bool = False
+) -> str:
+    """Run one experiment by id and return its rendered output.
+
+    Experiments share pipeline results through
+    :data:`repro.experiments.common.PIPELINE_CACHE`; pass ``fresh=True`` to
+    invalidate the cache first and force this experiment to recompute every
+    pipeline it touches (outputs are byte-identical either way).
+    """
     module = EXPERIMENTS.get(experiment_id)
     if module is None:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         )
+    if fresh:
+        from repro.experiments.common import PIPELINE_CACHE
+
+        PIPELINE_CACHE.invalidate()
     if scale is None:
         return module.run()
     return module.run(scale=scale)

@@ -1,0 +1,172 @@
+"""Pure-Python reference interval engine (the pre-vectorization seed).
+
+This is the original list-of-:class:`Range` implementation of the interval
+algebra, kept verbatim as the *oracle*: the equivalence fuzz tests assert the
+NumPy-backed :class:`repro.utils.intervals.RangeSet` is semantically
+identical to this one on random interval sets, and
+``benchmarks/bench_intervals.py`` measures the vectorized engine's speedup
+against it.  It is not used anywhere on the production path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.utils.intervals import Range
+
+
+class PyRangeSet:
+    """A normalized set of disjoint, sorted, non-empty half-open ranges."""
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, ranges: Iterable[Range | tuple[int, int]] = ()) -> None:
+        items = [r if isinstance(r, Range) else Range(*r) for r in ranges]
+        self._ranges: list[Range] = self._normalize(items)
+
+    @staticmethod
+    def _normalize(items: list[Range]) -> list[Range]:
+        items = sorted((r for r in items if len(r) > 0), key=lambda r: r.start)
+        merged: list[Range] = []
+        for r in items:
+            if merged and r.start <= merged[-1].stop:
+                last = merged[-1]
+                if r.stop > last.stop:
+                    merged[-1] = Range(last.start, r.stop)
+            else:
+                merged.append(r)
+        return merged
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def single(cls, start: int, stop: int) -> "PyRangeSet":
+        return cls([Range(start, stop)])
+
+    @classmethod
+    def empty(cls) -> "PyRangeSet":
+        return cls()
+
+    # -- container protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Range]:
+        return iter(self._ranges)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PyRangeSet):
+            return NotImplemented
+        return self._ranges == other._ranges
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._ranges))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(r) for r in self._ranges[:6])
+        suffix = ", ..." if len(self._ranges) > 6 else ""
+        return f"PyRangeSet({inner}{suffix})"
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def ranges(self) -> tuple[Range, ...]:
+        return tuple(self._ranges)
+
+    def total(self) -> int:
+        """Total number of bytes covered."""
+        return sum(len(r) for r in self._ranges)
+
+    def contains_offset(self, offset: int) -> bool:
+        """Binary search for whether ``offset`` lies inside any range."""
+        lo, hi = 0, len(self._ranges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            r = self._ranges[mid]
+            if offset < r.start:
+                hi = mid
+            elif offset >= r.stop:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def covers(self, rng: Range | tuple[int, int]) -> bool:
+        """True when the whole of ``rng`` is covered by this set."""
+        r = rng if isinstance(rng, Range) else Range(*rng)
+        if len(r) == 0:
+            return True
+        remaining = PyRangeSet([r]) - self
+        return not bool(remaining)
+
+    def bounds(self) -> Range | None:
+        if not self._ranges:
+            return None
+        return Range(self._ranges[0].start, self._ranges[-1].stop)
+
+    # -- algebra ------------------------------------------------------------------
+
+    def union(
+        self, other: "PyRangeSet | Iterable[Range | tuple[int, int]]"
+    ) -> "PyRangeSet":
+        other_ranges = (
+            other._ranges if isinstance(other, PyRangeSet) else list(other)
+        )
+        return PyRangeSet([*self._ranges, *other_ranges])
+
+    __or__ = union
+
+    def intersection(self, other: "PyRangeSet") -> "PyRangeSet":
+        out: list[Range] = []
+        i = j = 0
+        a, b = self._ranges, other._ranges
+        while i < len(a) and j < len(b):
+            hit = a[i].intersect(b[j])
+            if hit is not None:
+                out.append(hit)
+            if a[i].stop <= b[j].stop:
+                i += 1
+            else:
+                j += 1
+        return PyRangeSet(out)
+
+    __and__ = intersection
+
+    def difference(self, other: "PyRangeSet") -> "PyRangeSet":
+        out: list[Range] = []
+        j = 0
+        b = other._ranges
+        for r in self._ranges:
+            cur = r.start
+            while j < len(b) and b[j].stop <= r.start:
+                j += 1
+            k = j
+            while k < len(b) and b[k].start < r.stop:
+                blk = b[k]
+                if blk.start > cur:
+                    out.append(Range(cur, min(blk.start, r.stop)))
+                cur = max(cur, blk.stop)
+                if cur >= r.stop:
+                    break
+                k += 1
+            if cur < r.stop:
+                out.append(Range(cur, r.stop))
+        return PyRangeSet(out)
+
+    __sub__ = difference
+
+    def complement(self, universe: Range | tuple[int, int]) -> "PyRangeSet":
+        """Ranges of ``universe`` not covered by this set."""
+        u = universe if isinstance(universe, Range) else Range(*universe)
+        return PyRangeSet([u]) - self
+
+    def shift(self, delta: int) -> "PyRangeSet":
+        return PyRangeSet([r.shift(delta) for r in self._ranges])
+
+    def clamp(self, universe: Range | tuple[int, int]) -> "PyRangeSet":
+        u = universe if isinstance(universe, Range) else Range(*universe)
+        return self & PyRangeSet([u])

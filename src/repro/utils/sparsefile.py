@@ -14,7 +14,9 @@ from __future__ import annotations
 import bisect
 import io
 
-from repro.utils.intervals import Range, RangeSet
+import numpy as np
+
+from repro.utils.intervals import RangeSet
 
 
 class SparseFile:
@@ -41,9 +43,11 @@ class SparseFile:
 
     def extents(self) -> RangeSet:
         """The written (non-hole) extents."""
-        return RangeSet(
-            Range(s, s + len(c)) for s, c in zip(self._starts, self._chunks)
+        starts = np.asarray(self._starts, dtype=np.int64)
+        lengths = np.fromiter(
+            (len(c) for c in self._chunks), dtype=np.int64, count=len(self._chunks)
         )
+        return RangeSet.from_arrays(starts, starts + lengths)
 
     def truncate(self, size: int) -> None:
         """Grow or shrink the logical size, dropping extents past the end."""
@@ -138,8 +142,11 @@ class SparseFile:
         self._chunks = new_chunks
 
     def zero_ranges(self, ranges: RangeSet) -> None:
-        for r in ranges:
-            self.zero(r.start, len(r))
+        # Iterate the backing arrays directly: no per-interval Range objects.
+        for start, length in zip(
+            ranges.starts.tolist(), ranges.lengths.tolist()
+        ):
+            self.zero(start, length)
 
     # -- conversions ----------------------------------------------------------------
 

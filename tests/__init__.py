@@ -1,0 +1,2 @@
+"""Unit/integration test package (importable so ``tests.conftest`` is
+unambiguous next to ``benchmarks.conftest``)."""

@@ -13,7 +13,7 @@ from repro.core.debloat import Debloater, DebloatOptions
 from repro.frameworks.catalog import get_framework
 from repro.workloads.spec import workload_by_id
 
-from conftest import TEST_SCALE
+from tests.conftest import TEST_SCALE
 
 
 @pytest.fixture(scope="module")

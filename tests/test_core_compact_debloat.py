@@ -21,7 +21,7 @@ from repro.frameworks.catalog import get_framework
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import workload_by_id
 
-from conftest import TEST_SCALE, build_small_library
+from tests.conftest import TEST_SCALE, build_small_library
 
 
 def compact_small(used_kernels=frozenset({"k_0_0"}), used_fns=(0, 1, 2)):
@@ -193,6 +193,86 @@ class TestDebloater:
         )
         assert report.gpu_reduction_pct == 0.0
         assert report.cpu_reduction_pct > 40
+
+
+class TestFusedInstrumentedRun:
+    """debloat() runs baseline + ONE fused instrumented run pre-locate."""
+
+    def _count_runs(self, monkeypatch, options):
+        runners: list[WorkloadRunner] = []
+        original = WorkloadRunner.run
+
+        def counting_run(runner_self):
+            runners.append(runner_self)
+            return original(runner_self)
+
+        monkeypatch.setattr(WorkloadRunner, "run", counting_run)
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        report = Debloater(fw, options).debloat(
+            workload_by_id("pytorch/inference/mobilenetv2")
+        )
+        return runners, report
+
+    def test_exactly_two_pre_locate_runs(self, monkeypatch):
+        runners, _ = self._count_runs(
+            monkeypatch,
+            DebloatOptions(verify=False, runtime_comparison_top_n=0),
+        )
+        assert len(runners) == 2
+        baseline_runner, fused_runner = runners
+        assert baseline_runner.subscribers == ()
+        assert baseline_runner.profiler is None
+        # The second run carries BOTH instruments: detector and profiler.
+        assert len(fused_runner.subscribers) == 1
+        assert fused_runner.profiler is not None
+
+    def test_verify_and_comparison_add_their_runs(self, monkeypatch):
+        runners, _ = self._count_runs(monkeypatch, DebloatOptions())
+        # baseline + fused + verification + top-N runtime comparison
+        assert len(runners) == 4
+
+    def test_timing_attribution_matches_standalone_runs(self):
+        """Fused-run attribution reproduces separate-run times exactly."""
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        report = Debloater(
+            fw, DebloatOptions(verify=False, runtime_comparison_top_n=0)
+        ).debloat(spec)
+
+        det_only = WorkloadRunner(
+            spec, fw, subscribers=(KernelDetector(),)
+        ).run()
+        from repro.loader.profiler import FunctionProfiler
+
+        prof_only = WorkloadRunner(spec, fw, profiler=FunctionProfiler()).run()
+
+        t = report.timing
+        assert t.kernel_detection_run_s == pytest.approx(
+            det_only.execution_time_s, rel=1e-9
+        )
+        assert t.cpu_profiling_run_s == pytest.approx(
+            prof_only.execution_time_s, rel=1e-9
+        )
+        assert t.instrumented_run_s > max(
+            t.kernel_detection_run_s, t.cpu_profiling_run_s
+        ) - report.baseline.execution_time_s
+        assert t.fused_total_s < t.total_s  # one run saved
+
+    def test_parallel_locate_is_deterministic(self):
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        serial = Debloater(
+            fw, DebloatOptions(verify=False, runtime_comparison_top_n=0)
+        ).debloat(spec)
+        parallel = Debloater(
+            fw,
+            DebloatOptions(
+                verify=False, runtime_comparison_top_n=0, locate_workers=4
+            ),
+        ).debloat(spec)
+        assert serial.libraries == parallel.libraries
+        assert serial.timing.locate_s == parallel.timing.locate_s
+        assert serial.timing.compact_s == parallel.timing.compact_s
 
 
 class TestVerificationNegativeCases:

@@ -19,7 +19,7 @@ from repro.utils.intervals import RangeSet
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import workload_by_id
 
-from conftest import TEST_SCALE, build_small_library
+from tests.conftest import TEST_SCALE, build_small_library
 
 
 class TestKernelDetector:

@@ -19,7 +19,7 @@ from repro.errors import (
     OutOfMemoryError,
 )
 
-from conftest import build_small_library
+from tests.conftest import build_small_library
 
 
 class TestClock:

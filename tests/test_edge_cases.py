@@ -20,7 +20,7 @@ from repro.utils.stats import ascii_violin, histogram
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import workload_by_id
 
-from conftest import TEST_SCALE, build_small_library
+from tests.conftest import TEST_SCALE, build_small_library
 
 
 class TestInspectTools:

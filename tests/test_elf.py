@@ -18,7 +18,7 @@ from repro.elf.validate import validate_shared_library
 from repro.errors import ConfigurationError, ElfFormatError
 from repro.utils.sparsefile import SparseFile
 
-from conftest import build_small_library
+from tests.conftest import build_small_library
 
 
 class TestStructs:

@@ -17,7 +17,7 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.tools.cli import main as tool_main
 from repro.workloads.spec import workload_by_id
 
-from conftest import TEST_SCALE
+from tests.conftest import TEST_SCALE
 
 
 @pytest.fixture(autouse=True, scope="module")

@@ -12,7 +12,7 @@ from repro.errors import VerificationError
 from repro.frameworks.catalog import get_framework
 from repro.workloads.spec import workload_by_id
 
-from conftest import TEST_SCALE
+from tests.conftest import TEST_SCALE
 
 
 class TestUsedBloat:

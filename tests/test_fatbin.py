@@ -21,7 +21,7 @@ from repro.fatbin.parser import parse_fatbin
 from repro.fatbin.structs import ElementHeader, RegionHeader
 from repro.utils.sparsefile import SparseFile
 
-from conftest import build_small_library
+from tests.conftest import build_small_library
 
 
 def make_cubin(n=5, entries=2, edges=((0, 3), (1, 4))):

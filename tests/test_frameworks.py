@@ -28,7 +28,7 @@ from repro.frameworks.ops import OpInstance, OpKind, Phase, batch_bucket
 from repro.frameworks.runtime import FrameworkRuntime
 from repro.frameworks.spec import LibrarySpec
 
-from conftest import TEST_SCALE
+from tests.conftest import TEST_SCALE
 
 
 class TestSpecs:

@@ -1,0 +1,176 @@
+"""Equivalence fuzzing: the vectorized engine vs the pure-Python oracle.
+
+``repro.utils.intervals.RangeSet`` (NumPy-backed) must be semantically
+identical to ``repro.utils._intervals_py.PyRangeSet`` (the seed
+implementation, kept as the reference) on arbitrary interval sets: same
+normalization, same algebra, same queries.  Hypothesis drives the small
+adversarial cases; a seeded NumPy fuzzer covers 10k-range workloads like the
+ones the locators produce at paper scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils._intervals_py import PyRangeSet
+from repro.utils.intervals import Range, RangeSet
+
+
+def pairs_strategy(max_val: int = 300, max_count: int = 12):
+    pair = st.tuples(
+        st.integers(0, max_val), st.integers(0, max_val)
+    ).map(lambda ab: (min(ab), max(ab)))
+    return st.lists(pair, max_size=max_count)
+
+
+def as_tuples(rs) -> tuple[tuple[int, int], ...]:
+    return tuple((r.start, r.stop) for r in rs)
+
+
+def assert_same(vectorized: RangeSet, reference: PyRangeSet) -> None:
+    assert as_tuples(vectorized) == as_tuples(reference)
+
+
+class TestAlgebraEquivalence:
+    @given(pairs_strategy())
+    def test_normalization(self, pairs):
+        assert_same(RangeSet(pairs), PyRangeSet(pairs))
+
+    @given(pairs_strategy(), pairs_strategy())
+    def test_union(self, a, b):
+        assert_same(RangeSet(a) | RangeSet(b), PyRangeSet(a) | PyRangeSet(b))
+
+    @given(pairs_strategy(), pairs_strategy())
+    def test_intersection(self, a, b):
+        assert_same(RangeSet(a) & RangeSet(b), PyRangeSet(a) & PyRangeSet(b))
+
+    @given(pairs_strategy(), pairs_strategy())
+    def test_difference(self, a, b):
+        assert_same(RangeSet(a) - RangeSet(b), PyRangeSet(a) - PyRangeSet(b))
+
+    @given(pairs_strategy(), st.integers(0, 200), st.integers(0, 200))
+    def test_complement(self, a, u0, u1):
+        lo, hi = min(u0, u1), max(u0, u1)
+        assert_same(
+            RangeSet(a).complement((lo, hi)),
+            PyRangeSet(a).complement((lo, hi)),
+        )
+
+    @given(pairs_strategy(), st.integers(0, 200), st.integers(0, 200))
+    def test_clamp(self, a, u0, u1):
+        lo, hi = min(u0, u1), max(u0, u1)
+        assert_same(RangeSet(a).clamp((lo, hi)), PyRangeSet(a).clamp((lo, hi)))
+
+    @given(pairs_strategy(), st.integers(0, 1000))
+    def test_shift(self, a, delta):
+        assert_same(RangeSet(a).shift(delta), PyRangeSet(a).shift(delta))
+
+
+class TestQueryEquivalence:
+    @given(pairs_strategy(), st.integers(0, 320))
+    def test_contains_offset(self, a, offset):
+        assert RangeSet(a).contains_offset(offset) == PyRangeSet(
+            a
+        ).contains_offset(offset)
+
+    @given(pairs_strategy(), st.integers(0, 300), st.integers(0, 300))
+    def test_covers(self, a, r0, r1):
+        lo, hi = min(r0, r1), max(r0, r1)
+        assert RangeSet(a).covers((lo, hi)) == PyRangeSet(a).covers((lo, hi))
+
+    @given(pairs_strategy())
+    def test_scalar_queries(self, a):
+        vec, ref = RangeSet(a), PyRangeSet(a)
+        assert vec.total() == ref.total()
+        assert len(vec) == len(ref)
+        assert bool(vec) == bool(ref)
+        assert vec.bounds() == ref.bounds()
+
+    @given(pairs_strategy())
+    def test_contains_offsets_matches_scalar(self, a):
+        vec = RangeSet(a)
+        offsets = np.arange(0, 320, dtype=np.int64)
+        batched = vec.contains_offsets(offsets)
+        assert batched.tolist() == [
+            vec.contains_offset(int(o)) for o in offsets
+        ]
+
+    @given(pairs_strategy())
+    def test_equal_sets_hash_equal(self, a):
+        assert hash(RangeSet(a)) == hash(RangeSet(tuple(RangeSet(a))))
+
+
+class TestBatchedApis:
+    def test_from_arrays_matches_constructor(self):
+        starts = np.array([40, 0, 10, 10, 90], dtype=np.int64)
+        stops = np.array([45, 5, 30, 20, 90], dtype=np.int64)
+        assert RangeSet.from_arrays(starts, stops) == RangeSet(
+            zip(starts.tolist(), stops.tolist())
+        )
+
+    def test_from_arrays_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            RangeSet.from_arrays(np.zeros(3, np.int64), np.zeros(2, np.int64))
+
+    def test_from_arrays_rejects_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            RangeSet.from_arrays(
+                np.array([5], np.int64), np.array([2], np.int64)
+            )
+        with pytest.raises(ValueError):
+            RangeSet.from_arrays(
+                np.array([-1], np.int64), np.array([2], np.int64)
+            )
+
+    def test_lengths(self):
+        rs = RangeSet([(0, 3), (10, 14)])
+        assert rs.lengths.tolist() == [3, 4]
+        assert rs.starts.tolist() == [0, 10]
+        assert rs.stops.tolist() == [3, 14]
+
+    def test_backing_arrays_are_read_only(self):
+        rs = RangeSet([(0, 10), (20, 30)])
+        with pytest.raises(ValueError):
+            rs.starts[0] = 25
+        with pytest.raises(ValueError):
+            rs.stops[0] = 5
+        assert rs.contains_offset(5)
+
+    def test_contains_offsets_empty_set(self):
+        assert not RangeSet.empty().contains_offsets(
+            np.array([0, 5], dtype=np.int64)
+        ).any()
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(0, 2**32 - 1))
+def test_large_random_sets_full_algebra(seed):
+    """10k-range workloads through the whole algebra, vs the oracle."""
+    rng = np.random.default_rng(seed)
+    n = 2000
+
+    def make():
+        starts = rng.integers(0, 1_000_000, n)
+        lengths = rng.integers(0, 400, n)
+        return list(zip(starts.tolist(), (starts + lengths).tolist()))
+
+    pa, pb = make(), make()
+    a, b = RangeSet(pa), RangeSet(pb)
+    ra, rb = PyRangeSet(pa), PyRangeSet(pb)
+
+    assert_same(a | b, ra | rb)
+    assert_same(a & b, ra & rb)
+    assert_same(a - b, ra - rb)
+    assert_same(b - a, rb - ra)
+    universe = (0, 1_000_400)
+    assert_same(a.complement(universe), ra.complement(universe))
+
+    probes = rng.integers(0, 1_000_400, 256)
+    batched = a.contains_offsets(probes)
+    assert batched.tolist() == [
+        ra.contains_offset(int(o)) for o in probes
+    ]
+    for r in list(rb)[:64]:
+        assert a.covers((r.start, r.stop)) == ra.covers((r.start, r.stop))

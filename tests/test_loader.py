@@ -15,7 +15,7 @@ from repro.loader.linker import resolve_symbol
 from repro.loader.process import ProcessImage
 from repro.loader.profiler import FunctionProfiler
 
-from conftest import build_small_library
+from tests.conftest import build_small_library
 
 
 def make_process(mode=LoadingMode.EAGER):

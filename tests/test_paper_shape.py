@@ -14,7 +14,7 @@ from repro.frameworks.catalog import get_framework
 from repro.utils.units import MB
 from repro.workloads.spec import workload_by_id
 
-from conftest import TEST_SCALE
+from tests.conftest import TEST_SCALE
 
 
 @pytest.fixture(scope="module")

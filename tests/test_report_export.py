@@ -12,7 +12,7 @@ from repro.core.report import DebloatTiming, LibraryReduction
 from repro.frameworks.catalog import get_framework
 from repro.workloads.spec import workload_by_id
 
-from conftest import TEST_SCALE
+from tests.conftest import TEST_SCALE
 
 
 @pytest.fixture(scope="module")

@@ -17,7 +17,7 @@ from repro.workloads.models import (
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import TABLE1_WORKLOADS, WorkloadSpec, workload_by_id
 
-from conftest import TEST_SCALE
+from tests.conftest import TEST_SCALE
 from repro.frameworks.catalog import get_framework
 
 
