@@ -8,6 +8,11 @@ touching a workload pays for its pipeline and the rest reuse it; the
 benchmark numbers therefore measure the *regeneration* cost of each
 artifact.
 
+The disk tier is pointed at a session-private tmp directory: benchmark
+numbers must come from real pipeline executions, never from a developer's
+(or an earlier CI step's) warm ``~/.cache/repro-debloat`` - and benchmark
+runs must not pollute it either.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -18,6 +23,23 @@ from __future__ import annotations
 import pytest
 
 BENCH_SCALE = 0.125
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    """Keep the benchmark suite off any pre-existing pipeline disk cache."""
+    cache_dir = tmp_path_factory.mktemp("pipeline-cache")
+    import os
+
+    old = os.environ.get("REPRO_PIPELINE_CACHE_DIR")
+    os.environ["REPRO_PIPELINE_CACHE_DIR"] = str(cache_dir)
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_PIPELINE_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_PIPELINE_CACHE_DIR"] = old
 
 
 def run_and_check(benchmark, experiment_id: str,

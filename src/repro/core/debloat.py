@@ -43,6 +43,15 @@ from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import WorkloadSpec
 
 
+#: Version of the pipeline's *behavior* (locate/compact/verify semantics,
+#: timing attribution, exact-kernel ablation).  Folded into every disk-cache
+#: digest alongside the serialization schema and generator versions, so
+#: persisted reports never survive an algorithm change that leaves both the
+#: payload layout and the generated library bytes untouched.  Bump on ANY
+#: change that can alter a report's numbers for identical inputs.
+PIPELINE_VERSION = 1
+
+
 @dataclass(frozen=True)
 class DebloatOptions:
     """Pipeline configuration."""

@@ -1,0 +1,502 @@
+"""Versioned serialization of the debloat-report object graph.
+
+The disk tier of the pipeline cache (``repro.experiments.diskcache``) has to
+persist :class:`~repro.core.report.WorkloadDebloatReport` objects across
+processes, which means the whole report graph - library reductions, locate
+results with their :class:`~repro.core.locate.ElementDecision` lists and
+NumPy-backed :class:`~repro.utils.intervals.RangeSet` ranges, run metrics
+with per-library used-function arrays, timings, and the verification result
+- needs a stable, versioned wire form.  None of those dataclasses know how
+to serialize themselves; this module is the one place that does.
+
+Two layers:
+
+* :func:`to_payload` / :func:`from_payload` - lossless conversion between a
+  report and a *payload tree*: nested dicts/lists of JSON scalars plus raw
+  ``numpy.ndarray`` leaves.  The payload carries ``schema`` =
+  :data:`SCHEMA_VERSION`; ``from_payload`` refuses any other version with
+  :class:`~repro.errors.CacheSchemaError`.
+
+* :func:`dumps` / :func:`loads` - a compact binary container for a payload:
+  a fixed magic + version prefix, a JSON header in which every array is
+  replaced by an index placeholder, the raw array bytes concatenated, and a
+  trailing CRC32 over everything before it.  ``loads`` classifies every
+  failure mode as :class:`~repro.errors.CacheDecodeError` (truncation,
+  garbage, bad CRC) or :class:`~repro.errors.CacheSchemaError` (version
+  skew) so cache readers can treat both as a miss, never a crash.
+
+:func:`stable_digest` hashes arbitrary frozen-identity tuples (the pipeline
+cache key plus the framework-build fingerprint) into a hex string that is
+stable across processes and Python builds - unlike ``hash()``, which is
+salted per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.core.locate import ElementDecision, LocateResult, RemovalReason
+from repro.core.report import (
+    DebloatTiming,
+    LibraryReduction,
+    WorkloadDebloatReport,
+)
+from repro.core.verify import VerificationResult
+from repro.errors import CacheDecodeError, CacheSchemaError
+from repro.utils.intervals import RangeSet
+from repro.workloads.metrics import RunMetrics
+
+#: Bump on ANY change to the payload layout; readers treat other versions as
+#: cache misses (the entry is recomputed and overwritten, never migrated).
+SCHEMA_VERSION = 1
+
+#: Container magic: "Repro Debloat-report Binary Container".
+MAGIC = b"RDBC"
+
+#: Payload kind of a full :class:`WorkloadDebloatReport`.
+REPORT_KIND = "workload_debloat_report"
+
+_HEADER = struct.Struct("<4sII")  # magic, schema version, JSON header length
+_CRC = struct.Struct("<I")
+
+
+# ---------------------------------------------------------------------------
+# payload layer: report graph <-> dict/list/scalar/ndarray tree
+# ---------------------------------------------------------------------------
+
+
+def _rangeset_to_payload(rs: RangeSet) -> dict[str, Any]:
+    return {
+        "starts": np.asarray(rs.starts, dtype=np.int64),
+        "stops": np.asarray(rs.stops, dtype=np.int64),
+    }
+
+
+def _rangeset_from_payload(p: dict[str, Any]) -> RangeSet:
+    return RangeSet.from_arrays(p["starts"], p["stops"])
+
+
+def _decision_to_payload(d: ElementDecision) -> dict[str, Any]:
+    return {
+        "index": d.index,
+        "sm_arch": d.sm_arch,
+        "size": d.size,
+        "kernel_count": d.kernel_count,
+        "retained": d.retained,
+        "reason": None if d.reason is None else d.reason.name,
+        "used_entry_kernels": list(d.used_entry_kernels),
+    }
+
+
+def _decision_from_payload(p: dict[str, Any]) -> ElementDecision:
+    return ElementDecision(
+        index=int(p["index"]),
+        sm_arch=int(p["sm_arch"]),
+        size=int(p["size"]),
+        kernel_count=int(p["kernel_count"]),
+        retained=bool(p["retained"]),
+        reason=None if p["reason"] is None else RemovalReason[p["reason"]],
+        used_entry_kernels=tuple(p["used_entry_kernels"]),
+    )
+
+
+def _locate_to_payload(res: LocateResult) -> dict[str, Any]:
+    return {
+        "soname": res.soname,
+        "device_arch": res.device_arch,
+        "decisions": [_decision_to_payload(d) for d in res.decisions],
+        "retain_ranges": _rangeset_to_payload(res.retain_ranges),
+        "remove_ranges": _rangeset_to_payload(res.remove_ranges),
+    }
+
+
+def _locate_from_payload(p: dict[str, Any]) -> LocateResult:
+    return LocateResult(
+        soname=p["soname"],
+        device_arch=int(p["device_arch"]),
+        decisions=[_decision_from_payload(d) for d in p["decisions"]],
+        retain_ranges=_rangeset_from_payload(p["retain_ranges"]),
+        remove_ranges=_rangeset_from_payload(p["remove_ranges"]),
+    )
+
+
+def _metrics_to_payload(m: RunMetrics | None) -> dict[str, Any] | None:
+    if m is None:
+        return None
+    return {
+        "workload_id": m.workload_id,
+        "execution_time_s": m.execution_time_s,
+        "peak_cpu_mem_bytes": m.peak_cpu_mem_bytes,
+        "peak_gpu_mem_bytes": m.peak_gpu_mem_bytes,
+        "output_digest": m.output_digest,
+        "used_kernels": {
+            soname: sorted(names) for soname, names in m.used_kernels.items()
+        },
+        "used_functions": {
+            soname: np.asarray(idx, dtype=np.int64)
+            for soname, idx in m.used_functions.items()
+        },
+        "counters": {k: int(v) for k, v in m.counters.items()},
+    }
+
+
+def _metrics_from_payload(p: dict[str, Any] | None) -> RunMetrics | None:
+    if p is None:
+        return None
+    return RunMetrics(
+        workload_id=p["workload_id"],
+        execution_time_s=float(p["execution_time_s"]),
+        peak_cpu_mem_bytes=int(p["peak_cpu_mem_bytes"]),
+        peak_gpu_mem_bytes=int(p["peak_gpu_mem_bytes"]),
+        output_digest=p["output_digest"],
+        used_kernels={
+            soname: frozenset(names)
+            for soname, names in p["used_kernels"].items()
+        },
+        used_functions={
+            soname: np.asarray(idx, dtype=np.int64)
+            for soname, idx in p["used_functions"].items()
+        },
+        counters=dict(p["counters"]),
+    )
+
+
+def _library_to_payload(lib: LibraryReduction) -> dict[str, Any]:
+    return {
+        "soname": lib.soname,
+        "file_size": lib.file_size,
+        "cpu_size": lib.cpu_size,
+        "n_functions": lib.n_functions,
+        "gpu_size": lib.gpu_size,
+        "n_elements": lib.n_elements,
+        "file_size_after": lib.file_size_after,
+        "cpu_size_after": lib.cpu_size_after,
+        "n_functions_after": lib.n_functions_after,
+        "gpu_size_after": lib.gpu_size_after,
+        "n_elements_after": lib.n_elements_after,
+    }
+
+
+def _library_from_payload(p: dict[str, Any]) -> LibraryReduction:
+    return LibraryReduction(
+        soname=p["soname"],
+        **{k: int(v) for k, v in p.items() if k != "soname"},
+    )
+
+
+def _timing_to_payload(t: DebloatTiming) -> dict[str, Any]:
+    return {
+        "kernel_detection_run_s": t.kernel_detection_run_s,
+        "cpu_profiling_run_s": t.cpu_profiling_run_s,
+        "locate_s": t.locate_s,
+        "compact_s": t.compact_s,
+        "instrumented_run_s": t.instrumented_run_s,
+    }
+
+
+def _verification_to_payload(v: VerificationResult | None) -> dict | None:
+    if v is None:
+        return None
+    return {
+        "ok": v.ok,
+        "original_digest": v.original_digest,
+        "debloated_digest": v.debloated_digest,
+        "error": v.error,
+        "debloated_metrics": _metrics_to_payload(v.debloated_metrics),
+    }
+
+
+def _verification_from_payload(p: dict | None) -> VerificationResult | None:
+    if p is None:
+        return None
+    return VerificationResult(
+        ok=bool(p["ok"]),
+        original_digest=p["original_digest"],
+        debloated_digest=p["debloated_digest"],
+        error=p["error"],
+        debloated_metrics=_metrics_from_payload(p["debloated_metrics"]),
+    )
+
+
+def to_payload(report: WorkloadDebloatReport) -> dict[str, Any]:
+    """Flatten a report into a versioned tree of plain data + ndarrays."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "workload_id": report.workload_id,
+        "device_arch": report.device_arch,
+        "libraries": [_library_to_payload(lib) for lib in report.libraries],
+        "locate_results": {
+            soname: _locate_to_payload(res)
+            for soname, res in report.locate_results.items()
+        },
+        "timing": _timing_to_payload(report.timing),
+        "baseline": _metrics_to_payload(report.baseline),
+        "detection": _metrics_to_payload(report.detection),
+        "debloated_run": _metrics_to_payload(report.debloated_run),
+        "verification": _verification_to_payload(report.verification),
+    }
+
+
+def from_payload(payload: dict[str, Any]) -> WorkloadDebloatReport:
+    """Rebuild a report from :func:`to_payload` output.
+
+    Raises :class:`CacheSchemaError` on version skew and
+    :class:`CacheDecodeError` on any structural problem.
+    """
+    try:
+        schema = payload["schema"]
+    except (TypeError, KeyError) as exc:
+        raise CacheDecodeError("payload has no schema version") from exc
+    if schema != SCHEMA_VERSION:
+        raise CacheSchemaError(
+            f"payload schema {schema!r} != supported {SCHEMA_VERSION}"
+        )
+    kind = payload.get("kind", REPORT_KIND)
+    if kind != REPORT_KIND:
+        raise CacheDecodeError(f"payload kind {kind!r} is not a report")
+    try:
+        return WorkloadDebloatReport(
+            workload_id=payload["workload_id"],
+            device_arch=int(payload["device_arch"]),
+            libraries=[
+                _library_from_payload(p) for p in payload["libraries"]
+            ],
+            locate_results={
+                soname: _locate_from_payload(p)
+                for soname, p in payload["locate_results"].items()
+            },
+            timing=DebloatTiming(
+                **{k: float(v) for k, v in payload["timing"].items()}
+            ),
+            baseline=_metrics_from_payload(payload["baseline"]),
+            detection=_metrics_from_payload(payload["detection"]),
+            debloated_run=_metrics_from_payload(payload["debloated_run"]),
+            verification=_verification_from_payload(payload["verification"]),
+        )
+    except CacheDecodeError:
+        raise
+    except Exception as exc:  # malformed tree of any shape -> decode error
+        raise CacheDecodeError(f"malformed report payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# container layer: payload tree <-> bytes
+# ---------------------------------------------------------------------------
+
+
+def _pack_tree(node: Any, arrays: list[np.ndarray]) -> Any:
+    """Replace ndarray leaves with index placeholders, collecting them."""
+    if isinstance(node, np.ndarray):
+        arrays.append(np.ascontiguousarray(node))
+        return {"__ndarray__": len(arrays) - 1}
+    if isinstance(node, dict):
+        return {k: _pack_tree(v, arrays) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_pack_tree(v, arrays) for v in node]
+    if isinstance(node, np.integer):
+        return int(node)
+    if isinstance(node, np.floating):
+        return float(node)
+    return node
+
+
+def _unpack_tree(node: Any, arrays: list[np.ndarray]) -> Any:
+    if isinstance(node, dict):
+        if set(node) == {"__ndarray__"}:
+            return arrays[node["__ndarray__"]]
+        return {k: _unpack_tree(v, arrays) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_unpack_tree(v, arrays) for v in node]
+    return node
+
+
+def dumps(report: WorkloadDebloatReport) -> bytes:
+    """Serialize a report into the compact binary container."""
+    return payload_dumps(to_payload(report))
+
+
+def payload_dumps(payload: dict[str, Any]) -> bytes:
+    arrays: list[np.ndarray] = []
+    tree = _pack_tree(payload, arrays)
+    header = json.dumps(
+        {
+            "payload": tree,
+            "arrays": [
+                {"dtype": a.dtype.str, "shape": list(a.shape)} for a in arrays
+            ],
+        },
+        separators=(",", ":"),
+        ensure_ascii=False,
+    ).encode("utf-8")
+    parts = [_HEADER.pack(MAGIC, SCHEMA_VERSION, len(header)), header]
+    parts.extend(a.tobytes() for a in arrays)
+    body = b"".join(parts)
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+def loads(data: bytes) -> WorkloadDebloatReport:
+    """Deserialize a container; every failure is a :class:`CacheError`."""
+    return from_payload(payload_loads(data))
+
+
+def value_dumps(value: Any, kind: str) -> bytes:
+    """Serialize an arbitrary payload tree under a caller-chosen kind.
+
+    The experiments' cached-value tier uses this for results that are not
+    full reports: instrumented-run metrics + tool counters, ablation
+    outcomes.  ``value`` may contain dicts/lists/scalars and ndarray
+    leaves; tuples come back as lists.
+    """
+    return payload_dumps(
+        {"schema": SCHEMA_VERSION, "kind": kind, "value": value}
+    )
+
+
+def value_loads(data: bytes, kind: str) -> Any:
+    """Inverse of :func:`value_dumps`; kind mismatch is a decode error."""
+    payload = payload_loads(data)
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise CacheSchemaError(
+            f"payload schema {schema!r} != supported {SCHEMA_VERSION}"
+        )
+    if payload.get("kind") != kind:
+        raise CacheDecodeError(
+            f"payload kind {payload.get('kind')!r} != expected {kind!r}"
+        )
+    return payload["value"]
+
+
+#: Public aliases: the cached-value tier persists bare RunMetrics too.
+metrics_to_payload = _metrics_to_payload
+metrics_from_payload = _metrics_from_payload
+
+
+def payload_loads(data: bytes) -> dict[str, Any]:
+    if len(data) < _HEADER.size + _CRC.size:
+        raise CacheDecodeError(f"container truncated ({len(data)} bytes)")
+    magic, version, header_len = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CacheDecodeError(f"bad magic {magic!r}")
+    if version != SCHEMA_VERSION:
+        raise CacheSchemaError(
+            f"container schema {version} != supported {SCHEMA_VERSION}"
+        )
+    (crc,) = _CRC.unpack_from(data, len(data) - _CRC.size)
+    body = data[: len(data) - _CRC.size]
+    if zlib.crc32(body) != crc:
+        raise CacheDecodeError("CRC mismatch (corrupt container)")
+    try:
+        header = json.loads(
+            body[_HEADER.size : _HEADER.size + header_len].decode("utf-8")
+        )
+        arrays: list[np.ndarray] = []
+        offset = _HEADER.size + header_len
+        for meta in header["arrays"]:
+            dtype = np.dtype(meta["dtype"])
+            shape = tuple(int(s) for s in meta["shape"])
+            nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+            chunk = body[offset : offset + nbytes]
+            if len(chunk) != nbytes:
+                raise CacheDecodeError("array section truncated")
+            arrays.append(np.frombuffer(chunk, dtype=dtype).reshape(shape))
+            offset += nbytes
+        if offset != len(body):
+            raise CacheDecodeError(
+                f"{len(body) - offset} trailing bytes after array section"
+            )
+        payload = _unpack_tree(header["payload"], arrays)
+    except CacheDecodeError:
+        raise
+    except Exception as exc:
+        raise CacheDecodeError(f"malformed container: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CacheDecodeError("container payload is not a mapping")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# equality + stable digests
+# ---------------------------------------------------------------------------
+
+
+def payload_equal(a: Any, b: Any) -> bool:
+    """Deep equality over payload trees, ndarray-aware (dtype + values)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and np.array_equal(a, b)
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(payload_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            payload_equal(x, y) for x, y in zip(a, b)
+        )
+    return type(a) is type(b) and a == b
+
+
+def reports_equal(
+    a: WorkloadDebloatReport, b: WorkloadDebloatReport
+) -> bool:
+    """Semantic report equality (dataclass ``==`` chokes on ndarray fields)."""
+    return payload_equal(to_payload(a), to_payload(b))
+
+
+def _feed(h, obj: Any) -> None:
+    """Hash one node with an unambiguous type tag (order- and type-safe)."""
+    if obj is None:
+        h.update(b"N;")
+    elif isinstance(obj, bool):  # before int: bool is an int subclass
+        h.update(b"B1;" if obj else b"B0;")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"I" + str(int(obj)).encode() + b";")
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"F" + repr(float(obj)).encode() + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        h.update(b"S" + str(len(raw)).encode() + b":" + raw)
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"T(")
+        for item in obj:
+            _feed(h, item)
+        h.update(b")")
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"U(")
+        for item in sorted(obj, key=repr):
+            _feed(h, item)
+        h.update(b")")
+    elif isinstance(obj, dict):
+        h.update(b"D(")
+        for key in sorted(obj, key=repr):
+            _feed(h, key)
+            _feed(h, obj[key])
+        h.update(b")")
+    elif isinstance(obj, np.ndarray):
+        h.update(b"A" + obj.dtype.str.encode() + repr(obj.shape).encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    else:
+        _feed(h, repr(obj))
+
+
+def stable_digest(*parts: Any) -> str:
+    """A process-stable hex digest of arbitrary frozen-identity values.
+
+    Equal values always produce equal digests across processes (no hash
+    salting, no id()-dependence); any perturbation of any nested field
+    produces a different digest.  Used to key disk-cache entries.
+    """
+    h = hashlib.blake2b(digest_size=20)
+    _feed(h, parts)
+    return h.hexdigest()

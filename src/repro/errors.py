@@ -114,3 +114,25 @@ class VerificationError(DebloatError):
 
 class ConfigurationError(ReproError):
     """A spec or configuration object is internally inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Cache / serialization errors
+# ---------------------------------------------------------------------------
+
+
+class CacheError(ReproError):
+    """Base class for report-serialization and pipeline-cache errors.
+
+    Callers that treat a cache as best-effort (the disk tier of the pipeline
+    cache) catch this and fall back to recomputation; nothing in the cache
+    path is allowed to surface a :class:`CacheError` to the user.
+    """
+
+
+class CacheDecodeError(CacheError):
+    """A serialized report container is truncated, corrupt, or malformed."""
+
+
+class CacheSchemaError(CacheDecodeError):
+    """A serialized report uses a different (older/newer) schema version."""

@@ -10,9 +10,7 @@ but far smaller.
 from __future__ import annotations
 
 from repro.analysis.reasons import reason_breakdown
-from repro.core.debloat import Debloater
-from repro.experiments.common import DEFAULT_SCALE, shape_check
-from repro.frameworks.catalog import get_framework
+from repro.experiments.common import DEFAULT_SCALE, report_for, shape_check
 from repro.utils.tables import Table
 from repro.workloads.spec import workload_by_id
 
@@ -23,9 +21,10 @@ TITLE = "Ablation: six-architecture fatbins vs single-architecture build"
 def run(scale: float = DEFAULT_SCALE) -> str:
     spec = workload_by_id("pytorch/inference/mobilenetv2")
 
-    multi = Debloater(get_framework("pytorch", scale=scale)).debloat(spec)
-    single_fw = get_framework("pytorch", scale=scale, archs=(75,))
-    single = Debloater(single_fw).debloat(spec)
+    # Both builds flow through the pipeline cache: ``archs`` is part of the
+    # run identity and of the framework-build fingerprint.
+    multi = report_for(spec, scale)
+    single = report_for(spec, scale, archs=(75,))
 
     table = Table(
         [

@@ -9,11 +9,12 @@ training", the detector wins by a growing margin.
 
 from __future__ import annotations
 
-from repro.core.detect import KernelDetector
-from repro.core.nsys import NsysTracer
-from repro.experiments.common import DEFAULT_SCALE, framework_for, shape_check
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    instrumented_run_metrics,
+    shape_check,
+)
 from repro.utils.tables import Table
-from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import workload_by_id
 
 ID = "ablation_detector_scaling"
@@ -22,7 +23,6 @@ TITLE = "Ablation: detection overhead vs training length (epochs)"
 
 def run(scale: float = DEFAULT_SCALE) -> str:
     base_spec = workload_by_id("pytorch/train/mobilenetv2")
-    framework = framework_for(base_spec, scale)
 
     table = Table(
         [
@@ -33,13 +33,9 @@ def run(scale: float = DEFAULT_SCALE) -> str:
     det_abs, nsys_abs = [], []
     for epochs in (1, 2, 4):
         spec = base_spec.variant(epochs=epochs)
-        base = WorkloadRunner(spec, framework).run()
-        det = WorkloadRunner(
-            spec, framework, subscribers=(KernelDetector(),)
-        ).run()
-        traced = WorkloadRunner(
-            spec, framework, subscribers=(NsysTracer(),)
-        ).run()
+        base, _ = instrumented_run_metrics(spec, scale, "none")
+        det, _ = instrumented_run_metrics(spec, scale, "detector")
+        traced, _ = instrumented_run_metrics(spec, scale, "nsys")
         d = det.execution_time_s - base.execution_time_s
         n = traced.execution_time_s - base.execution_time_s
         det_abs.append(d)

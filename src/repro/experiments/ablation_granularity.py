@@ -9,20 +9,29 @@ kernel-call graph - the reliability argument for the paper's design.
 
 from __future__ import annotations
 
-from repro.core.compact import exact_kernel_removal
-from repro.core.debloat import Debloater
-from repro.errors import CudaError, LoaderError
-from repro.experiments.common import DEFAULT_SCALE, framework_for, shape_check
+from repro.experiments import common
+from repro.experiments.common import DEFAULT_SCALE, shape_check
 from repro.utils.tables import Table
-from repro.workloads.runner import WorkloadRunner
-from repro.workloads.spec import workload_by_id
+from repro.workloads.spec import WorkloadSpec, workload_by_id
 
 ID = "ablation_granularity"
 TITLE = "Ablation: whole-element vs exact-kernel retention"
 
 
-def run(scale: float = DEFAULT_SCALE) -> str:
-    spec = workload_by_id("pytorch/inference/mobilenetv2")
+def _measure(spec: WorkloadSpec, scale: float) -> dict:
+    """Debloat + re-run with exact-kernel removal; cache-value `compute`.
+
+    The exact-kernel variant needs the concrete debloated library objects,
+    which reports do not carry, so this runs its own pipeline - but only on
+    a cold cache: the outcome (two booleans and an error string) persists
+    through the cached-value tier.
+    """
+    from repro.core.compact import exact_kernel_removal
+    from repro.core.debloat import Debloater
+    from repro.errors import CudaError, LoaderError
+    from repro.experiments.common import framework_for
+    from repro.workloads.runner import WorkloadRunner
+
     framework = framework_for(spec, scale)
     debloater = Debloater(framework)
     report = debloater.debloat(spec)
@@ -44,10 +53,24 @@ def run(scale: float = DEFAULT_SCALE) -> str:
     except (CudaError, LoaderError) as exc:
         exact_error = f"{type(exc).__name__}: {exc}"
 
+    return {
+        "verification_ok": report.verification.ok,
+        "exact_error": exact_error,
+    }
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    spec = workload_by_id("pytorch/inference/mobilenetv2")
+    outcome = common.PIPELINE_CACHE.get_or_run_value(
+        spec, scale, "granularity_ablation", (), lambda: _measure(spec, scale)
+    )
+    verification_ok = bool(outcome["verification_ok"])
+    exact_error = outcome["exact_error"]
+
     table = Table(["Retention granularity", "Verification"], title=TITLE)
     table.add_row(
         "whole element (Negativa-ML)",
-        "outputs identical" if report.verification.ok else "FAILED",
+        "outputs identical" if verification_ok else "FAILED",
     )
     table.add_row(
         "exact kernel (ablation)",
@@ -57,7 +80,7 @@ def run(scale: float = DEFAULT_SCALE) -> str:
     checks = [
         shape_check(
             "Whole-element retention verifies",
-            report.verification.ok,
+            verification_ok,
         ),
         shape_check(
             "Exact-kernel retention breaks GPU-launching kernels "

@@ -1,4 +1,12 @@
-"""CLI: ``python -m repro.experiments [ids... | all] [--scale S] [-o FILE]``."""
+"""CLI: ``python -m repro.experiments [ids... | all] [--scale S] [-o FILE]``.
+
+Cache control: ``--no-cache`` bypasses the pipeline cache entirely,
+``--no-disk-cache`` keeps the in-memory tier but never touches disk,
+``--cache-dir`` points the disk tier somewhere other than
+``$REPRO_PIPELINE_CACHE_DIR`` / ``~/.cache/repro-debloat``, and
+``--verbose`` prints per-experiment timing and cache statistics to stderr.
+Experiment output is byte-identical regardless of cache settings.
+"""
 
 from __future__ import annotations
 
@@ -35,10 +43,53 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the cross-experiment pipeline cache (recompute every "
-        "pipeline; outputs are byte-identical either way)",
+        help="disable the pipeline cache entirely, both tiers (recompute "
+        "every pipeline; outputs are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="keep the in-memory pipeline cache but never read or write "
+        "the persisted disk tier",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="disk-tier cache directory (default: $REPRO_PIPELINE_CACHE_DIR "
+        "or ~/.cache/repro-debloat)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print per-experiment timing and cache statistics to stderr",
     )
     return parser
+
+
+def configure_cache(args: argparse.Namespace) -> None:
+    """Apply the shared cache flags to the process-wide pipeline cache."""
+    from repro.experiments.common import PIPELINE_CACHE
+
+    PIPELINE_CACHE.configure(
+        enabled=False if args.no_cache else None,
+        disk_enabled=False if args.no_disk_cache else None,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _cache_stats_line() -> str:
+    from repro.experiments.common import PIPELINE_CACHE
+
+    s = PIPELINE_CACHE.stats()
+    return (
+        f"pipeline cache: {s['entries']} in memory "
+        f"({s['hits']} hits / {s['misses']} misses), "
+        f"{s['disk_entries']} on disk "
+        f"({s['disk_hits']} hits / {s['disk_misses']} misses / "
+        f"{s['disk_errors']} errors)"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,10 +99,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{eid:28s} {module.TITLE}")
         return 0
 
-    if args.no_cache:
-        from repro.experiments.common import PIPELINE_CACHE
-
-        PIPELINE_CACHE.configure(enabled=False)
+    configure_cache(args)
 
     ids = list(EXPERIMENTS) if args.ids == ["all"] or args.ids == [] else args.ids
     chunks: list[str] = []
@@ -62,9 +110,16 @@ def main(argv: list[str] | None = None) -> int:
         chunk = f"{output}\n\n(generated in {elapsed:.1f}s wall time)"
         chunks.append(f"{'=' * 78}\n{chunk}")
         print(chunks[-1])
+        if args.verbose:
+            print(
+                f"[{eid}] {elapsed:.2f}s; {_cache_stats_line()}",
+                file=sys.stderr,
+            )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write("\n\n".join(chunks) + "\n")
+    if args.verbose:
+        print(_cache_stats_line(), file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,287 @@
+"""Disk tier of the pipeline cache: persisted debloat reports.
+
+The in-memory :class:`~repro.experiments.common.PipelineCache` (tier 0)
+only amortizes pipeline runs within one process; every CLI invocation and
+every benchmark process used to recompute warm pipelines from scratch.
+:class:`DiskReportCache` is tier 1: serialized
+:class:`~repro.core.report.WorkloadDebloatReport` containers
+(:mod:`repro.core.serialize`) stored under a cache directory, keyed by a
+:func:`~repro.core.serialize.stable_digest` of the frozen run-identity
+tuple *plus* the framework-build fingerprint
+(:func:`~repro.frameworks.catalog.framework_build_fingerprint`) - so a
+warm entry is only ever served for a byte-identical framework build.
+
+**Location.** ``$REPRO_PIPELINE_CACHE_DIR`` when set, else
+``~/.cache/repro-debloat``.  The environment is re-read on every operation
+unless an explicit directory was configured, so tests can point each test
+at an isolated tmp dir without rebuilding module-level cache objects.
+
+**Failure policy.** A cache must never turn into a correctness or
+availability hazard: corrupted, truncated, version-skewed, or unreadable
+entries - and any filesystem error - are treated as misses (counted in
+``stats()['disk_errors']``), recomputed, and overwritten in place.
+
+**File layout.** One file per entry,
+``<framework>--<workload-id-slug>--s<scale>--<digest>.rpdc``; the readable
+prefix exists so :meth:`invalidate` can drop matching entries by workload /
+framework / scale without deserializing anything, and writes go through a
+same-directory temp file + :func:`os.replace` so readers never observe a
+half-written container.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core import serialize
+from repro.core.report import WorkloadDebloatReport
+from repro.errors import CacheError
+
+#: Filename extension of serialized report containers.
+SUFFIX = ".rpdc"
+
+#: Default cache location (overridden by ``$REPRO_PIPELINE_CACHE_DIR``).
+DEFAULT_CACHE_DIR = "~/.cache/repro-debloat"
+
+#: Environment switch for the disk tier alone (the in-memory tier and both
+#: tiers together are governed by ``REPRO_PIPELINE_CACHE``).
+DISK_ENV = "REPRO_PIPELINE_DISK_CACHE"
+DIR_ENV = "REPRO_PIPELINE_CACHE_DIR"
+
+_FALSE = ("0", "false", "no")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(DISK_ENV, "1") not in _FALSE
+
+
+def _scale_token(scale: float) -> str:
+    return "s" + repr(float(scale)).replace(".", "_")
+
+
+def _slug(workload_id: str) -> str:
+    return workload_id.replace("/", "_")
+
+
+class DiskReportCache:
+    """Persisted WorkloadDebloatReport store (tier 1 of the pipeline cache)."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        self._directory = Path(directory).expanduser() if directory else None
+        self._enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+
+    # -- configuration --------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled if self._enabled is not None else _env_enabled()
+
+    @property
+    def directory(self) -> Path:
+        """The active cache directory (env-resolved unless configured)."""
+        if self._directory is not None:
+            return self._directory
+        return Path(
+            os.environ.get(DIR_ENV) or DEFAULT_CACHE_DIR
+        ).expanduser()
+
+    def configure(
+        self,
+        directory: str | os.PathLike | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        """Pin the directory and/or the enabled flag (None = leave as is)."""
+        if directory is not None:
+            self._directory = Path(directory).expanduser()
+        if enabled is not None:
+            self._enabled = enabled
+
+    # -- keying ---------------------------------------------------------------
+
+    @staticmethod
+    def digest(key: tuple, fingerprint: str, kind: str = "") -> str:
+        """Stable digest of (run identity, framework build, pipeline code).
+
+        :data:`~repro.core.debloat.PIPELINE_VERSION` is part of the digest:
+        a behavior change to locate/compact/verify invalidates every
+        persisted entry even when neither the payload layout
+        (``SCHEMA_VERSION``) nor the generated libraries
+        (``GENERATOR_VERSION``, via the fingerprint) changed.
+        """
+        from repro.core.debloat import PIPELINE_VERSION
+
+        if kind:
+            return serialize.stable_digest(
+                key, fingerprint, PIPELINE_VERSION, kind
+            )
+        return serialize.stable_digest(key, fingerprint, PIPELINE_VERSION)
+
+    def path_for(self, key: tuple, fingerprint: str, kind: str = "") -> Path:
+        """The entry file for one (run identity, build fingerprint) pair.
+
+        ``key`` is a :meth:`PipelineCache.key`-layout tuple: ``key[0]`` is
+        the workload id, ``key[7]`` the framework name, ``key[8]`` the
+        scale - that prefix is what :meth:`invalidate` filters on.  Report
+        entries use an empty ``kind``; cached-value entries bake their kind
+        into the digest so kinds never collide.
+        """
+        name = "--".join(
+            (
+                key[7],
+                _slug(key[0]),
+                _scale_token(key[8]),
+                self.digest(key, fingerprint, kind),
+            )
+        )
+        return self.directory / (name + SUFFIX)
+
+    # -- store ----------------------------------------------------------------
+
+    def get(
+        self, key: tuple, fingerprint: str
+    ) -> WorkloadDebloatReport | None:
+        """Load a persisted report, or None on miss/corruption/skew."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key, fingerprint)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.errors += 1
+            return None
+        try:
+            report = serialize.loads(data)
+        except CacheError:
+            # Truncated, corrupt, or schema-skewed entry: a miss.  The
+            # recompute path overwrites it via put().
+            self.errors += 1
+            return None
+        self.hits += 1
+        return report
+
+    def put(
+        self, key: tuple, fingerprint: str, report: WorkloadDebloatReport
+    ) -> None:
+        """Persist a report atomically; failures are silent (best-effort)."""
+        if not self.enabled:
+            return
+        self._write(self.path_for(key, fingerprint), serialize.dumps(report))
+
+    def get_value(self, key: tuple, fingerprint: str, kind: str):
+        """Load a cached value of ``kind``, or None on miss/corruption."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key, fingerprint, kind)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.errors += 1
+            return None
+        try:
+            value = serialize.value_loads(data, kind)
+        except CacheError:
+            self.errors += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put_value(
+        self, key: tuple, fingerprint: str, kind: str, value
+    ) -> None:
+        if not self.enabled:
+            return
+        self._write(
+            self.path_for(key, fingerprint, kind),
+            serialize.value_dumps(value, kind),
+        )
+
+    def _write(self, path: Path, data: bytes) -> None:
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except OSError:
+            self.errors += 1
+            self._remove(tmp)  # don't leak a half-written temp file
+
+    # -- maintenance ----------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        try:
+            return sorted(self.directory.glob(f"*{SUFFIX}"))
+        except OSError:
+            return []
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def invalidate(
+        self,
+        workload_id: str | None = None,
+        framework: str | None = None,
+        scale: float | None = None,
+    ) -> int:
+        """Delete matching entry files (filters ANDed; none = everything).
+
+        Filters match on the filename's readable prefix, so invalidation
+        never needs to deserialize (and therefore also removes corrupted
+        entries).  Files whose names don't parse are only removed by an
+        unfiltered invalidation.
+        """
+        unfiltered = workload_id is None and framework is None and scale is None
+        removed = 0
+        if unfiltered:
+            # Also sweep temp files orphaned by crashed writers; they never
+            # match the ``*.rpdc`` entry glob.
+            try:
+                stale = list(self.directory.glob(f"*{SUFFIX}.tmp*"))
+            except OSError:
+                stale = []
+            for path in stale:
+                removed += self._remove(path)
+        for path in self.entries():
+            parts = path.name[: -len(SUFFIX)].split("--")
+            if len(parts) != 4:
+                if unfiltered:
+                    removed += self._remove(path)
+                continue
+            fw, wl, sc, _digest = parts
+            if workload_id is not None and wl != _slug(workload_id):
+                continue
+            if framework is not None and fw != framework:
+                continue
+            if scale is not None and sc != _scale_token(scale):
+                continue
+            removed += self._remove(path)
+        return removed
+
+    @staticmethod
+    def _remove(path: Path) -> int:
+        try:
+            path.unlink()
+        except OSError:
+            return 0
+        return 1
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "disk_entries": len(self),
+            "disk_hits": self.hits,
+            "disk_misses": self.misses,
+            "disk_errors": self.errors,
+        }

@@ -10,32 +10,26 @@ NSys.  The structural reason: the detector pays per *distinct kernel*
 
 from __future__ import annotations
 
-from repro.core.detect import KernelDetector
-from repro.core.nsys import NsysTracer
-from repro.experiments.common import DEFAULT_SCALE, framework_for, shape_check
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    instrumented_run_metrics,
+    shape_check,
+)
 from repro.utils.tables import Table
-from repro.workloads.runner import WorkloadRunner
-from repro.workloads.spec import WorkloadSpec, workload_by_id
+from repro.workloads.spec import workload_by_id
 
 ID = "sec46"
 TITLE = "Section 4.6: detection overhead - kernel detector vs NSys"
 
 
-def overhead_comparison(spec: WorkloadSpec, scale: float):
-    framework = framework_for(spec, scale)
-    base = WorkloadRunner(spec, framework).run()
-
-    detector = KernelDetector()
-    det = WorkloadRunner(spec, framework, subscribers=(detector,)).run()
-
-    nsys = NsysTracer()
-    traced = WorkloadRunner(spec, framework, subscribers=(nsys,)).run()
-    return base, det, traced, detector, nsys
-
-
 def run(scale: float = DEFAULT_SCALE) -> str:
     spec = workload_by_id("pytorch/train/mobilenetv2")
-    base, det, traced, detector, nsys = overhead_comparison(spec, scale)
+    base, _ = instrumented_run_metrics(spec, scale, "none")
+    det, det_stats = instrumented_run_metrics(spec, scale, "detector")
+    traced, nsys_stats = instrumented_run_metrics(spec, scale, "nsys")
+    interceptions = det_stats["interceptions"]
+    detected_kernels = det_stats["detected_kernels"]
+    launch_records = nsys_stats["launch_records"]
 
     det_overhead = 100.0 * (det.execution_time_s / base.execution_time_s - 1.0)
     nsys_overhead = 100.0 * (
@@ -48,14 +42,14 @@ def run(scale: float = DEFAULT_SCALE) -> str:
         "kernel detector",
         f"{det.execution_time_s:,.0f}",
         f"+{det_overhead:.0f}",
-        f"{detector.interceptions:,} interceptions "
-        f"({detector.total_detected():,} kernels)",
+        f"{interceptions:,} interceptions "
+        f"({detected_kernels:,} kernels)",
     )
     table.add_row(
         "nsys --trace=cuda",
         f"{traced.execution_time_s:,.0f}",
         f"+{nsys_overhead:.0f}",
-        f"{nsys.launch_records:,} launch records",
+        f"{launch_records:,} launch records",
     )
 
     checks = [
@@ -66,14 +60,14 @@ def run(scale: float = DEFAULT_SCALE) -> str:
         ),
         shape_check(
             "Detector intercepts once per kernel (paper §3.1)",
-            detector.interceptions == detector.total_detected(),
-            f"{detector.interceptions:,} interceptions for "
-            f"{detector.total_detected():,} kernels",
+            interceptions == detected_kernels,
+            f"{interceptions:,} interceptions for "
+            f"{detected_kernels:,} kernels",
         ),
         shape_check(
             "NSys records orders of magnitude more events",
-            nsys.launch_records > 100 * max(detector.interceptions, 1),
-            f"{nsys.launch_records:,} vs {detector.interceptions:,}",
+            launch_records > 100 * max(interceptions, 1),
+            f"{launch_records:,} vs {interceptions:,}",
         ),
     ]
     note = (

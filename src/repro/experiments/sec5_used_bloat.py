@@ -14,8 +14,7 @@ startup-only executed code than PyTorch for the same model - the paper's
 
 from __future__ import annotations
 
-from repro.core.usedbloat import analyze_used_bloat
-from repro.experiments.common import DEFAULT_SCALE, framework_for, shape_check
+from repro.experiments.common import DEFAULT_SCALE, shape_check, used_bloat_report
 from repro.utils.tables import Table
 from repro.utils.units import fmt_mb
 from repro.workloads.spec import workload_by_id
@@ -43,7 +42,7 @@ def run(scale: float = DEFAULT_SCALE) -> str:
     startup_mb = {}
     for wid in _WORKLOADS:
         spec = workload_by_id(wid)
-        report = analyze_used_bloat(spec, framework_for(spec, scale))
+        report = used_bloat_report(spec, scale)
         top = report.top_by_startup_bytes(1)[0]
         table.add_row(
             wid,

@@ -21,7 +21,7 @@ from functools import lru_cache
 
 from repro.cuda.arch import SHIPPED_ARCHITECTURES
 from repro.errors import ConfigurationError
-from repro.frameworks.genlib import generated_library
+from repro.frameworks.genlib import generated_library, generation_identity
 from repro.frameworks.ops import OpKind
 from repro.frameworks.spec import Framework, FrameworkSpec, LibrarySpec, MemoryPolicy
 from repro.utils.rng import RngStream
@@ -568,6 +568,43 @@ def build_id_for(framework: str, soname: str) -> str:
     if framework in ("pytorch", "transformers") and soname in _SHARED_TORCH_SONAMES:
         return "torch-2.3.1"
     return _BUILD_IDS[framework]
+
+
+@lru_cache(maxsize=None)
+def framework_build_fingerprint(
+    name: str,
+    scale: float = 1.0,
+    archs: tuple[int, ...] = SHIPPED_ARCHITECTURES,
+) -> str:
+    """A process-stable digest of a framework build's generation inputs.
+
+    Every library a framework bundle generates is a pure function of its
+    :func:`~repro.frameworks.genlib.generation_identity` (generator
+    version, build id, soname, frozen spec, scale, arch list); hashing the
+    identities of the whole bundle therefore fingerprints the framework
+    *build*.  Two processes that would generate byte-identical library sets
+    produce equal fingerprints, and any change to the generator version, a
+    library spec, the build ids, the scale, or the shipped architectures
+    changes it.  The disk tier of the pipeline cache keys entries on this
+    so persisted reports never survive a framework-build change.
+    """
+    if name not in _SPECS:
+        raise ConfigurationError(
+            f"unknown framework {name!r}; known: {FRAMEWORK_NAMES}"
+        )
+    from repro.core.serialize import stable_digest
+
+    spec = _SPECS[name]()
+    return stable_digest(
+        name,
+        spec.version,
+        tuple(
+            generation_identity(
+                lib_spec, build_id_for(name, lib_spec.soname), scale, archs
+            )
+            for lib_spec in spec.libraries
+        ),
+    )
 
 
 _FRAMEWORK_CACHE: dict[tuple, Framework] = {}

@@ -7,6 +7,13 @@ Subcommands:
 * ``debloat <workload-id>`` - run the full pipeline for a Table-1 workload
   and print the per-library reduction report;
 * ``workloads`` - list the available workload ids.
+
+``debloat`` goes through the shared two-tier pipeline cache
+(:data:`repro.experiments.common.PIPELINE_CACHE`), so a workload already
+debloated by an earlier invocation - or by the experiment CLI - renders
+from the persisted report without re-running anything.  ``--no-cache``,
+``--no-disk-cache``, and ``--cache-dir`` mirror the experiment CLI's cache
+flags; the printed report is byte-identical either way.
 """
 
 from __future__ import annotations
@@ -14,8 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.debloat import Debloater
-from repro.experiments.common import DEFAULT_SCALE
+from repro.experiments.common import DEFAULT_SCALE, report_for
 from repro.frameworks.catalog import FRAMEWORK_NAMES, get_framework
 from repro.tools.inspect import describe_library, kernel_listing, readelf_sections
 from repro.utils.tables import Table
@@ -30,6 +36,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                         help="entity-count scale (1.0 = paper magnitude)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the pipeline cache entirely (both tiers)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="keep the in-memory pipeline cache but never "
+                        "read or write the persisted disk tier")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="disk-tier cache directory (default: "
+                        "$REPRO_PIPELINE_CACHE_DIR or ~/.cache/repro-debloat)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_inspect = sub.add_parser("inspect", help="describe a shared library")
@@ -68,8 +82,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 def cmd_debloat(args: argparse.Namespace) -> int:
     spec = workload_by_id(args.workload_id)
-    framework = get_framework(spec.framework, scale=args.scale)
-    report = Debloater(framework).debloat(spec)
+    report = report_for(spec, scale=args.scale)
 
     table = Table(
         ["Library", "File MB (red%)", "CPU MB (red%)", "GPU MB (red%)",
@@ -108,6 +121,9 @@ def cmd_workloads(_: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.experiments.cli import configure_cache
+
+    configure_cache(args)
     handlers = {
         "inspect": cmd_inspect,
         "debloat": cmd_debloat,

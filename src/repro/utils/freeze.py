@@ -1,0 +1,39 @@
+"""Canonical freezing of config objects into hashable identity tuples.
+
+Cache keys all over the pipeline (the in-process pipeline cache, the
+generation cache, and the disk-cache digests) need a *deterministic*
+hashable form of arbitrary config values - dataclasses, dicts, sets,
+scalars.  ``repr()`` is not enough: set/frozenset iteration order depends on
+the per-process string-hash salt, so any identity that stringifies a set
+directly is not stable across processes.  :func:`freeze` recurses
+structurally and sorts unordered containers, so equal values always freeze
+to equal tuples, in every process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def freeze(value) -> object:
+    """Recursively convert a value into a hashable, canonical component.
+
+    Dataclasses become ``(field_name, frozen_value)`` tuples in field order;
+    dicts and sets are sorted; sequences become tuples; scalars pass
+    through; anything else falls back to ``repr`` (fine for enums and other
+    objects with deterministic reprs).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return tuple(
+            (f.name, freeze(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(freeze(v) for v in value))
+    if isinstance(value, (str, int, float, bool, bytes)) or value is None:
+        return value
+    return repr(value)

@@ -4,6 +4,11 @@ Tests run at ``scale=0.02`` (entity counts ~2% of paper magnitude, byte
 sizes unchanged) so a full debloat pipeline takes well under a second.
 Framework builds are session-scoped: generation is deterministic, and the
 pipeline never mutates original libraries (compaction copies).
+
+Every test gets an isolated ``REPRO_PIPELINE_CACHE_DIR`` (a per-test tmp
+dir): the pipeline cache's disk tier resolves that variable on every
+operation, so the suite can exercise persistence freely without ever
+reading - or polluting - a developer's real ``~/.cache/repro-debloat``.
 """
 
 from __future__ import annotations
@@ -21,6 +26,14 @@ from repro.frameworks.catalog import get_framework
 from repro.workloads.spec import TABLE1_WORKLOADS, workload_by_id
 
 TEST_SCALE = 0.02
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    """Point the pipeline cache's disk tier at a per-test tmp directory."""
+    monkeypatch.setenv(
+        "REPRO_PIPELINE_CACHE_DIR", str(tmp_path / "pipeline-cache")
+    )
 
 
 @pytest.fixture(scope="session")

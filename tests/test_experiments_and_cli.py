@@ -27,7 +27,12 @@ def _warm_cache():
 
 
 class TestHarness:
-    def test_report_cached(self):
+    def test_report_cached(self, monkeypatch):
+        # Pin an enabled cache so this holds under REPRO_PIPELINE_CACHE=0
+        # CI legs too (the suite must pass with the global cache disabled).
+        monkeypatch.setattr(
+            excommon, "PIPELINE_CACHE", excommon.PipelineCache(enabled=True)
+        )
         spec = workload_by_id("pytorch/inference/mobilenetv2")
         a = excommon.report_for(spec, TEST_SCALE)
         b = excommon.report_for(spec, TEST_SCALE)

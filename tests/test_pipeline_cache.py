@@ -21,8 +21,15 @@ SPEC_ID = "pytorch/inference/mobilenetv2"
 
 @pytest.fixture()
 def cache():
-    """A fresh, enabled cache wired in place of the process-wide one."""
-    fresh = PipelineCache(enabled=True)
+    """A fresh, enabled cache wired in place of the process-wide one.
+
+    Both tiers are pinned on so the assertions hold regardless of the
+    ``REPRO_PIPELINE_CACHE`` / ``REPRO_PIPELINE_DISK_CACHE`` environment
+    the suite itself runs under.
+    """
+    from repro.experiments.diskcache import DiskReportCache
+
+    fresh = PipelineCache(enabled=True, disk=DiskReportCache(enabled=True))
     import repro.experiments.common as common
 
     old = common.PIPELINE_CACHE
@@ -39,7 +46,17 @@ class TestCacheBehaviour:
         a = report_for(spec, TEST_SCALE)
         b = report_for(spec, TEST_SCALE)
         assert a is b
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "entries": 1,
+            "value_entries": 0,
+            "hits": 1,
+            "misses": 1,
+            # The miss also consulted and then populated the disk tier.
+            "disk_entries": 1,
+            "disk_hits": 0,
+            "disk_misses": 1,
+            "disk_errors": 0,
+        }
 
     def test_scale_is_part_of_the_key(self, cache):
         spec = workload_by_id(SPEC_ID)
@@ -65,6 +82,15 @@ class TestCacheBehaviour:
         )
         assert ablated is again
 
+    def test_locate_workers_not_part_of_the_key(self, cache):
+        """Fan-out is a tuning knob with deterministic output: runs with
+        different worker counts must share one cache entry."""
+        spec = workload_by_id(SPEC_ID)
+        a = report_for(spec, TEST_SCALE)
+        b = report_for(spec, TEST_SCALE, DebloatOptions(locate_workers=8))
+        assert a is b
+        assert len(cache) == 1
+
     def test_none_options_equal_default_options(self, cache):
         spec = workload_by_id(SPEC_ID)
         assert report_for(spec, TEST_SCALE) is report_for(
@@ -77,15 +103,17 @@ class TestCacheBehaviour:
         report_for(spec, TEST_SCALE)
         report_for(other, TEST_SCALE)
         assert len(cache) == 2
-        assert cache.invalidate(framework="tensorflow") == 1
+        # Each eviction drops one in-memory entry AND its disk file.
+        assert cache.invalidate(framework="tensorflow") == 2
         assert len(cache) == 1
-        assert cache.invalidate(workload_id=SPEC_ID, scale=TEST_SCALE) == 1
+        assert cache.invalidate(workload_id=SPEC_ID, scale=TEST_SCALE) == 2
         assert len(cache) == 0
+        assert len(cache.disk) == 0
 
     def test_invalidate_forces_recompute(self, cache):
         spec = workload_by_id(SPEC_ID)
         a = report_for(spec, TEST_SCALE)
-        assert cache.invalidate() == 1
+        assert cache.invalidate() == 2  # memory entry + disk file
         b = report_for(spec, TEST_SCALE)
         assert a is not b
 
@@ -102,6 +130,7 @@ class TestCacheBehaviour:
         b = report_for(spec, TEST_SCALE)
         assert a is not b
         assert len(cache) == 0
+        assert len(cache.disk) == 0  # disabling tier 0 bypasses tier 1 too
 
 
 class TestCacheTransparency:
