@@ -14,6 +14,12 @@ timers (it runs under a normal ``pytest benchmarks/bench_intervals.py``
 invocation); the ``bench_*`` functions integrate with pytest-benchmark for
 trajectory tracking.  ``python benchmarks/bench_intervals.py`` regenerates
 ``BENCH_intervals.json``, the recorded baseline future PRs compare against.
+
+``test_sparsefile_batched_zero`` covers the consumer side: ``SparseFile``
+extent bookkeeping is RangeSet-array-backed, and punching a locate result's
+thousands of removal ranges via one batched :meth:`SparseFile.zero_ranges`
+must beat the equivalent per-range ``zero()`` loop by the same kind of
+margin (the compactor's hot path).
 """
 
 from __future__ import annotations
@@ -26,12 +32,18 @@ import numpy as np
 
 from repro.utils._intervals_py import PyRangeSet
 from repro.utils.intervals import RangeSet
+from repro.utils.sparsefile import SparseFile
 
 N_RANGES = 10_000
 SPAN = 10_000_000
 MAX_LEN = 2_000
 SEED = 20250727
 SPEEDUP_FLOOR = 5.0
+
+SPARSE_EXTENTS = 20_000
+SPARSE_CELL = 128
+SPARSE_ZEROES = 2_000
+SPARSE_SPEEDUP_FLOOR = 5.0
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_intervals.json"
 
@@ -108,6 +120,65 @@ def test_bench_intervals_reference(benchmark):
     benchmark(full_algebra, PyRangeSet, *args)
 
 
+def make_sparse_file(
+    n: int = SPARSE_EXTENTS, cell: int = SPARSE_CELL
+) -> SparseFile:
+    """A file with ``n`` disjoint extents of ``cell // 2`` bytes each."""
+    f = SparseFile.from_bytes(b"\xab" * (n * cell))
+    idx = np.arange(n, dtype=np.int64)
+    f.zero_ranges(
+        RangeSet.from_arrays(idx * cell + cell // 2, (idx + 1) * cell)
+    )
+    assert len(f.extents()) == n
+    return f
+
+
+def sparse_zero_ranges(k: int = SPARSE_ZEROES) -> RangeSet:
+    """Random removal ranges across the sparse file's extent space."""
+    rng = np.random.default_rng(SEED)
+    starts = rng.integers(0, SPARSE_EXTENTS * SPARSE_CELL, k)
+    return RangeSet.from_arrays(
+        starts, starts + rng.integers(1, 3 * SPARSE_CELL, k)
+    )
+
+
+def test_sparsefile_batched_zero():
+    """Batched zero_ranges >= 5x over the per-range zero() loop, same bytes."""
+    ranges = sparse_zero_ranges()
+    pairs = list(
+        zip(ranges.starts.tolist(), ranges.lengths.tolist())
+    )
+
+    batched = make_sparse_file()
+    t0 = time.perf_counter()
+    batched.zero_ranges(ranges)
+    batched_s = time.perf_counter() - t0
+
+    loop = make_sparse_file()
+    t0 = time.perf_counter()
+    for start, length in pairs:
+        loop.zero(start, length)
+    loop_s = time.perf_counter() - t0
+
+    assert batched == loop  # identical extents AND bytes
+    speedup = loop_s / batched_s
+    print(f"\nper-range {loop_s * 1e3:.1f} ms, batched "
+          f"{batched_s * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    assert speedup >= SPARSE_SPEEDUP_FLOOR, (
+        f"batched zero_ranges only {speedup:.1f}x faster (floor "
+        f"{SPARSE_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_bench_sparsefile_zero_ranges(benchmark):
+    """Batched hole punching on a 20k-extent file (compaction hot path)."""
+    ranges = sparse_zero_ranges()
+    f = make_sparse_file()
+    benchmark.pedantic(
+        lambda: f.copy().zero_ranges(ranges), rounds=5, iterations=1
+    )
+
+
 def test_bench_intervals_batched_construction(benchmark):
     """from_arrays: the no-Python-objects fast path the locators use."""
     rng = np.random.default_rng(SEED)
@@ -125,6 +196,22 @@ def main() -> None:
     starts = rng.integers(0, SPAN, N_RANGES)
     stops = starts + rng.integers(1, MAX_LEN, N_RANGES)
     batched_s = _time(lambda: RangeSet.from_arrays(starts, stops), repeats=5)
+    sparse_ranges = sparse_zero_ranges()
+    sparse_pairs = list(
+        zip(sparse_ranges.starts.tolist(), sparse_ranges.lengths.tolist())
+    )
+    sparse_batched_s = _time(
+        lambda: make_sparse_file().zero_ranges(sparse_ranges), repeats=3
+    )
+    sparse_build_s = _time(make_sparse_file, repeats=3)
+    sparse_batched_s = max(sparse_batched_s - sparse_build_s, 1e-9)
+
+    def _sparse_loop():
+        f = make_sparse_file()
+        for s, ln in sparse_pairs:
+            f.zero(s, ln)
+
+    sparse_loop_s = max(_time(_sparse_loop, repeats=3) - sparse_build_s, 1e-9)
     baseline = {
         "workload": {
             "n_ranges": N_RANGES,
@@ -139,6 +226,14 @@ def main() -> None:
         "from_arrays_ms": round(batched_s * 1e3, 3),
         "speedup": round(py_s / np_s, 1),
         "speedup_floor": SPEEDUP_FLOOR,
+        "sparsefile": {
+            "extents": SPARSE_EXTENTS,
+            "zero_ranges": SPARSE_ZEROES,
+            "per_range_ms": round(sparse_loop_s * 1e3, 2),
+            "batched_ms": round(sparse_batched_s * 1e3, 3),
+            "speedup": round(sparse_loop_s / sparse_batched_s, 1),
+            "speedup_floor": SPARSE_SPEEDUP_FLOOR,
+        },
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
     print(json.dumps(baseline, indent=2))

@@ -1,0 +1,155 @@
+"""Serving benchmark: incremental store admission vs naive full recompute.
+
+The serving claim: when workloads arrive over time, a shared
+:class:`~repro.serving.store.DebloatStore` admits each new arrival by
+running detection for that workload only and delta-compacting only the
+libraries its usage actually grew - while the naive serving story
+(re-running ``debloat_many`` over the whole set on every arrival, which is
+what a store-less deployment must do to keep one artifact set correct for
+all consumers) recomputes O(n) detections and every library per arrival.
+
+``test_*`` functions assert the comparison at the tiny test scale under a
+plain pytest invocation (caching disabled for both sides - this measures
+computation, not cache hits) and check the end-state byte-identity of the
+two paths.  ``python benchmarks/bench_serving.py`` regenerates
+``BENCH_serving.json``, the recorded baseline future PRs compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.debloat import Debloater, DebloatOptions
+from repro.frameworks.catalog import get_framework
+from repro.serving.store import DebloatStore
+from repro.workloads.spec import TABLE1_WORKLOADS, WorkloadSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_serving.json"
+
+TEST_SCALE = 0.02
+#: Incremental admission must beat naive recompute by at least this factor
+#: over the whole arrival sequence.
+SPEEDUP_FLOOR = 2.0
+
+#: No verification/runtime-comparison runs: the benchmark isolates the
+#: admission path (detection + locate + compact).
+OPTIONS = DebloatOptions(verify=False, runtime_comparison_top_n=0)
+
+
+def serving_specs() -> list[WorkloadSpec]:
+    """An 8-workload single-framework arrival sequence.
+
+    The four PyTorch catalog workloads plus half-batch variants of each;
+    variants resolve different kernel shape buckets, so they are genuinely
+    distinct usage sets arriving at the same store.
+    """
+    base = [w for w in TABLE1_WORKLOADS if w.framework == "pytorch"]
+    variants = [
+        w.variant(batch_size=max(1, w.batch_size // 2)) for w in base
+    ]
+    return base + variants
+
+
+def run_incremental(
+    specs: list[WorkloadSpec], framework
+) -> tuple[list[float], DebloatStore]:
+    """Admit arrivals one at a time into one store; per-arrival seconds."""
+    store = DebloatStore(framework, OPTIONS)
+    latencies = []
+    for spec in specs:
+        start = time.perf_counter()
+        store.admit(spec)
+        latencies.append(time.perf_counter() - start)
+    return latencies, store
+
+
+def run_naive(
+    specs: list[WorkloadSpec], framework
+) -> tuple[list[float], Debloater]:
+    """Full ``debloat_many`` recompute over the whole set per arrival."""
+    latencies = []
+    debloater = Debloater(framework, OPTIONS)
+    for i in range(len(specs)):
+        start = time.perf_counter()
+        debloater.debloat_many(specs[: i + 1])
+        latencies.append(time.perf_counter() - start)
+    return latencies, debloater
+
+
+def test_incremental_beats_naive():
+    """Acceptance: >= 2x over naive recompute on an 8-workload sequence."""
+    specs = serving_specs()
+    assert len(specs) >= 8
+    framework = get_framework("pytorch", scale=TEST_SCALE)
+    inc, _ = run_incremental(specs, framework)
+    naive, _ = run_naive(specs, framework)
+    speedup = sum(naive) / sum(inc)
+    print(
+        f"\nincremental {sum(inc) * 1e3:.0f} ms total, naive "
+        f"{sum(naive) * 1e3:.0f} ms total, speedup {speedup:.1f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"incremental admission only {speedup:.1f}x faster than naive "
+        f"recompute (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_incremental_matches_one_shot_union():
+    """Admitting N one at a time ends in the SAME library bytes as one union."""
+    specs = serving_specs()
+    framework = get_framework("pytorch", scale=TEST_SCALE)
+    _, store = run_incremental(specs, framework)
+    debloater = Debloater(framework, OPTIONS)
+    debloater.debloat_many(specs)
+    one_shot = debloater.debloated_libraries
+    incremental = store.debloated_libraries()
+    assert sorted(incremental) == sorted(one_shot)
+    for soname, d in incremental.items():
+        other = one_shot[soname]
+        assert d.lib.data == other.lib.data, soname
+        assert d.removed_cpu_ranges == other.removed_cpu_ranges
+        assert d.removed_gpu_ranges == other.removed_gpu_ranges
+
+
+def test_bench_saturated_admission(benchmark):
+    """pytest-benchmark hook: admission into a saturated union.
+
+    Re-admitting a served workload is the store's steady state - zero new
+    kernels, zero re-compactions, detection served from the recorded usage
+    - i.e. the per-request cost once the union has saturated.
+    """
+    framework = get_framework("pytorch", scale=TEST_SCALE)
+    specs = serving_specs()
+    store = DebloatStore(framework, OPTIONS)
+    for spec in specs:
+        store.admit(spec)
+
+    benchmark(store.admit, specs[-1])
+
+
+def main() -> None:
+    """Regenerate the recorded baseline (run on the reference machine)."""
+    specs = serving_specs()
+    framework = get_framework("pytorch", scale=TEST_SCALE)
+    inc, store = run_incremental(specs, framework)
+    naive, _ = run_naive(specs, framework)
+    baseline = {
+        "scale": TEST_SCALE,
+        "workloads": [s.workload_id for s in specs],
+        "incremental_ms": [round(s * 1e3, 1) for s in inc],
+        "naive_ms": [round(s * 1e3, 1) for s in naive],
+        "incremental_total_ms": round(sum(inc) * 1e3, 1),
+        "naive_total_ms": round(sum(naive) * 1e3, 1),
+        "speedup": round(sum(naive) / sum(inc), 1),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "store_stats": store.stats(),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(json.dumps(baseline, indent=2))
+
+
+if __name__ == "__main__":
+    main()

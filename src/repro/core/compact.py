@@ -105,17 +105,29 @@ class Compactor:
                     f"{lib.soname}: GPU removal overlaps structural ranges"
                 )
             removed_index = {d.index for d in gpu.removed}
+            payload_holes: list[tuple[int, int]] = []
             for element in image.elements():
                 if element.index not in removed_index:
                     continue
                 # Zero the cubin payload, keep the header walkable, flag it.
-                data.zero(element.payload_offset, element.header.padded_payload_size)
+                payload_holes.append(
+                    (
+                        element.payload_offset,
+                        element.payload_offset
+                        + element.header.padded_payload_size,
+                    )
+                )
                 flags = element.header.flags | FC.ELEMENT_FLAG_REMOVED
                 data.write(
                     element.header_offset + _ELEMENT_FLAGS_OFFSET,
                     struct.pack("<I", flags),
                 )
                 removed_elements += 1
+            if payload_holes:
+                # Payload ranges never overlap the headers just written, so
+                # punching them in one batched pass is order-equivalent.
+                holes = np.asarray(payload_holes, dtype=np.int64)
+                data.zero_ranges(RangeSet.from_arrays(holes[:, 0], holes[:, 1]))
 
         if cpu is not None and cpu.remove_ranges:
             removed_cpu = cpu.remove_ranges

@@ -32,8 +32,9 @@ from repro.core.compact import Compactor, DebloatedLibrary
 from repro.core.cpu import FunctionLocator
 from repro.core.detect import KernelDetector
 from repro.core.locate import KernelLocator
+from repro.core.nsys import NsysTracer
 from repro.core.report import DebloatTiming, LibraryReduction, WorkloadDebloatReport
-from repro.core.verify import verify_debloat
+from repro.core.verify import VerificationResult, verify_debloat
 from repro.cuda.clock import VirtualClock
 from repro.cuda.costs import DEFAULT_COSTS, CostModel
 from repro.errors import VerificationError
@@ -97,11 +98,16 @@ class Debloater:
 
         # 2. Fused instrumented run: the CUPTI kernel-detection hook and the
         # CPU function profiler attach to the same execution (exactly how
-        # debloat_many composes them), saving one full workload run.
+        # debloat_many composes them), saving one full workload run.  A
+        # *passive* NSys tracer rides along - it counts the records a
+        # standalone `nsys --trace=cuda` run would emit without charging
+        # the clock - so the §4.6 tool-stack comparison is attributed from
+        # this same run instead of executing the workload a third time.
         detector = KernelDetector(costs)
         profiler = FunctionProfiler()
+        nsys = NsysTracer(costs, passive=True)
         instrumented_metrics = WorkloadRunner(
-            spec, self.framework, costs, subscribers=(detector,),
+            spec, self.framework, costs, subscribers=(detector, nsys),
             profiler=profiler,
         ).run()
         used_functions = profiler.used_functions()
@@ -142,6 +148,10 @@ class Debloater:
             locate_s=locate_elapsed,
             compact_s=compact_elapsed,
             instrumented_run_s=instrumented_metrics.execution_time_s,
+            nsys_traced_run_s=(
+                baseline.execution_time_s
+                + nsys.traced_run_overhead_s(len(spec.devices()))
+            ),
         )
 
         # 5. Verification with all debloated libraries.
@@ -185,6 +195,8 @@ class Debloater:
             "detector_interceptions": detector.interceptions,
             "detected_kernels": detector.total_detected(),
             "profiled_functions": profiler.used_count(),
+            "nsys_launch_records": nsys.launch_records,
+            "nsys_misc_records": nsys.misc_records,
         }
         baseline.counters.update(report_extras)
         self.debloated_libraries = debloated
@@ -255,79 +267,23 @@ class Debloater:
         verified against *every* workload.  The report exposes the marginal
         retention growth per added workload - how quickly the "needed" set
         saturates.
+
+        This is now a thin loop over
+        :meth:`repro.serving.store.DebloatStore.admit` - the incremental
+        serving path and the one-shot union produce byte-identical reports
+        and library bytes.  Malformed spec lists (empty, mixed frameworks,
+        mixed device architectures) raise
+        :class:`~repro.errors.UsageError` before anything runs.
         """
-        if not specs:
-            raise VerificationError("debloat_many needs at least one workload")
-        costs = self.options.costs
-        arch = specs[0].devices()[0].sm_arch
+        from repro.serving.store import DebloatStore, validate_union_specs
+
+        validate_union_specs(self.framework.name, specs)
+        store = DebloatStore(self.framework, self.options)
         for spec in specs:
-            if spec.framework != self.framework.name:
-                raise VerificationError(
-                    f"{spec.workload_id} targets {spec.framework!r}"
-                )
-            if spec.devices()[0].sm_arch != arch:
-                raise VerificationError(
-                    "multi-workload debloating requires one device architecture"
-                )
-
-        union_kernels: dict[str, set[str]] = {}
-        union_functions: dict[str, set[int]] = {}
-        baselines: list = []
-        marginal_kernels: list[int] = []
-        for spec in specs:
-            detector = KernelDetector(costs)
-            profiler = FunctionProfiler()
-            baselines.append(
-                WorkloadRunner(
-                    spec, self.framework, costs,
-                    subscribers=(detector,), profiler=profiler,
-                ).run()
-            )
-            before = sum(len(v) for v in union_kernels.values())
-            for soname, names in detector.used_kernels().items():
-                union_kernels.setdefault(soname, set()).update(names)
-            for soname, idx in profiler.used_functions().items():
-                union_functions.setdefault(soname, set()).update(idx.tolist())
-            marginal_kernels.append(
-                sum(len(v) for v in union_kernels.values()) - before
-            )
-
-        features = frozenset().union(*(spec.features for spec in specs))
-        kernel_locator = KernelLocator(costs)
-        function_locator = FunctionLocator(costs)
-        compactor = Compactor(costs)
-        debloated: dict[str, DebloatedLibrary] = {}
-        reductions: list[LibraryReduction] = []
-        for lib in self.framework.libraries_for(features):
-            gpu_res = kernel_locator.locate(
-                lib, frozenset(union_kernels.get(lib.soname, ())), arch
-            )
-            used = np.asarray(
-                sorted(union_functions.get(lib.soname, ())), dtype=np.int64
-            )
-            cpu_res = function_locator.locate(lib, used)
-            d = compactor.compact(lib, cpu_res, gpu_res)
-            debloated[lib.soname] = d
-            reductions.append(LibraryReduction.from_debloated(lib, d))
-
-        verifications = []
-        if self.options.verify:
-            for spec, baseline in zip(specs, baselines):
-                result = verify_debloat(
-                    spec, self.framework, debloated, baseline, costs
-                )
-                verifications.append(result)
-                if self.options.strict_verify and not result.ok:
-                    raise VerificationError(
-                        f"{spec.workload_id}: {result.error}"
-                    )
-        self.debloated_libraries = debloated
-        return MultiWorkloadReport(
-            workload_ids=[spec.workload_id for spec in specs],
-            libraries=reductions,
-            verifications=verifications,
-            marginal_new_kernels=marginal_kernels,
-        )
+            store.admit(spec)
+        report = store.report()
+        self.debloated_libraries = store.debloated_libraries()
+        return report
 
 
 @dataclass
@@ -336,7 +292,7 @@ class MultiWorkloadReport:
 
     workload_ids: list[str]
     libraries: list[LibraryReduction]
-    verifications: list
+    verifications: list[VerificationResult]
     marginal_new_kernels: list[int]
 
     @property

@@ -27,7 +27,7 @@ from repro.cuda.clock import VirtualClock
 from repro.cuda.costs import DEFAULT_COSTS, CostModel
 from repro.elf.image import SharedLibrary
 from repro.errors import LocationError
-from repro.fatbin.cuobjdump import extract_cubins
+from repro.fatbin.cuobjdump import ExtractedCubin, extract_cubins
 from repro.utils.intervals import RangeSet
 
 
@@ -101,12 +101,16 @@ class KernelLocator:
         used_kernels: frozenset[str],
         device_arch: int,
         clock: VirtualClock | None = None,
+        cubins: list[ExtractedCubin] | None = None,
     ) -> LocateResult:
         """Decide retention for every fatbin element of ``lib``.
 
         ``used_kernels`` are the detector's recorded CPU-launching kernel
         names for this library; ``device_arch`` is the architecture of the
-        GPU the workload ran on.
+        GPU the workload ran on.  ``cubins`` lets a caller that already
+        extracted the library's cubins (the serving store keeps them per
+        library) skip re-extraction; the charged locate cost is unchanged -
+        the cuobjdump boundary is part of what the paper times.
         """
         image = lib.fatbin
         if image is None:
@@ -118,7 +122,8 @@ class KernelLocator:
                 remove_ranges=RangeSet.empty(),
             )
 
-        cubins = extract_cubins(lib)
+        if cubins is None:
+            cubins = extract_cubins(lib)
         if clock is not None:
             clock.advance(
                 self.costs.locate_fixed_per_lib
@@ -179,6 +184,84 @@ class KernelLocator:
         return LocateResult(
             soname=lib.soname,
             device_arch=device_arch,
+            decisions=decisions,
+            retain_ranges=_ranges_from_pairs(retain),
+            remove_ranges=_ranges_from_pairs(remove),
+        )
+
+    def locate_delta(
+        self,
+        lib: SharedLibrary,
+        previous: LocateResult,
+        added_kernels: frozenset[str],
+        clock: VirtualClock | None = None,
+        cubins: list[ExtractedCubin] | None = None,
+    ) -> LocateResult:
+        """Update ``previous`` for a union that grew by ``added_kernels``.
+
+        Retention is monotone in the used-kernel set: an architecture
+        mismatch (Reason I) can never flip, a retained element stays
+        retained (its ``used_entry_kernels`` may grow), and only Reason II
+        removals can flip to retained when a newly used kernel lands in
+        them.  The result is identical to a full :meth:`locate` against the
+        grown union, but the charged cost scales with the *delta* - the
+        serving store's admission win - and cached cubin extractions are
+        reused instead of re-driving the cuobjdump boundary.
+        """
+        image = lib.fatbin
+        if image is None:
+            return previous
+        if cubins is None:
+            cubins = extract_cubins(lib)
+
+        if len(cubins) != len(previous.decisions):
+            raise LocationError(
+                f"{lib.soname}: {len(cubins)} cubins vs "
+                f"{len(previous.decisions)} previous decisions - stale "
+                f"extraction cache"
+            )
+        decisions: list[ElementDecision] = []
+        retain: list[tuple[int, int]] = []
+        remove: list[tuple[int, int]] = []
+        flipped = 0
+        for extracted, prev in zip(cubins, previous.decisions):
+            if extracted.index != prev.index:
+                raise LocationError(
+                    f"{lib.soname}: cached cubins do not match previous "
+                    f"locate result"
+                )
+            decision = prev
+            if prev.sm_arch == previous.device_arch:
+                new_hits = set(extracted.entry_kernel_names) & added_kernels
+                if new_hits:
+                    decision = ElementDecision(
+                        index=prev.index,
+                        sm_arch=prev.sm_arch,
+                        size=prev.size,
+                        kernel_count=prev.kernel_count,
+                        retained=True,
+                        reason=None,
+                        used_entry_kernels=tuple(
+                            sorted(set(prev.used_entry_kernels) | new_hits)
+                        ),
+                    )
+                    if not prev.retained:
+                        flipped += 1
+            decisions.append(decision)
+            rng = image.element_by_index(decision.index).file_range
+            (retain if decision.retained else remove).append(
+                (rng.start, rng.stop)
+            )
+
+        if clock is not None:
+            clock.advance(
+                self.costs.locate_per_used_kernel * len(added_kernels)
+                + self.costs.locate_per_element * flipped
+            )
+
+        return LocateResult(
+            soname=lib.soname,
+            device_arch=previous.device_arch,
             decisions=decisions,
             retain_ranges=_ranges_from_pairs(retain),
             remove_ranges=_ranges_from_pairs(remove),

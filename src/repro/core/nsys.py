@@ -34,11 +34,35 @@ class NsysTracer:
     misc_records: int = 0
     #: (library, kernel) -> launch count: the timeline rows.
     timeline: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: A passive tracer observes (counts records) without charging the
+    #: virtual clock - neither attach cost nor per-record cost.  The fused
+    #: instrumented run attaches one so ``Debloater.debloat`` can attribute
+    #: what a *standalone* NSys-traced run would have cost
+    #: (:attr:`~repro.core.report.DebloatTiming.nsys_traced_run_s`) without
+    #: executing the workload again.
+    passive: bool = False
 
     def cost_per_event(self, site: CallbackSite) -> float:
+        if self.passive:
+            return 0.0
         if site is CallbackSite.CU_LAUNCH_KERNEL:
             return self.costs.nsys_launch_record
         return self.costs.nsys_misc_record
+
+    def traced_run_overhead_s(self, n_devices: int) -> float:
+        """What this trace volume costs a *charged* run (closed form).
+
+        One CUPTI attach per device driver plus the per-record costs for
+        every launch/misc record observed.  For a passive tracer riding a
+        fused run this is exactly the overhead a standalone
+        ``nsys --trace=cuda`` run of the same workload pays, because record
+        counts are deterministic functions of the executed ops.
+        """
+        return (
+            n_devices * self.costs.cupti_attach
+            + self.costs.nsys_launch_record * self.launch_records
+            + self.costs.nsys_misc_record * self.misc_records
+        )
 
     def on_event(self, info: CallbackInfo) -> None:
         if info.site is CallbackSite.CU_LAUNCH_KERNEL:

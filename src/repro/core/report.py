@@ -103,6 +103,11 @@ class DebloatTiming:
     #: Actual cost of the single fused detection+profiling run (0.0 when a
     #: report predates the fused pipeline).
     instrumented_run_s: float = 0.0
+    #: What a standalone ``nsys --trace=cuda`` run of this workload would
+    #: have cost, attributed from the passive tracer riding the fused run
+    #: (§4.6 tool-stack comparison without an extra workload run; 0.0 when a
+    #: report predates the attribution).
+    nsys_traced_run_s: float = 0.0
 
     @property
     def total_s(self) -> float:

@@ -54,7 +54,8 @@ from repro.workloads.metrics import RunMetrics
 
 #: Bump on ANY change to the payload layout; readers treat other versions as
 #: cache misses (the entry is recomputed and overwritten, never migrated).
-SCHEMA_VERSION = 1
+#: v2: ``DebloatTiming.nsys_traced_run_s`` + NSys record counters.
+SCHEMA_VERSION = 2
 
 #: Container magic: "Repro Debloat-report Binary Container".
 MAGIC = b"RDBC"
@@ -197,6 +198,7 @@ def _timing_to_payload(t: DebloatTiming) -> dict[str, Any]:
         "locate_s": t.locate_s,
         "compact_s": t.compact_s,
         "instrumented_run_s": t.instrumented_run_s,
+        "nsys_traced_run_s": t.nsys_traced_run_s,
     }
 
 

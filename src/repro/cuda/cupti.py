@@ -41,7 +41,14 @@ class CallbackInfo:
 
 
 class CuptiSubscriber(Protocol):
-    """A tool subscribed to driver callbacks."""
+    """A tool subscribed to driver callbacks.
+
+    A subscriber may additionally declare a ``passive`` attribute: a passive
+    subscriber observes events without perturbing the virtual clock (no
+    attach cost, and its ``cost_per_event`` is expected to return 0.0).
+    This is how the fused instrumented run records what *other* tool stacks
+    would have cost without ever executing them (§4.6 attribution).
+    """
 
     #: Sites this subscriber wants callbacks for.
     sites: frozenset[CallbackSite]
@@ -68,7 +75,8 @@ class Cupti:
         if not subscriber.sites:
             raise DetectionError("subscriber declares no callback sites")
         self._subscribers.append(subscriber)
-        self.clock.advance(self.attach_cost)
+        if not getattr(subscriber, "passive", False):
+            self.clock.advance(self.attach_cost)
 
     def unsubscribe(self, subscriber: CuptiSubscriber) -> None:
         try:

@@ -116,6 +116,17 @@ class ConfigurationError(ReproError):
     """A spec or configuration object is internally inconsistent."""
 
 
+class UsageError(ConfigurationError):
+    """The caller passed an unusable argument set to a pipeline entry point.
+
+    Distinct from :class:`VerificationError` (a *result* of running the
+    pipeline): a usage error means the request itself was malformed - an
+    empty workload list, a workload targeting a different framework than
+    the debloater holds, or a mixed-architecture union - and nothing was
+    executed.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Cache / serialization errors
 # ---------------------------------------------------------------------------

@@ -96,13 +96,7 @@ class PipelineCache:
             options or DebloatOptions(), locate_workers=0
         )
         return (
-            spec.workload_id,
-            spec.dataset.name,
-            spec.batch_size,
-            spec.epochs,
-            spec.device_name,
-            spec.world_size,
-            spec.loading_mode.value,
+            *spec_run_identity(spec),
             spec.framework,
             scale,
             _freeze(options),
@@ -252,6 +246,25 @@ class PipelineCache:
 
 #: The process-wide cache every experiment shares.
 PIPELINE_CACHE = PipelineCache()
+
+
+def spec_run_identity(spec: WorkloadSpec) -> tuple:
+    """The per-workload component of every cache key.
+
+    The single place a workload's run identity is enumerated: any new
+    identity-bearing :class:`WorkloadSpec` field must be added here, and
+    every key that covers a workload (pipeline reports, cached values, the
+    saturation curve's whole-catalog key) picks it up automatically.
+    """
+    return (
+        spec.workload_id,
+        spec.dataset.name,
+        spec.batch_size,
+        spec.epochs,
+        spec.device_name,
+        spec.world_size,
+        spec.loading_mode.value,
+    )
 
 
 def framework_for(spec: WorkloadSpec, scale: float = DEFAULT_SCALE) -> Framework:

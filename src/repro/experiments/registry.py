@@ -12,6 +12,7 @@ from repro.experiments import (
     fig5_distributions,
     fig6_pareto,
     fig7_reasons,
+    sec5_saturation,
     sec5_used_bloat,
     sec46_overhead,
     table1_workloads,
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, ModuleType] = {
         table8_e2e_time,
         sec46_overhead,
         sec5_used_bloat,
+        sec5_saturation,
         table9_jaccard_tf,
         table10_distributed,
         ablation_granularity,

@@ -1,0 +1,173 @@
+"""§5 extension: union saturation under incremental admission, at scale.
+
+The paper's discussion argues that code unused by one workload is rarely
+needed by others, so the union of workload usage saturates after a handful
+of workloads.  This experiment drives the serving subsystem
+(:class:`~repro.serving.store.DebloatStore`) through the full Table-1
+workload catalog, admitting one workload at a time per framework, and
+renders the marginal-retention curve: kernels/functions each admission adds
+to the union, how many libraries its delta actually re-compacted versus
+served untouched, and the cumulative debloated size.
+
+Expected shape: the first admission pins the bulk of the union; later
+admissions add a fast-shrinking margin and touch a fast-shrinking set of
+libraries - the static justification for serving many workloads from one
+shared debloated store.
+
+Admission detection routes through the two-tier pipeline cache (kind
+``admission_usage``) and the rendered curve itself through the cached-value
+tier, so a warm process renders this experiment with zero workload runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.debloat import DebloatOptions
+from repro.experiments.common import DEFAULT_SCALE, shape_check
+from repro.frameworks.catalog import FRAMEWORK_NAMES, get_framework
+from repro.utils.tables import Table
+from repro.utils.units import fmt_mb, pct_reduction
+from repro.workloads.spec import TABLE1_WORKLOADS
+
+ID = "sec5_saturation"
+TITLE = "SS5 extension: union saturation under incremental admission"
+
+
+def _compute_framework(fw_name: str, scale: float) -> dict:
+    from repro.serving.store import DebloatStore
+
+    specs = [s for s in TABLE1_WORKLOADS if s.framework == fw_name]
+    framework = get_framework(fw_name, scale=scale)
+    store = DebloatStore(framework, DebloatOptions(), use_cache=True)
+    rows = []
+    for i, spec in enumerate(specs):
+        res = store.admit(spec)
+        snap = store.snapshot()
+        rows.append(
+            {
+                "framework": fw_name,
+                "index": i,
+                "workload": spec.workload_id,
+                "new_kernels": res.new_kernels,
+                "new_functions": res.new_functions,
+                "recompacted": len(res.recompacted),
+                "untouched": len(res.untouched),
+                "added_libraries": len(res.added_libraries),
+                "union_kernels": snap.union_kernels,
+                "file_before": res.union_file_size,
+                "file_after": res.union_file_size_after,
+                "locate_compact_s": res.locate_compact_s,
+                "detection_s": res.detection_run_s,
+            }
+        )
+    return {"rows": rows}
+
+
+def run(scale: float = DEFAULT_SCALE) -> str:
+    from repro.experiments.common import PIPELINE_CACHE, spec_run_identity
+    from repro.frameworks.catalog import framework_build_fingerprint
+
+    # One cached value PER framework, keyed under that framework's first
+    # catalog workload, so PIPELINE_CACHE.invalidate(framework=...) /
+    # invalidate(workload_id=<first spec>) evicts exactly that framework's
+    # curve.  The extra component carries every admitted workload's run
+    # identity plus the build fingerprint - adding, removing, or
+    # re-parameterizing any catalog workload invalidates its framework's
+    # entry.
+    rows = []
+    for fw_name in FRAMEWORK_NAMES:
+        specs = [s for s in TABLE1_WORKLOADS if s.framework == fw_name]
+        if not specs:
+            continue
+        extra = (
+            tuple(spec_run_identity(s) for s in specs),
+            framework_build_fingerprint(fw_name, scale),
+        )
+        value = PIPELINE_CACHE.get_or_run_value(
+            specs[0],
+            scale,
+            "saturation_curve",
+            extra,
+            lambda fw_name=fw_name: _compute_framework(fw_name, scale),
+        )
+        rows.extend(value["rows"])
+
+    table = Table(
+        [
+            "Workload (admission order)",
+            "New kernels",
+            "New fns",
+            "Libs redone",
+            "Libs served",
+            "Union MB after (red%)",
+            "Admit s",
+        ],
+        title=TITLE,
+    )
+    for row in rows:
+        table.add_row(
+            f"{row['index'] + 1}. {row['workload']}",
+            f"{int(row['new_kernels']):,}",
+            f"{int(row['new_functions']):,}",
+            f"{int(row['recompacted'])}",
+            f"{int(row['untouched'])}",
+            f"{fmt_mb(int(row['file_after']))} "
+            f"({pct_reduction(int(row['file_before']), int(row['file_after'])):.0f})",
+            f"{row['locate_compact_s']:,.0f}",
+        )
+
+    by_fw: dict[str, list[dict]] = {}
+    for row in rows:
+        by_fw.setdefault(row["framework"], []).append(row)
+    multi = {fw: r for fw, r in by_fw.items() if len(r) > 1}
+
+    first_dominates = all(
+        r[0]["new_kernels"] > max(x["new_kernels"] for x in r[1:])
+        for r in multi.values()
+    )
+    later = [x for r in multi.values() for x in r[1:]]
+    deltas_shrink = all(x["untouched"] > 0 for x in later) and all(
+        x["recompacted"] < r[0]["recompacted"]
+        for r in multi.values()
+        for x in r[1:]
+    )
+    costs_fall = all(
+        r[-1]["locate_compact_s"] < r[0]["locate_compact_s"]
+        for r in multi.values()
+    )
+
+    checks = [
+        shape_check(
+            "First admission pins the bulk of the union (paper SS5: usage "
+            "saturates)",
+            first_dominates,
+            "first marginal > every later marginal, per framework",
+        ),
+        shape_check(
+            "Later admissions are deltas: untouched libraries are served "
+            "from the store without re-compaction",
+            deltas_shrink,
+            f"{sum(x['untouched'] for x in later)} library servings skipped "
+            f"re-compaction across {len(later)} later admissions",
+        ),
+        shape_check(
+            "Admission cost falls as the union saturates",
+            costs_fall,
+            "last admission's locate+compact < first's, per framework",
+        ),
+    ]
+    note = (
+        "One DebloatStore per framework admits its Table-1 workloads in "
+        "catalog order; 'Libs redone' counts libraries whose union usage "
+        "actually grew (delta re-locate/re-compact), 'Libs served' the "
+        "ones handed out untouched.  Admission detection and this curve "
+        "are served from the pipeline cache when warm: zero workload runs."
+    )
+    return table.render() + "\n" + note + "\n\n" + "\n".join(checks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -638,3 +638,16 @@ def get_framework(
 
 def clear_framework_cache() -> None:
     _FRAMEWORK_CACHE.clear()
+
+
+def is_canonical_build(framework: Framework) -> bool:
+    """True iff ``framework`` is the memoized default-archs catalog build.
+
+    A pure memo-table peek: never triggers a build.  Any canonical
+    instance necessarily came out of :func:`get_framework` and therefore
+    sits in the memo under the default-archs key; custom specs, ablation
+    arch lists, and instances orphaned by :func:`clear_framework_cache`
+    all fail the identity check.
+    """
+    key = (framework.name, framework.scale, tuple(SHIPPED_ARCHITECTURES))
+    return _FRAMEWORK_CACHE.get(key) is framework

@@ -1,0 +1,30 @@
+"""Incremental multi-workload debloat serving (paper §5 at serving scale).
+
+The store (:class:`~repro.serving.store.DebloatStore`) holds one debloated
+library set for the *union* of every admitted workload's usage and admits
+new workloads by delta: only libraries whose union actually grew are
+re-located/re-compacted.  The server
+(:class:`~repro.serving.server.DebloatServer`) fronts a store with a
+request queue and a worker pool so detections overlap while union merges
+stay serialized.
+"""
+
+from repro.serving.server import AdmissionTicket, DebloatServer
+from repro.serving.store import (
+    AdmissionResult,
+    DebloatStore,
+    EvictionResult,
+    StoreSnapshot,
+)
+from repro.serving.usage import WorkloadUsage, capture_usage
+
+__all__ = [
+    "AdmissionResult",
+    "AdmissionTicket",
+    "DebloatServer",
+    "DebloatStore",
+    "EvictionResult",
+    "StoreSnapshot",
+    "WorkloadUsage",
+    "capture_usage",
+]

@@ -1,0 +1,168 @@
+"""Request-queue + worker-pool front-end over a :class:`DebloatStore`.
+
+The serving story: workloads arrive over time, each admission's expensive
+part (the fused instrumented detection run) is independent of the store,
+and only the union merge + delta compaction must serialize.  The server
+keeps a bounded worker pool draining a request queue; workers overlap
+their detection runs and the store's admission lock orders the merges.
+Readers never queue - :meth:`snapshot` returns the store's current
+immutable epoch directly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import UsageError
+from repro.serving.store import AdmissionResult, DebloatStore, StoreSnapshot
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class AdmissionTicket:
+    """A pending admission: resolves to a result or re-raises the failure."""
+
+    spec: WorkloadSpec
+    _done: threading.Event = field(default_factory=threading.Event)
+    _result: AdmissionResult | None = None
+    _error: BaseException | None = None
+    #: Wall-clock seconds from submit to completion (queueing included).
+    latency_s: float | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> AdmissionResult:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"admission of {self.spec.workload_id} still pending"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(
+        self,
+        started: float,
+        result: AdmissionResult | None,
+        error: BaseException | None,
+    ) -> None:
+        self.latency_s = time.perf_counter() - started
+        self._result = result
+        self._error = error
+        self._done.set()
+
+
+_SHUTDOWN = object()
+
+
+class DebloatServer:
+    """Admission workers over one shared store."""
+
+    def __init__(
+        self,
+        store: DebloatStore,
+        workers: int = 2,
+        verify: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise UsageError("DebloatServer needs at least one worker")
+        self.store = store
+        self.verify = verify
+        self._queue: queue.Queue = queue.Queue()
+        # Orders submit() against close(): a ticket must never land behind
+        # the shutdown sentinels (it would hang its waiter forever), and
+        # the served/failed counters are bumped from N worker threads.
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._served = 0
+        self._failed = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"debloat-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, spec: WorkloadSpec) -> AdmissionTicket:
+        """Enqueue one admission; returns immediately with a ticket."""
+        with self._state_lock:
+            if self._closed:
+                raise UsageError("server is closed")
+            ticket = AdmissionTicket(spec)
+            self._queue.put((ticket, time.perf_counter()))
+        return ticket
+
+    def admit(
+        self, spec: WorkloadSpec, timeout: float | None = None
+    ) -> AdmissionResult:
+        """Submit and block until the admission completes."""
+        return self.submit(spec).result(timeout)
+
+    def admit_all(
+        self, specs: list[WorkloadSpec], timeout: float | None = None
+    ) -> list[AdmissionResult]:
+        """Submit a batch and wait for all, preserving submission order."""
+        tickets = [self.submit(spec) for spec in specs]
+        return [t.result(timeout) for t in tickets]
+
+    # -- readers --------------------------------------------------------------
+
+    def snapshot(self) -> StoreSnapshot:
+        return self.store.snapshot()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            **self.store.stats(),
+            "workers": len(self._threads),
+            "pending": self._queue.qsize(),
+            "served": self._served,
+            "failed": self._failed,
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain the queue, stop the workers, and reject new submissions."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Sentinels enqueue under the same lock as tickets, so every
+            # submitted ticket precedes them and gets drained before the
+            # workers exit.
+            for _ in self._threads:
+                self._queue.put(_SHUTDOWN)
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "DebloatServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            ticket, started = item
+            try:
+                result = self.store.admit(ticket.spec, verify=self.verify)
+            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                with self._state_lock:
+                    self._failed += 1
+                ticket._resolve(started, None, exc)
+            else:
+                with self._state_lock:
+                    self._served += 1
+                ticket._resolve(started, result, None)

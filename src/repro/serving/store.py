@@ -1,0 +1,697 @@
+"""Thread-safe shared debloated-library store with delta admission.
+
+The paper's §5 discussion argues that usage saturates: code unused by one
+workload is rarely needed by others, so the *union* of workload usage stops
+growing after a handful of admissions.  ``Debloater.debloat_many`` proves
+that statically but recomputes every library per call;
+:class:`DebloatStore` makes it a serving primitive:
+
+* the store holds the current union usage (kernel names + function indices
+  per soname) and the debloated libraries built against it;
+* :meth:`admit` runs detection for the *new* workload only, then
+  re-locates/re-compacts **only the libraries whose union actually grew**
+  (:meth:`~repro.core.locate.KernelLocator.locate_delta` reuses the
+  previous decisions and the cached cubin extraction); libraries with zero
+  new kernels/functions are served from the store untouched;
+* every successful mutation publishes a new immutable
+  :class:`StoreSnapshot` (generation-numbered, copy-on-write library map),
+  so concurrent readers always observe a consistent library set while
+  admissions mutate;
+* delta compaction fans out over threads
+  (``DebloatOptions.locate_workers``) while the union merge itself stays
+  serialized under the admission lock; per-library locks additionally
+  order any two compactions of the same library, keeping the fan-out safe
+  for callers that move it outside the admission lock (e.g. future
+  admission batching) - today's serialized merges never contend them;
+* :meth:`evict` rebuilds the union from the remaining admissions and
+  re-compacts only the libraries whose union shrank; :meth:`reset` clears
+  everything;
+* with ``use_cache=True`` admission detection routes through the two-tier
+  pipeline cache (:mod:`repro.serving.usage`), so a warm store survives
+  process restarts with zero workload runs.
+
+Incremental admission is byte-identical to a one-shot union:
+locate/compact is a pure function of (library, union sets, architecture),
+and retention is monotone in the union, so admitting N workloads one at a
+time ends in exactly the library bytes ``debloat_many`` produces for the
+same N - which is why ``debloat_many`` is now a thin loop over
+:meth:`admit`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.compact import Compactor, DebloatedLibrary
+from repro.core.cpu import FunctionLocator
+from repro.core.debloat import DebloatOptions, MultiWorkloadReport
+from repro.core.locate import KernelLocator, LocateResult
+from repro.core.report import LibraryReduction
+from repro.core.verify import VerificationResult, verify_debloat
+from repro.cuda.clock import VirtualClock
+from repro.cuda.costs import DEFAULT_COSTS
+from repro.errors import UsageError, VerificationError
+from repro.fatbin.cuobjdump import ExtractedCubin, extract_cubins
+from repro.frameworks.spec import Framework
+from repro.serving.usage import WorkloadUsage, cached_usage, capture_usage
+from repro.utils.units import pct_reduction
+from repro.workloads.spec import WorkloadSpec
+
+_EMPTY_INDICES = np.zeros(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """What one :meth:`DebloatStore.admit` call did."""
+
+    workload_id: str
+    #: Store generation after this admission.
+    generation: int
+    #: Kernels this workload added to the union (the marginal-retention
+    #: series the saturation experiment plots).
+    new_kernels: int
+    new_functions: int
+    #: Libraries re-located/re-compacted because their union grew.
+    recompacted: tuple[str, ...]
+    #: Libraries served from the store untouched.
+    untouched: tuple[str, ...]
+    #: First-seen libraries (subset of ``recompacted``).
+    added_libraries: tuple[str, ...]
+    #: Union library sizes at this admission's epoch (captured under the
+    #: admission lock, so they describe exactly this generation even when
+    #: later admissions land before the caller reads the result).
+    union_file_size: int
+    union_file_size_after: int
+    #: Virtual cost of the fused detection run for this workload.
+    detection_run_s: float
+    #: Virtual cost of the delta locate/compact work (0 when nothing grew).
+    locate_compact_s: float
+    #: The workload's usage was served from the pipeline cache (no run).
+    detection_cached: bool
+    #: This exact spec had been admitted before (idempotent re-admission).
+    duplicate: bool
+    verification: VerificationResult | None = None
+
+    @property
+    def admit_virtual_s(self) -> float:
+        return self.detection_run_s + self.locate_compact_s
+
+
+@dataclass(frozen=True)
+class EvictionResult:
+    """What one :meth:`DebloatStore.evict` call did."""
+
+    workload_id: str
+    generation: int
+    removed_admissions: int
+    #: Libraries re-compacted because their union shrank.
+    recompacted: tuple[str, ...]
+    #: Libraries dropped entirely (no remaining workload needs them).
+    dropped_libraries: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """An immutable, internally consistent view of the store.
+
+    Snapshots are copy-on-write: admissions build a new library map and
+    publish a new snapshot atomically, so a reader holding generation N
+    never observes generation N+1's libraries - the reader's set, counts,
+    and reductions all describe the same epoch.
+    """
+
+    generation: int
+    workload_ids: tuple[str, ...]
+    libraries: Mapping[str, DebloatedLibrary]
+    union_kernels: int
+    union_functions: int
+    #: Per-library reductions in catalog order (the report's row order).
+    reductions: tuple[LibraryReduction, ...]
+
+    @property
+    def sonames(self) -> tuple[str, ...]:
+        return tuple(r.soname for r in self.reductions)
+
+    @property
+    def total_file_size(self) -> int:
+        return sum(r.file_size for r in self.reductions)
+
+    @property
+    def total_file_size_after(self) -> int:
+        return sum(r.file_size_after for r in self.reductions)
+
+    @property
+    def file_reduction_pct(self) -> float:
+        return pct_reduction(self.total_file_size, self.total_file_size_after)
+
+    def library(self, soname: str) -> DebloatedLibrary:
+        return self.libraries[soname]
+
+
+class DebloatStore:
+    """One debloated library set shared across admitted workloads."""
+
+    def __init__(
+        self,
+        framework: Framework,
+        options: DebloatOptions | None = None,
+        use_cache: bool = False,
+    ) -> None:
+        self.framework = framework
+        self.options = options or DebloatOptions()
+        # Cached usage is keyed on (spec, scale, catalog-build fingerprint)
+        # under the default cost model; a custom cost model changes run
+        # metrics and a non-catalog build (e.g. a single-arch ablation
+        # rebuild) would collide with the canonical build's entries - both
+        # silently opt out of the cache rather than risk serving stale or
+        # cross-build data.
+        self._use_cache = (
+            bool(use_cache)
+            and self.options.costs is DEFAULT_COSTS
+            and _is_catalog_build(framework)
+        )
+        self._admission_lock = threading.RLock()
+        # Guards only the per-library lock table (not the admission lock):
+        # pool workers fetch their lock while the admitting thread holds
+        # the admission lock across the fan-out, so the table needs its
+        # own tiny guard to stay deadlock-free.
+        self._locks_guard = threading.Lock()
+        self._lib_locks: dict[str, threading.Lock] = {}
+        self._generation = 0
+        self._arch: int | None = None
+        self._features: frozenset[str] = frozenset()
+        self._union_kernels: dict[str, set[str]] = {}
+        self._union_functions: dict[str, set[int]] = {}
+        self._admitted: list[WorkloadSpec] = []
+        self._usage: dict[WorkloadSpec, WorkloadUsage] = {}
+        self._marginal_kernels: list[int] = []
+        self._debloated: dict[str, DebloatedLibrary] = {}
+        self._locates: dict[str, LocateResult] = {}
+        self._cubins: dict[str, list[ExtractedCubin]] = {}
+        self._kernel_locator = KernelLocator(self.options.costs)
+        self._function_locator = FunctionLocator(self.options.costs)
+        self._compactor = Compactor(self.options.costs)
+        self._snapshot = StoreSnapshot(
+            generation=0,
+            workload_ids=(),
+            libraries=MappingProxyType({}),
+            union_kernels=0,
+            union_functions=0,
+            reductions=(),
+        )
+        self._stat_admissions = 0
+        self._stat_duplicates = 0
+        self._stat_recompactions = 0
+        self._stat_untouched_served = 0
+        self._stat_usage_cache_hits = 0
+
+    # -- admission ------------------------------------------------------------
+
+    def admit(
+        self, spec: WorkloadSpec, verify: bool = False
+    ) -> AdmissionResult:
+        """Admit one workload into the union, delta-compacting as needed.
+
+        Detection (the expensive part) runs *outside* the admission lock,
+        so concurrent admitters overlap their instrumented runs; only the
+        union merge and the delta locate/compact serialize.  ``verify``
+        re-runs the workload against the post-admission library set (union
+        growth is monotone, so previously admitted workloads stay
+        verified).  Raises :class:`UsageError` for a workload that targets
+        another framework or device architecture.
+        """
+        self._validate(spec)
+        with self._admission_lock:
+            prior = self._usage.get(spec)
+        if prior is not None:
+            usage, detection_cached, duplicate = prior, True, True
+        else:
+            usage, detection_cached = self._capture(spec)
+            duplicate = False
+
+        with self._admission_lock:
+            if detection_cached and not duplicate:
+                self._stat_usage_cache_hits += 1
+            if self._arch is None:
+                self._arch = spec.devices()[0].sm_arch
+            else:
+                # Authoritative re-check under the lock: two racing first
+                # admissions may both have seen no pinned architecture.
+                _check_spec(self.framework.name, self._arch, spec)
+            duplicate = duplicate or spec in self._usage
+
+            before = sum(len(v) for v in self._union_kernels.values())
+            before_fn = sum(len(v) for v in self._union_functions.values())
+            added_kernels: dict[str, frozenset[str]] = {}
+            for soname, names in usage.kernels.items():
+                new = names - self._union_kernels.get(soname, frozenset())
+                if new:
+                    added_kernels[soname] = frozenset(new)
+            grown_fn: set[str] = set()
+            for soname, idx in usage.functions.items():
+                have = self._union_functions.get(soname, set())
+                if set(idx.tolist()) - have:
+                    grown_fn.add(soname)
+
+            for soname, new in added_kernels.items():
+                self._union_kernels.setdefault(soname, set()).update(new)
+            for soname, idx in usage.functions.items():
+                self._union_functions.setdefault(soname, set()).update(
+                    idx.tolist()
+                )
+            marginal = (
+                sum(len(v) for v in self._union_kernels.values()) - before
+            )
+            marginal_fn = (
+                sum(len(v) for v in self._union_functions.values()) - before_fn
+            )
+            self._features = self._features | spec.features
+
+            libs = self.framework.libraries_for(self._features)
+            to_process = [
+                lib
+                for lib in libs
+                if lib.soname not in self._debloated
+                or lib.soname in added_kernels
+                or lib.soname in grown_fn
+            ]
+            added_libs = tuple(
+                lib.soname
+                for lib in libs
+                if lib.soname not in self._debloated
+            )
+            processed = {p.soname for p in to_process}
+            untouched = tuple(
+                lib.soname
+                for lib in libs
+                if lib.soname in self._debloated
+                and lib.soname not in processed
+            )
+
+            results = self._process(to_process, added_kernels)
+            new_debloated = dict(self._debloated)
+            locate_compact_s = 0.0
+            for soname, gpu_res, d, elapsed in results:
+                new_debloated[soname] = d
+                self._locates[soname] = gpu_res
+                locate_compact_s += elapsed
+            self._debloated = new_debloated
+
+            self._admitted.append(spec)
+            self._usage.setdefault(spec, usage)
+            self._marginal_kernels.append(marginal)
+            self._generation += 1
+            self._stat_admissions += 1
+            self._stat_duplicates += int(duplicate)
+            self._stat_recompactions += len(to_process)
+            self._stat_untouched_served += len(untouched)
+            self._publish_snapshot()
+            snapshot_libs = self._debloated
+            generation = self._generation
+            union_file_size = self._snapshot.total_file_size
+            union_file_size_after = self._snapshot.total_file_size_after
+
+        verification = None
+        if verify:
+            verification = verify_debloat(
+                spec,
+                self.framework,
+                snapshot_libs,
+                usage.metrics,
+                self.options.costs,
+            )
+            if self.options.strict_verify and not verification.ok:
+                raise VerificationError(
+                    f"{spec.workload_id}: {verification.error}"
+                )
+
+        return AdmissionResult(
+            workload_id=spec.workload_id,
+            generation=generation,
+            new_kernels=marginal,
+            new_functions=marginal_fn,
+            recompacted=tuple(lib.soname for lib in to_process),
+            untouched=untouched,
+            added_libraries=added_libs,
+            union_file_size=union_file_size,
+            union_file_size_after=union_file_size_after,
+            detection_run_s=usage.metrics.execution_time_s,
+            locate_compact_s=locate_compact_s,
+            detection_cached=detection_cached,
+            duplicate=duplicate,
+            verification=verification,
+        )
+
+    # -- delta locate/compact -------------------------------------------------
+
+    def _process(
+        self,
+        libs: list,
+        added_kernels: dict[str, frozenset[str]],
+    ) -> list[tuple[str, LocateResult | None, DebloatedLibrary, float]]:
+        """Locate + compact the grown libraries, optionally in parallel.
+
+        Each library is charged to a private clock, so the fan-out is
+        deterministic and the per-library results are identical whether
+        the loop runs serial or threaded.  The per-library lock is
+        uncontended under today's admission-lock-serialized merges; it
+        exists so two compactions of one library stay ordered if a caller
+        ever runs ``_process`` outside the admission lock.
+        """
+
+        def process_one(lib) -> tuple:
+            with self._lib_lock(lib.soname):
+                clock = VirtualClock()
+                cubins = self._lib_cubins(lib)
+                prev = self._locates.get(lib.soname)
+                if prev is not None and prev.decisions:
+                    gpu_res = self._kernel_locator.locate_delta(
+                        lib,
+                        prev,
+                        added_kernels.get(lib.soname, frozenset()),
+                        clock=clock,
+                        cubins=cubins,
+                    )
+                else:
+                    gpu_res = self._kernel_locator.locate(
+                        lib,
+                        frozenset(self._union_kernels.get(lib.soname, ())),
+                        self._arch,
+                        clock=clock,
+                        cubins=cubins,
+                    )
+                used = self._union_functions.get(lib.soname)
+                used_arr = (
+                    np.asarray(sorted(used), dtype=np.int64)
+                    if used
+                    else _EMPTY_INDICES
+                )
+                cpu_res = self._function_locator.locate(
+                    lib, used_arr, clock=clock
+                )
+                d = self._compactor.compact(lib, cpu_res, gpu_res, clock=clock)
+                return lib.soname, gpu_res, d, clock.now
+
+        workers = self.options.locate_workers
+        if workers and workers > 1 and len(libs) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(process_one, libs))
+        return [process_one(lib) for lib in libs]
+
+    def _lib_lock(self, soname: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._lib_locks.get(soname)
+            if lock is None:
+                lock = self._lib_locks[soname] = threading.Lock()
+            return lock
+
+    def _lib_cubins(self, lib) -> list[ExtractedCubin] | None:
+        if lib.fatbin is None:
+            return None
+        cached = self._cubins.get(lib.soname)
+        if cached is None:
+            cached = self._cubins[lib.soname] = extract_cubins(lib)
+        return cached
+
+    def _capture(self, spec: WorkloadSpec) -> tuple[WorkloadUsage, bool]:
+        if self._use_cache:
+            return cached_usage(spec, self.framework)
+        return capture_usage(spec, self.framework, self.options.costs), False
+
+    def _validate(self, spec: WorkloadSpec) -> None:
+        _check_spec(self.framework.name, self._arch, spec)
+
+    # -- readers --------------------------------------------------------------
+
+    def snapshot(self) -> StoreSnapshot:
+        """The current consistent view (lock-free atomic reference read)."""
+        return self._snapshot
+
+    @property
+    def generation(self) -> int:
+        return self._snapshot.generation
+
+    def debloated_libraries(self) -> dict[str, DebloatedLibrary]:
+        """The current library map (a copy; entries are immutable)."""
+        return dict(self._snapshot.libraries)
+
+    def _publish_snapshot(self) -> None:
+        reductions: tuple[LibraryReduction, ...] = ()
+        if self._admitted:
+            reductions = tuple(
+                LibraryReduction.from_debloated(
+                    lib, self._debloated[lib.soname]
+                )
+                for lib in self.framework.libraries_for(self._features)
+            )
+        self._snapshot = StoreSnapshot(
+            generation=self._generation,
+            workload_ids=tuple(s.workload_id for s in self._admitted),
+            libraries=MappingProxyType(self._debloated),
+            union_kernels=sum(
+                len(v) for v in self._union_kernels.values()
+            ),
+            union_functions=sum(
+                len(v) for v in self._union_functions.values()
+            ),
+            reductions=reductions,
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(
+        self, verify: bool | None = None, strict: bool | None = None
+    ) -> MultiWorkloadReport:
+        """The ``debloat_many``-shaped report for everything admitted.
+
+        Verification re-runs every admitted workload against the *final*
+        library set (the seed ``debloat_many`` semantics, so the refactored
+        thin loop stays byte-identical to the one-shot union).
+        """
+        with self._admission_lock:
+            if not self._admitted:
+                raise UsageError("store has no admitted workloads")
+            specs = list(self._admitted)
+            debloated = self._debloated
+            usages = dict(self._usage)
+            reductions = list(self._snapshot.reductions)
+            marginal = list(self._marginal_kernels)
+        if verify is None:
+            verify = self.options.verify
+        if strict is None:
+            strict = self.options.strict_verify
+        verifications: list[VerificationResult] = []
+        if verify:
+            for spec in specs:
+                result = verify_debloat(
+                    spec,
+                    self.framework,
+                    debloated,
+                    usages[spec].metrics,
+                    self.options.costs,
+                )
+                verifications.append(result)
+                if strict and not result.ok:
+                    raise VerificationError(
+                        f"{spec.workload_id}: {result.error}"
+                    )
+        return MultiWorkloadReport(
+            workload_ids=[spec.workload_id for spec in specs],
+            libraries=reductions,
+            verifications=verifications,
+            marginal_new_kernels=marginal,
+        )
+
+    # -- eviction / reset -----------------------------------------------------
+
+    def evict(self, workload_id: str) -> EvictionResult:
+        """Remove every admission of ``workload_id`` and shrink the union.
+
+        The union is rebuilt from the remaining admissions' recorded usage
+        (no workload re-runs); only libraries whose union actually shrank
+        are re-compacted, and libraries no remaining workload needs are
+        dropped from the store.
+        """
+        with self._admission_lock:
+            keep = [s for s in self._admitted if s.workload_id != workload_id]
+            removed = len(self._admitted) - len(keep)
+            if removed == 0:
+                raise UsageError(
+                    f"{workload_id!r} is not admitted; held: "
+                    f"{sorted({s.workload_id for s in self._admitted})}"
+                )
+            kept_specs = {s for s in keep}
+            self._usage = {
+                s: u for s, u in self._usage.items() if s in kept_specs
+            }
+            old_kernels = self._union_kernels
+            old_functions = self._union_functions
+            self._union_kernels = {}
+            self._union_functions = {}
+            self._marginal_kernels = []
+            for spec in keep:
+                usage = self._usage[spec]
+                before = sum(
+                    len(v) for v in self._union_kernels.values()
+                )
+                for soname, names in usage.kernels.items():
+                    self._union_kernels.setdefault(soname, set()).update(names)
+                for soname, idx in usage.functions.items():
+                    self._union_functions.setdefault(soname, set()).update(
+                        idx.tolist()
+                    )
+                self._marginal_kernels.append(
+                    sum(len(v) for v in self._union_kernels.values()) - before
+                )
+            self._admitted = keep
+            if not keep:
+                # Last admission gone: the store is empty, not "serving the
+                # zero-feature library set".
+                dropped = tuple(self._debloated)
+                self._arch = None
+                self._features = frozenset()
+                self._debloated = {}
+                self._locates = {}
+                self._cubins = {}
+                self._generation += 1
+                self._publish_snapshot()
+                return EvictionResult(
+                    workload_id=workload_id,
+                    generation=self._generation,
+                    removed_admissions=removed,
+                    recompacted=(),
+                    dropped_libraries=dropped,
+                )
+            self._features = frozenset().union(*(s.features for s in keep))
+
+            libs = self.framework.libraries_for(self._features)
+            keep_sonames = {lib.soname for lib in libs}
+            dropped = tuple(
+                soname
+                for soname in self._debloated
+                if soname not in keep_sonames
+            )
+            shrunk = [
+                lib
+                for lib in libs
+                if self._union_kernels.get(lib.soname, set())
+                != old_kernels.get(lib.soname, set())
+                or self._union_functions.get(lib.soname, set())
+                != old_functions.get(lib.soname, set())
+            ]
+            # Shrunk unions invalidate the delta path's monotonicity
+            # premise: drop the previous locate results so _process takes
+            # the full locate path for them.
+            for lib in shrunk:
+                self._locates.pop(lib.soname, None)
+            results = self._process(shrunk, {})
+            new_debloated = {
+                soname: d
+                for soname, d in self._debloated.items()
+                if soname in keep_sonames
+            }
+            for soname, gpu_res, d, _elapsed in results:
+                new_debloated[soname] = d
+                self._locates[soname] = gpu_res
+            for soname in dropped:
+                self._locates.pop(soname, None)
+                self._cubins.pop(soname, None)
+            self._debloated = new_debloated
+            self._generation += 1
+            self._stat_recompactions += len(shrunk)
+            self._publish_snapshot()
+            return EvictionResult(
+                workload_id=workload_id,
+                generation=self._generation,
+                removed_admissions=removed,
+                recompacted=tuple(lib.soname for lib in shrunk),
+                dropped_libraries=dropped,
+            )
+
+    def reset(self) -> None:
+        """Forget every admission and library; the generation still advances."""
+        with self._admission_lock:
+            self._arch = None
+            self._features = frozenset()
+            self._union_kernels = {}
+            self._union_functions = {}
+            self._admitted = []
+            self._usage = {}
+            self._marginal_kernels = []
+            self._debloated = {}
+            self._locates = {}
+            self._cubins = {}
+            self._generation += 1
+            self._publish_snapshot()
+
+    # -- stats ----------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        snap = self._snapshot
+        return {
+            "generation": snap.generation,
+            "admissions": self._stat_admissions,
+            "duplicates": self._stat_duplicates,
+            "libraries": len(snap.reductions),
+            "union_kernels": snap.union_kernels,
+            "union_functions": snap.union_functions,
+            "recompactions": self._stat_recompactions,
+            "untouched_served": self._stat_untouched_served,
+            "usage_cache_hits": self._stat_usage_cache_hits,
+        }
+
+
+def _is_catalog_build(framework: Framework) -> bool:
+    """True iff ``framework`` is the canonical default-archs catalog build.
+
+    A memo-table identity peek (never generates anything): custom specs,
+    ablation arch lists, and instances orphaned by a catalog-cache clear
+    all fail, and the store runs uncached for them.
+    """
+    from repro.frameworks.catalog import is_canonical_build
+
+    return is_canonical_build(framework)
+
+
+def _check_spec(
+    framework_name: str, pinned_arch: int | None, spec: WorkloadSpec
+) -> None:
+    """The one place admission preconditions are spelled out.
+
+    Raises :class:`UsageError` for a workload targeting another framework
+    or (when an architecture is pinned) another device architecture.
+    """
+    if spec.framework != framework_name:
+        raise UsageError(
+            f"{spec.workload_id} targets {spec.framework!r}, the union "
+            f"holds {framework_name!r}"
+        )
+    if (
+        pinned_arch is not None
+        and spec.devices()[0].sm_arch != pinned_arch
+    ):
+        raise UsageError(
+            "multi-workload debloating requires one device architecture"
+        )
+
+
+def validate_union_specs(
+    framework_name: str, specs: list[WorkloadSpec]
+) -> None:
+    """Upfront usage validation for a whole spec list (``debloat_many``).
+
+    Raises :class:`UsageError` - before any workload runs - for an empty
+    list, a workload targeting a different framework, or a mix of device
+    architectures.
+    """
+    if not specs:
+        raise UsageError("debloat_many needs at least one workload")
+    arch = specs[0].devices()[0].sm_arch
+    for spec in specs:
+        _check_spec(framework_name, arch, spec)

@@ -6,14 +6,18 @@ Subcommands:
   (sections, code sizes, fatbin architectures, kernels);
 * ``debloat <workload-id>`` - run the full pipeline for a Table-1 workload
   and print the per-library reduction report;
+* ``serve`` - run the multi-workload debloat server: admit workloads into
+  one shared :class:`~repro.serving.store.DebloatStore` through a worker
+  pool, delta-compacting only the libraries each admission actually grew;
 * ``workloads`` - list the available workload ids.
 
-``debloat`` goes through the shared two-tier pipeline cache
+``debloat`` and ``serve`` go through the shared two-tier pipeline cache
 (:data:`repro.experiments.common.PIPELINE_CACHE`), so a workload already
 debloated by an earlier invocation - or by the experiment CLI - renders
-from the persisted report without re-running anything.  ``--no-cache``,
-``--no-disk-cache``, and ``--cache-dir`` mirror the experiment CLI's cache
-flags; the printed report is byte-identical either way.
+from the persisted report (or admits from cached usage) without re-running
+anything.  ``--no-cache``, ``--no-disk-cache``, and ``--cache-dir`` mirror
+the experiment CLI's cache flags; printed reports are byte-identical either
+way.
 """
 
 from __future__ import annotations
@@ -56,6 +60,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_debloat.add_argument("workload_id", help="e.g. pytorch/train/mobilenetv2")
     p_debloat.add_argument("--top", type=int, default=12,
                            help="show the top-N libraries by reduction")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="admit workloads into a shared debloated-library store",
+    )
+    p_serve.add_argument(
+        "workload_ids", nargs="*",
+        help="workload ids to admit in order (default: every catalog "
+        "workload of --framework)")
+    p_serve.add_argument("--framework", default="pytorch",
+                         choices=FRAMEWORK_NAMES,
+                         help="framework whose catalog workloads to serve "
+                         "when no ids are given")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="admission worker threads (detections overlap; "
+                         "union merges serialize)")
+    p_serve.add_argument("--verify", action="store_true",
+                         help="re-run each workload against the store after "
+                         "its admission")
 
     sub.add_parser("workloads", help="list workload ids")
     return parser
@@ -113,6 +136,70 @@ def cmd_debloat(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import DebloatServer, DebloatStore
+
+    if args.workload_ids:
+        specs = [workload_by_id(wid) for wid in args.workload_ids]
+        frameworks = {spec.framework for spec in specs}
+        if len(frameworks) != 1:
+            print(
+                f"serve admits one framework per store; got {sorted(frameworks)}",
+                file=sys.stderr,
+            )
+            return 1
+        framework_name = specs[0].framework
+    else:
+        framework_name = args.framework
+        specs = [
+            spec for spec in TABLE1_WORKLOADS
+            if spec.framework == framework_name
+        ]
+
+    framework = get_framework(framework_name, scale=args.scale)
+    store = DebloatStore(framework, use_cache=not args.no_cache)
+    table = Table(
+        ["Workload", "Latency ms", "New kernels", "Libs redone",
+         "Libs served", "Union MB after", "Source"],
+        title=f"Serving admissions: {framework_name} @ scale {args.scale}",
+    )
+    with DebloatServer(store, workers=args.workers,
+                       verify=args.verify) as server:
+        tickets = [server.submit(spec) for spec in specs]
+        for ticket in tickets:
+            res = ticket.result()
+            # Row values come from the AdmissionResult, pinned to that
+            # admission's epoch - a live snapshot here could already
+            # include later admissions when --workers > 1.
+            table.add_row(
+                res.workload_id,
+                f"{ticket.latency_s * 1e3:,.0f}",
+                f"{res.new_kernels:,}",
+                f"{len(res.recompacted)}",
+                f"{len(res.untouched)}",
+                fmt_mb(res.union_file_size_after),
+                "cache" if res.detection_cached else "run",
+            )
+        stats = server.stats()
+    print(table.render())
+    print()
+    snap = store.snapshot()
+    print(
+        f"store generation {snap.generation}: {len(snap.reductions)} "
+        f"libraries, union {snap.union_kernels:,} kernels / "
+        f"{snap.union_functions:,} functions, "
+        f"{fmt_mb(snap.total_file_size)} MB -> "
+        f"{fmt_mb(snap.total_file_size_after)} MB "
+        f"({snap.file_reduction_pct:.0f}% reduction)"
+    )
+    print(
+        f"served {stats['served']} admissions with {stats['workers']} "
+        f"workers; {stats['untouched_served']} library servings skipped "
+        f"re-compaction, {stats['usage_cache_hits']} detections from cache"
+    )
+    return 0
+
+
 def cmd_workloads(_: argparse.Namespace) -> int:
     for spec in TABLE1_WORKLOADS:
         print(spec.workload_id)
@@ -127,6 +214,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "inspect": cmd_inspect,
         "debloat": cmd_debloat,
+        "serve": cmd_serve,
         "workloads": cmd_workloads,
     }
     return handlers[args.command](args)

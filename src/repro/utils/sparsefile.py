@@ -4,29 +4,44 @@ Generated shared libraries are hundreds of megabytes; materializing their
 payload bytes would make experiments slow and memory-hungry for no analytical
 gain (Negativa-ML only reads *structural* bytes: ELF headers, symbol tables,
 fatbin headers, kernel name tables).  :class:`SparseFile` stores written
-extents in a sorted map and reads holes back as zero bytes, exactly like a
-sparse file on a POSIX filesystem.  ``logical_size`` is the file size used in
-all accounting; ``materialized_size`` is the number of bytes actually stored.
+extents over an all-zero backdrop and reads holes back as zero bytes, exactly
+like a sparse file on a POSIX filesystem.  ``logical_size`` is the file size
+used in all accounting; ``materialized_size`` is the number of bytes actually
+stored.
+
+Extent bookkeeping is array-backed: chunk starts/ends live in two sorted
+``int64`` arrays (the same normalized form as
+:class:`~repro.utils.intervals.RangeSet`, whose vectorized algebra
+:meth:`zero_ranges` reuses), so hole-punching a locate result's thousands of
+removal ranges is one batched difference instead of a per-range Python merge
+over the whole chunk list.  Only the chunk *payloads* stay Python ``bytes``.
 """
 
 from __future__ import annotations
 
-import bisect
 import io
 
 import numpy as np
 
 from repro.utils.intervals import RangeSet
 
+_EMPTY = np.empty(0, dtype=np.int64)
+
 
 class SparseFile:
-    """An in-memory sparse file: written extents over an all-zero backdrop."""
+    """An in-memory sparse file: written extents over an all-zero backdrop.
+
+    Invariant: ``_starts``/``_ends`` are sorted, pairwise disjoint and
+    non-adjacent (writes merge touching extents), i.e. exactly a normalized
+    :class:`RangeSet`; ``_chunks[i]`` holds the bytes of extent ``i``.
+    """
 
     def __init__(self, size: int = 0) -> None:
         if size < 0:
             raise ValueError("size must be non-negative")
         self._size = size
-        self._starts: list[int] = []
+        self._starts: np.ndarray = _EMPTY
+        self._ends: np.ndarray = _EMPTY
         self._chunks: list[bytes] = []
 
     # -- size accounting -------------------------------------------------------
@@ -39,29 +54,27 @@ class SparseFile:
     @property
     def materialized_size(self) -> int:
         """Bytes actually stored (written extents only)."""
-        return sum(len(c) for c in self._chunks)
+        return int((self._ends - self._starts).sum())
 
     def extents(self) -> RangeSet:
         """The written (non-hole) extents."""
-        starts = np.asarray(self._starts, dtype=np.int64)
-        lengths = np.fromiter(
-            (len(c) for c in self._chunks), dtype=np.int64, count=len(self._chunks)
-        )
-        return RangeSet.from_arrays(starts, starts + lengths)
+        return RangeSet.from_arrays(self._starts, self._ends)
 
     def truncate(self, size: int) -> None:
         """Grow or shrink the logical size, dropping extents past the end."""
         if size < 0:
             raise ValueError("size must be non-negative")
         self._size = size
-        while self._starts and self._starts[-1] >= size:
-            self._starts.pop()
-            self._chunks.pop()
-        if self._starts:
-            last_start = self._starts[-1]
-            last = self._chunks[-1]
-            if last_start + len(last) > size:
-                self._chunks[-1] = last[: size - last_start]
+        keep = int(np.searchsorted(self._starts, size, side="left"))
+        if keep < len(self._chunks):
+            self._starts = self._starts[:keep]
+            self._ends = self._ends[:keep]
+            del self._chunks[keep:]
+        if self._chunks and self._ends[-1] > size:
+            start = int(self._starts[-1])
+            self._chunks[-1] = self._chunks[-1][: size - start]
+            self._ends = self._ends.copy()
+            self._ends[-1] = size
 
     # -- I/O ---------------------------------------------------------------------
 
@@ -73,24 +86,27 @@ class SparseFile:
             return
         end = offset + len(data)
         self._size = max(self._size, end)
-        # Merge with any overlapping/adjacent existing extents.
-        lo = bisect.bisect_left(self._starts, offset)
-        if lo > 0 and self._starts[lo - 1] + len(self._chunks[lo - 1]) >= offset:
-            lo -= 1
-        hi = lo
-        while hi < len(self._starts) and self._starts[hi] <= end:
-            hi += 1
+        # Overlapping/adjacent extents: the first whose end reaches offset
+        # through the last whose start does not pass end.
+        lo = int(np.searchsorted(self._ends, offset, side="left"))
+        hi = int(np.searchsorted(self._starts, end, side="right"))
         if lo == hi:
-            self._starts.insert(lo, offset)
+            self._starts = np.insert(self._starts, lo, offset)
+            self._ends = np.insert(self._ends, lo, end)
             self._chunks.insert(lo, bytes(data))
             return
-        new_start = min(offset, self._starts[lo])
-        new_end = max(end, self._starts[hi - 1] + len(self._chunks[hi - 1]))
+        new_start = min(offset, int(self._starts[lo]))
+        new_end = max(end, int(self._ends[hi - 1]))
         buf = bytearray(new_end - new_start)
-        for s, c in zip(self._starts[lo:hi], self._chunks[lo:hi]):
+        for s, c in zip(self._starts[lo:hi].tolist(), self._chunks[lo:hi]):
             buf[s - new_start : s - new_start + len(c)] = c
         buf[offset - new_start : offset - new_start + len(data)] = data
-        self._starts[lo:hi] = [new_start]
+        self._starts = np.concatenate(
+            (self._starts[:lo], [new_start], self._starts[hi:])
+        )
+        self._ends = np.concatenate(
+            (self._ends[:lo], [new_end], self._ends[hi:])
+        )
         self._chunks[lo:hi] = [bytes(buf)]
 
     def read(self, offset: int, size: int) -> bytes:
@@ -102,51 +118,85 @@ class SparseFile:
                 f"read past end of file: [{offset}, {offset + size}) > {self._size}"
             )
         out = bytearray(size)
-        idx = bisect.bisect_right(self._starts, offset) - 1
-        if idx < 0:
-            idx = 0
         end = offset + size
-        for s, c in zip(self._starts[idx:], self._chunks[idx:]):
-            if s >= end:
-                break
+        lo = int(np.searchsorted(self._ends, offset, side="right"))
+        hi = int(np.searchsorted(self._starts, end, side="left"))
+        for s, c in zip(self._starts[lo:hi].tolist(), self._chunks[lo:hi]):
             c_end = s + len(c)
-            if c_end <= offset:
-                continue
-            lo = max(s, offset)
-            hi = min(c_end, end)
-            out[lo - offset : hi - offset] = c[lo - s : hi - s]
+            a = max(s, offset)
+            b = min(c_end, end)
+            if a < b:
+                out[a - offset : b - offset] = c[a - s : b - s]
         return bytes(out)
 
     def zero(self, offset: int, size: int) -> None:
         """Punch a hole: bytes in ``[offset, offset+size)`` read back as zero."""
         if size <= 0:
             return
+        start = max(offset, 0)  # clamp like the end: out-of-file is a no-op
         end = min(offset + size, self._size)
-        if offset >= end:
+        if start >= end:
             return
-        new_starts: list[int] = []
-        new_chunks: list[bytes] = []
-        for s, c in zip(self._starts, self._chunks):
-            c_end = s + len(c)
-            if c_end <= offset or s >= end:
-                new_starts.append(s)
-                new_chunks.append(c)
-                continue
-            if s < offset:
-                new_starts.append(s)
-                new_chunks.append(c[: offset - s])
-            if c_end > end:
-                new_starts.append(end)
-                new_chunks.append(c[end - s :])
-        self._starts = new_starts
-        self._chunks = new_chunks
+        self._punch(
+            np.asarray([start], dtype=np.int64),
+            np.asarray([end], dtype=np.int64),
+        )
 
     def zero_ranges(self, ranges: RangeSet) -> None:
-        # Iterate the backing arrays directly: no per-interval Range objects.
-        for start, length in zip(
-            ranges.starts.tolist(), ranges.lengths.tolist()
-        ):
-            self.zero(start, length)
+        """Punch every range in one batched pass (vectorized bookkeeping)."""
+        if not ranges or not self._chunks:
+            return
+        starts = np.minimum(ranges.starts, self._size)
+        stops = np.minimum(ranges.stops, self._size)
+        keep = stops > starts
+        if not keep.all():
+            starts, stops = starts[keep], stops[keep]
+        if starts.size:
+            self._punch(starts, stops)
+
+    def _punch(self, r_starts: np.ndarray, r_stops: np.ndarray) -> None:
+        """Remove normalized ``[r_starts, r_stops)`` ranges from the extents.
+
+        Extent bookkeeping is pure :class:`RangeSet` array algebra; only the
+        surviving sub-extents of *affected* chunks are re-sliced, untouched
+        chunk payloads keep their identity.
+        """
+        if not self._chunks:
+            return
+        # A chunk is affected iff some range starts before its end and the
+        # furthest-reaching such range stops past its start (ranges are
+        # sorted and disjoint, so stops are sorted too).
+        n_before = np.searchsorted(r_starts, self._ends, side="left")
+        affected = (n_before > 0) & (
+            r_stops[np.maximum(n_before - 1, 0)] > self._starts
+        )
+        if not affected.any():
+            return
+        aff = np.flatnonzero(affected)
+        survivors = RangeSet.from_arrays(
+            self._starts[aff], self._ends[aff]
+        ) - RangeSet.from_arrays(r_starts, r_stops)
+        keep_starts = np.asarray(survivors.starts)
+        keep_stops = np.asarray(survivors.stops)
+        # Each surviving extent lies inside exactly one affected chunk
+        # (difference never bridges disjoint extents).
+        src = aff[
+            np.searchsorted(self._starts[aff], keep_starts, side="right") - 1
+        ]
+        pieces = [
+            self._chunks[j][s - int(self._starts[j]) : e - int(self._starts[j])]
+            for s, e, j in zip(
+                keep_starts.tolist(), keep_stops.tolist(), src.tolist()
+            )
+        ]
+        una = np.flatnonzero(~affected)
+        all_starts = np.concatenate((self._starts[una], keep_starts))
+        all_ends = np.concatenate((self._ends[una], keep_stops))
+        order = np.argsort(all_starts, kind="stable")
+        chunks = [self._chunks[j] for j in una.tolist()] + pieces
+        self._starts = all_starts[order]
+        self._ends = all_ends[order]
+        self._chunks = [chunks[i] for i in order.tolist()]
 
     # -- conversions ----------------------------------------------------------------
 
@@ -163,13 +213,14 @@ class SparseFile:
     def dump(self, fileobj: io.BufferedIOBase) -> None:
         """Write the file to a real (sparse-friendly) file object."""
         fileobj.truncate(self._size)
-        for s, c in zip(self._starts, self._chunks):
+        for s, c in zip(self._starts.tolist(), self._chunks):
             fileobj.seek(s)
             fileobj.write(c)
 
     def copy(self) -> "SparseFile":
         dup = SparseFile(self._size)
-        dup._starts = list(self._starts)
+        dup._starts = self._starts.copy()
+        dup._ends = self._ends.copy()
         dup._chunks = list(self._chunks)
         return dup
 
@@ -178,10 +229,13 @@ class SparseFile:
             return NotImplemented
         if self._size != other._size:
             return False
-        return self._starts == other._starts and self._chunks == other._chunks
+        return (
+            np.array_equal(self._starts, other._starts)
+            and self._chunks == other._chunks
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SparseFile(logical={self._size}, materialized={self.materialized_size},"
-            f" extents={len(self._starts)})"
+            f" extents={len(self._chunks)})"
         )

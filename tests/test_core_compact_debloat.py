@@ -222,8 +222,13 @@ class TestFusedInstrumentedRun:
         baseline_runner, fused_runner = runners
         assert baseline_runner.subscribers == ()
         assert baseline_runner.profiler is None
-        # The second run carries BOTH instruments: detector and profiler.
-        assert len(fused_runner.subscribers) == 1
+        # The second run carries BOTH instruments (detector and profiler)
+        # plus the passive NSys tracer, which observes record counts for
+        # the §4.6 attribution without charging the clock.
+        assert len(fused_runner.subscribers) == 2
+        detector_sub, nsys_sub = fused_runner.subscribers
+        assert not getattr(detector_sub, "passive", False)
+        assert nsys_sub.passive
         assert fused_runner.profiler is not None
 
     def test_verify_and_comparison_add_their_runs(self, monkeypatch):
@@ -246,12 +251,23 @@ class TestFusedInstrumentedRun:
 
         prof_only = WorkloadRunner(spec, fw, profiler=FunctionProfiler()).run()
 
+        from repro.core.nsys import NsysTracer
+
+        nsys_only = WorkloadRunner(
+            spec, fw, subscribers=(NsysTracer(),)
+        ).run()
+
         t = report.timing
         assert t.kernel_detection_run_s == pytest.approx(
             det_only.execution_time_s, rel=1e-9
         )
         assert t.cpu_profiling_run_s == pytest.approx(
             prof_only.execution_time_s, rel=1e-9
+        )
+        # The passive tracer riding the fused run attributes a standalone
+        # NSys-traced run exactly (record counts are deterministic).
+        assert t.nsys_traced_run_s == pytest.approx(
+            nsys_only.execution_time_s, rel=1e-9
         )
         assert t.instrumented_run_s > max(
             t.kernel_detection_run_s, t.cpu_profiling_run_s

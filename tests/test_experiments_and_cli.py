@@ -56,7 +56,8 @@ class TestExperimentOutputs:
         expected = {
             "fig1", "table1", "table2", "table3", "table4", "table5",
             "fig5", "fig6", "fig7", "table6", "table7", "table8",
-            "sec46", "sec5_used_bloat", "table9", "table10", "ablation_granularity",
+            "sec46", "sec5_used_bloat", "sec5_saturation", "table9",
+            "table10", "ablation_granularity",
             "ablation_arch", "ablation_detector_scaling",
         }
         assert set(EXPERIMENTS) == expected
@@ -146,3 +147,21 @@ class TestToolCli:
         out = capsys.readouterr().out
         assert "verification: verified" in out
         assert "reduction) across 111 libraries" in out
+
+    def test_serve(self, capsys):
+        code = tool_main(
+            ["--scale", str(TEST_SCALE), "serve",
+             "pytorch/train/mobilenetv2", "pytorch/inference/mobilenetv2",
+             "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving admissions: pytorch" in out
+        assert "store generation 2" in out
+
+    def test_serve_rejects_mixed_frameworks(self, capsys):
+        code = tool_main(
+            ["--scale", str(TEST_SCALE), "serve",
+             "pytorch/train/mobilenetv2", "tensorflow/train/mobilenetv2"]
+        )
+        assert code == 1

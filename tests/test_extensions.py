@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.debloat import Debloater, DebloatOptions
 from repro.core.usedbloat import analyze_used_bloat
-from repro.errors import VerificationError
+from repro.errors import UsageError
 from repro.frameworks.catalog import get_framework
 from repro.workloads.spec import workload_by_id
 
@@ -99,19 +99,19 @@ class TestMultiWorkloadDebloat:
 
     def test_requires_matching_framework(self):
         fw = get_framework("pytorch", scale=TEST_SCALE)
-        with pytest.raises(VerificationError):
+        with pytest.raises(UsageError):
             Debloater(fw).debloat_many(
                 [workload_by_id("tensorflow/train/mobilenetv2")]
             )
 
     def test_requires_nonempty(self):
         fw = get_framework("pytorch", scale=TEST_SCALE)
-        with pytest.raises(VerificationError):
+        with pytest.raises(UsageError):
             Debloater(fw).debloat_many([])
 
     def test_requires_single_architecture(self):
         fw = get_framework("pytorch", scale=TEST_SCALE)
-        with pytest.raises(VerificationError):
+        with pytest.raises(UsageError):
             Debloater(fw).debloat_many(
                 [
                     workload_by_id("pytorch/inference/mobilenetv2"),

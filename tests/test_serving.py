@@ -1,0 +1,413 @@
+"""Tests for the serving subsystem: DebloatStore delta admission,
+snapshots/concurrency, eviction, cache-backed warm restarts, and the
+DebloatServer front-end."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.debloat import Debloater, DebloatOptions
+from repro.core.locate import KernelLocator
+from repro.errors import UsageError
+from repro.frameworks.catalog import get_framework
+from repro.serving import DebloatServer, DebloatStore
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import workload_by_id
+
+from tests.conftest import TEST_SCALE
+
+OPTS = DebloatOptions(runtime_comparison_top_n=0)
+
+SPEC_IDS = [
+    "pytorch/train/mobilenetv2",
+    "pytorch/inference/mobilenetv2",
+    "pytorch/train/transformer",
+]
+
+
+def specs():
+    return [workload_by_id(wid) for wid in SPEC_IDS]
+
+
+def assert_same_libraries(a: dict, b: dict) -> None:
+    assert sorted(a) == sorted(b)
+    for soname, d in a.items():
+        other = b[soname]
+        assert d.lib.data == other.lib.data, soname
+        assert d.removed_cpu_ranges == other.removed_cpu_ranges, soname
+        assert d.removed_gpu_ranges == other.removed_gpu_ranges, soname
+        assert d.removed_elements == other.removed_elements, soname
+        assert d.removed_functions == other.removed_functions, soname
+
+
+class TestDeltaAdmission:
+    @pytest.fixture(scope="class")
+    def store(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        store.results = [store.admit(s) for s in specs()]
+        return store
+
+    def test_first_admission_processes_everything(self, store):
+        first = store.results[0]
+        assert first.untouched == ()
+        assert set(first.added_libraries) == set(first.recompacted)
+        assert first.new_kernels > 0
+
+    def test_later_admissions_are_deltas(self, store):
+        second = store.results[1]
+        assert len(second.untouched) > 0
+        # Only libraries whose union grew were re-compacted.
+        assert len(second.recompacted) < len(store.results[0].recompacted)
+
+    def test_incremental_matches_one_shot_union(self, store, pytorch):
+        debloater = Debloater(pytorch, OPTS)
+        debloater.debloat_many(specs())
+        assert_same_libraries(
+            store.debloated_libraries(), debloater.debloated_libraries
+        )
+
+    def test_order_independence(self, pytorch):
+        forward = DebloatStore(pytorch, OPTS)
+        for s in specs():
+            forward.admit(s)
+        backward = DebloatStore(pytorch, OPTS)
+        for s in reversed(specs()):
+            backward.admit(s)
+        assert_same_libraries(
+            forward.debloated_libraries(), backward.debloated_libraries()
+        )
+
+    def test_report_matches_debloat_many(self, store, pytorch):
+        report = store.report()
+        debloater = Debloater(pytorch, OPTS)
+        expected = debloater.debloat_many(specs())
+        assert report.workload_ids == expected.workload_ids
+        assert report.marginal_new_kernels == expected.marginal_new_kernels
+        assert report.libraries == expected.libraries
+        assert len(report.verifications) == len(expected.verifications)
+        for got, want in zip(report.verifications, expected.verifications):
+            assert got.ok == want.ok
+            assert got.original_digest == want.original_digest
+            assert got.debloated_digest == want.debloated_digest
+
+    def test_admission_idempotence(self, store):
+        """Re-admitting a served workload: zero kernels, zero re-compacts."""
+        before_gen = store.generation
+        res = store.admit(specs()[0])
+        assert res.duplicate
+        assert res.detection_cached  # no new instrumented run
+        assert res.new_kernels == 0
+        assert res.new_functions == 0
+        assert res.recompacted == ()
+        assert res.added_libraries == ()
+        assert res.generation == before_gen + 1  # the admission is recorded
+
+    def test_verify_on_admit(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        res = store.admit(specs()[0], verify=True)
+        assert res.verification is not None and res.verification.ok
+
+
+class TestDeltaLocateEquivalence:
+    def test_locate_delta_equals_full_locate(self, pytorch, mobilenet_train_spec):
+        from repro.serving.usage import capture_usage
+
+        usage_a = capture_usage(mobilenet_train_spec, pytorch)
+        usage_b = capture_usage(
+            workload_by_id("pytorch/train/transformer"), pytorch
+        )
+        locator = KernelLocator()
+        arch = mobilenet_train_spec.devices()[0].sm_arch
+        for lib in pytorch.libraries_for(
+            mobilenet_train_spec.features
+            | workload_by_id("pytorch/train/transformer").features
+        ):
+            if lib.fatbin is None:
+                continue
+            first = usage_a.kernels.get(lib.soname, frozenset())
+            both = first | usage_b.kernels.get(lib.soname, frozenset())
+            prev = locator.locate(lib, frozenset(first), arch)
+            delta = locator.locate_delta(
+                lib, prev, frozenset(both - first)
+            )
+            full = locator.locate(lib, frozenset(both), arch)
+            assert delta.decisions == full.decisions, lib.soname
+            assert delta.retain_ranges == full.retain_ranges
+            assert delta.remove_ranges == full.remove_ranges
+
+
+class TestSaturationSeries:
+    def test_ordering_and_determinism(self, pytorch):
+        reports = [
+            Debloater(pytorch, OPTS).debloat_many(specs()) for _ in range(2)
+        ]
+        series_a = reports[0].saturation_series()
+        series_b = reports[1].saturation_series()
+        assert series_a == series_b  # deterministic across runs
+        assert [wid for wid, _ in series_a] == SPEC_IDS  # admission order
+        assert series_a[0][1] > series_a[1][1]  # first pins the most
+        assert sum(m for _, m in series_a) == sum(
+            len(v)
+            for v in DebloatStoreUnionProbe(pytorch).union_kernels(specs()).values()
+        )
+
+
+class DebloatStoreUnionProbe:
+    """Recompute the union kernel sets independently of the store."""
+
+    def __init__(self, framework):
+        self.framework = framework
+
+    def union_kernels(self, spec_list):
+        from repro.serving.usage import capture_usage
+
+        union: dict[str, set[str]] = {}
+        for spec in spec_list:
+            for soname, names in capture_usage(
+                spec, self.framework
+            ).kernels.items():
+                union.setdefault(soname, set()).update(names)
+        return union
+
+
+class TestSnapshotsAndConcurrency:
+    def test_snapshot_epochs_are_consistent(self, pytorch):
+        """Readers racing an admitter only ever observe whole epochs."""
+        store = DebloatStore(pytorch, OPTS)
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def read_loop():
+            last_gen = -1
+            while not stop.is_set():
+                snap = store.snapshot()
+                if snap.generation < last_gen:
+                    errors.append("generation went backwards")
+                last_gen = snap.generation
+                if snap.generation == 0:
+                    continue
+                # Internal consistency: every reduction's library is in this
+                # snapshot's map and the reduction was derived from it.
+                for red in snap.reductions:
+                    d = snap.libraries.get(red.soname)
+                    if d is None:
+                        errors.append(f"{red.soname} missing at "
+                                      f"gen {snap.generation}")
+                        return
+                    if red.file_size_after != d.compacted_file_size:
+                        errors.append(f"{red.soname} stale at "
+                                      f"gen {snap.generation}")
+                        return
+
+        readers = [threading.Thread(target=read_loop) for _ in range(4)]
+        for t in readers:
+            t.start()
+        try:
+            for spec in specs():
+                store.admit(spec)
+        finally:
+            stop.set()
+            for t in readers:
+                t.join()
+        assert errors == []
+        assert store.snapshot().generation == 3
+
+    def test_old_snapshot_survives_mutation(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        store.admit(specs()[0])
+        old = store.snapshot()
+        old_sonames = set(old.libraries)
+        store.admit(specs()[2])  # grows features -> adds libraries
+        assert set(old.libraries) == old_sonames  # epoch unchanged
+        assert len(store.snapshot().libraries) > len(old.libraries)
+
+    def test_concurrent_admitters_converge(self, pytorch):
+        sequential = DebloatStore(pytorch, OPTS)
+        for s in specs():
+            sequential.admit(s)
+
+        concurrent = DebloatStore(pytorch, OPTS)
+        threads = [
+            threading.Thread(target=concurrent.admit, args=(s,))
+            for s in specs()
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert concurrent.generation == 3
+        assert_same_libraries(
+            concurrent.debloated_libraries(),
+            sequential.debloated_libraries(),
+        )
+
+    def test_parallel_delta_compaction(self, pytorch):
+        serial = DebloatStore(pytorch, OPTS)
+        fanned = DebloatStore(
+            pytorch,
+            DebloatOptions(runtime_comparison_top_n=0, locate_workers=4),
+        )
+        for s in specs():
+            serial.admit(s)
+            fanned.admit(s)
+        assert_same_libraries(
+            serial.debloated_libraries(), fanned.debloated_libraries()
+        )
+
+
+class TestEvictionAndReset:
+    def test_evict_shrinks_union(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        for s in specs():
+            store.admit(s)
+        res = store.evict("pytorch/train/transformer")
+        assert res.removed_admissions == 1
+        # Rebuilt store equals one that never saw the evicted workload.
+        fresh = DebloatStore(pytorch, OPTS)
+        for s in specs()[:2]:
+            fresh.admit(s)
+        assert_same_libraries(
+            store.debloated_libraries(), fresh.debloated_libraries()
+        )
+        assert store.snapshot().workload_ids == tuple(SPEC_IDS[:2])
+
+    def test_evict_last_admission_empties_store(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        store.admit(specs()[0])
+        res = store.evict(SPEC_IDS[0])
+        assert res.dropped_libraries != ()
+        snap = store.snapshot()
+        assert snap.workload_ids == ()
+        assert len(snap.libraries) == 0
+        # The store is reusable, including for a different architecture.
+        store.admit(specs()[1])
+        assert store.snapshot().workload_ids == (SPEC_IDS[1],)
+
+    def test_evict_unknown_raises(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        store.admit(specs()[0])
+        with pytest.raises(UsageError):
+            store.evict("pytorch/train/transformer")
+
+    def test_reset(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        store.admit(specs()[0])
+        gen = store.generation
+        store.reset()
+        snap = store.snapshot()
+        assert snap.generation == gen + 1
+        assert snap.workload_ids == ()
+        assert len(snap.reductions) == 0
+
+
+class TestStoreValidation:
+    def test_framework_mismatch(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        with pytest.raises(UsageError):
+            store.admit(workload_by_id("tensorflow/train/mobilenetv2"))
+
+    def test_mixed_architecture(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        store.admit(specs()[1])
+        with pytest.raises(UsageError):
+            store.admit(specs()[1].variant(device_name="h100"))
+
+    def test_report_requires_admissions(self, pytorch):
+        with pytest.raises(UsageError):
+            DebloatStore(pytorch, OPTS).report()
+
+
+class TestWarmStoreRestart:
+    def test_second_store_admits_with_zero_runs(self, monkeypatch):
+        """A cache-backed store rebuilt after 'restart' runs no workloads."""
+        import repro.experiments.common as excommon
+
+        # Pin an enabled cache so this holds under REPRO_PIPELINE_CACHE=0
+        # CI legs too (same pattern as test_pipeline_cache).
+        monkeypatch.setattr(
+            excommon, "PIPELINE_CACHE", excommon.PipelineCache(enabled=True)
+        )
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        cold = DebloatStore(fw, use_cache=True)
+        for s in specs():
+            cold.admit(s)
+
+        runs: list[str] = []
+        original = WorkloadRunner.run
+
+        def counting_run(runner_self):
+            runs.append(runner_self.spec.workload_id)
+            return original(runner_self)
+
+        monkeypatch.setattr(WorkloadRunner, "run", counting_run)
+        warm = DebloatStore(fw, use_cache=True)
+        results = [warm.admit(s) for s in specs()]
+        assert runs == []
+        assert all(r.detection_cached for r in results)
+        assert_same_libraries(
+            warm.debloated_libraries(), cold.debloated_libraries()
+        )
+
+    def test_non_catalog_build_opts_out_of_cache(self):
+        """A single-arch ablation rebuild must not share cache entries with
+        the canonical build - the store silently runs uncached instead."""
+        fw = get_framework("pytorch", scale=TEST_SCALE, archs=(75,))
+        store = DebloatStore(fw, use_cache=True)
+        res = store.admit(specs()[0])
+        assert not res.detection_cached
+
+    def test_cache_disabled_store_still_correct(self, monkeypatch):
+        import repro.experiments.common as excommon
+
+        monkeypatch.setattr(
+            excommon, "PIPELINE_CACHE", excommon.PipelineCache(enabled=False)
+        )
+        fw = get_framework("pytorch", scale=TEST_SCALE)
+        store = DebloatStore(fw, use_cache=True)
+        res = store.admit(specs()[0])
+        assert not res.detection_cached
+        assert res.new_kernels > 0
+
+
+class TestDebloatServer:
+    def test_admissions_through_worker_pool(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        with DebloatServer(store, workers=3) as server:
+            results = server.admit_all(specs())
+        assert [r.workload_id for r in results] == SPEC_IDS
+        assert store.generation == 3
+        sequential = DebloatStore(pytorch, OPTS)
+        for s in specs():
+            sequential.admit(s)
+        assert_same_libraries(
+            store.debloated_libraries(), sequential.debloated_libraries()
+        )
+
+    def test_ticket_latency_and_stats(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        with DebloatServer(store, workers=1) as server:
+            ticket = server.submit(specs()[0])
+            ticket.result()
+            assert ticket.done()
+            assert ticket.latency_s is not None and ticket.latency_s > 0
+            stats = server.stats()
+        assert stats["served"] == 1
+        assert stats["failed"] == 0
+        assert stats["workers"] == 1
+
+    def test_errors_relayed_to_caller(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        with DebloatServer(store, workers=1) as server:
+            with pytest.raises(UsageError):
+                server.admit(workload_by_id("tensorflow/train/mobilenetv2"))
+            assert server.stats()["failed"] == 1
+
+    def test_closed_server_rejects(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        server = DebloatServer(store, workers=1)
+        server.close()
+        with pytest.raises(UsageError):
+            server.submit(specs()[0])

@@ -176,8 +176,18 @@ _ops = st.lists(
         st.tuples(st.just("write"), st.integers(0, 60),
                   st.binary(min_size=1, max_size=16)),
         st.tuples(st.just("zero"), st.integers(0, 60), st.integers(0, 30)),
+        # Batched multi-range punch: the vectorized _punch path (affected-
+        # chunk masking + survivor slicing) interleaved with everything else.
+        st.tuples(
+            st.just("zero_ranges"),
+            st.lists(
+                st.tuples(st.integers(0, 90), st.integers(0, 25)),
+                min_size=1, max_size=5,
+            ),
+        ),
+        st.tuples(st.just("truncate"), st.integers(0, 96)),
     ),
-    max_size=12,
+    max_size=14,
 )
 
 
@@ -192,19 +202,49 @@ class TestAgainstReferenceModel:
         for op in ops:
             if op[0] == "write":
                 _, offset, data = op
-                if offset + len(data) > size:
-                    data = data[: size - offset]
-                if data:
-                    sparse.write(offset, data)
-                    model[offset : offset + len(data)] = data
-            else:
+                sparse.write(offset, data)
+                if offset + len(data) > len(model):
+                    model.extend(bytes(offset + len(data) - len(model)))
+                    size = len(model)
+                model[offset : offset + len(data)] = data
+            elif op[0] == "zero":
                 _, offset, length = op
                 sparse.zero(offset, length)
                 end = min(offset + length, size)
                 if offset < end:
                     model[offset:end] = b"\x00" * (end - offset)
+            elif op[0] == "zero_ranges":
+                ranges = RangeSet(
+                    [(a, a + ln) for a, ln in op[1]]
+                )
+                sparse.zero_ranges(ranges)
+                for rng in ranges:
+                    end = min(rng.stop, size)
+                    if rng.start < end:
+                        model[rng.start:end] = b"\x00" * (end - rng.start)
+            else:
+                _, new_size = op
+                sparse.truncate(new_size)
+                model = model[:new_size] + bytearray(
+                    max(0, new_size - len(model))
+                )
+                size = new_size
+            self._check_invariants(sparse)
+        assert sparse.logical_size == len(model)
         assert sparse.to_bytes() == bytes(model)
         # Materialized bytes never exceed the number of nonzero-ish bytes
         # plus overwritten runs; at minimum, all nonzero bytes are stored.
         nonzero = sum(1 for b in model if b)
         assert sparse.materialized_size >= nonzero
+
+    @staticmethod
+    def _check_invariants(sparse: SparseFile) -> None:
+        """Extents stay sorted, disjoint, non-adjacent, chunk-aligned."""
+        starts = sparse._starts
+        ends = sparse._ends
+        assert len(starts) == len(ends) == len(sparse._chunks)
+        for i, chunk in enumerate(sparse._chunks):
+            assert ends[i] - starts[i] == len(chunk)
+        if len(starts) > 1:
+            # Strictly increasing with a gap: no touching extents survive.
+            assert (starts[1:] > ends[:-1]).all()
