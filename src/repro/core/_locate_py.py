@@ -1,0 +1,181 @@
+"""Seed pure-Python kernel locator, kept verbatim as the equivalence oracle.
+
+This is the per-element decision loop the vectorized
+:class:`~repro.core.locate.KernelLocator` replaced: drive the ``cuobjdump``
+extraction, intersect Python sets per element, and append
+:class:`~repro.core.locate.ElementDecision` objects one by one.  It mirrors
+``repro.utils._intervals_py`` in spirit - never imported by production
+code, only by the fuzz tests and benchmarks that assert the vectorized
+passes produce byte-identical decisions, ranges, and clock charges.
+"""
+
+from __future__ import annotations
+
+from repro.core.locate import (
+    ElementDecision,
+    LocateResult,
+    RemovalReason,
+    _ranges_from_pairs,
+)
+from repro.cuda.clock import VirtualClock
+from repro.cuda.costs import DEFAULT_COSTS, CostModel
+from repro.elf.image import SharedLibrary
+from repro.errors import LocationError
+from repro.fatbin.cuobjdump import ExtractedCubin, extract_cubins
+from repro.utils.intervals import RangeSet
+
+
+def locate_py(
+    lib: SharedLibrary,
+    used_kernels: frozenset[str],
+    device_arch: int,
+    clock: VirtualClock | None = None,
+    cubins: list[ExtractedCubin] | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> LocateResult:
+    """The seed ``KernelLocator.locate`` loop, unchanged."""
+    image = lib.fatbin
+    if image is None:
+        return LocateResult(
+            soname=lib.soname,
+            device_arch=device_arch,
+            decisions=[],
+            retain_ranges=RangeSet.empty(),
+            remove_ranges=RangeSet.empty(),
+        )
+
+    if cubins is None:
+        cubins = extract_cubins(lib)
+    if clock is not None:
+        clock.advance(
+            costs.locate_fixed_per_lib
+            + costs.locate_per_element * len(cubins)
+            + costs.locate_per_used_kernel * len(used_kernels)
+        )
+
+    decisions: list[ElementDecision] = []
+    retain: list[tuple[int, int]] = []
+    remove: list[tuple[int, int]] = []
+    for extracted in cubins:
+        element = image.element_by_index(extracted.index)
+        if element.sm_arch != extracted.sm_arch:
+            raise LocationError(
+                f"{lib.soname}: cuobjdump index {extracted.index} does not "
+                f"match element order"
+            )
+        rng = element.file_range
+        if extracted.sm_arch != device_arch:
+            decision = ElementDecision(
+                index=extracted.index,
+                sm_arch=extracted.sm_arch,
+                size=len(rng),
+                kernel_count=len(extracted.kernel_names),
+                retained=False,
+                reason=RemovalReason.ARCH_MISMATCH,
+            )
+        else:
+            # Entry kernels only: GPU-launching kernels ride along via
+            # whole-element retention.
+            hits = tuple(
+                sorted(set(extracted.entry_kernel_names) & used_kernels)
+            )
+            if hits:
+                decision = ElementDecision(
+                    index=extracted.index,
+                    sm_arch=extracted.sm_arch,
+                    size=len(rng),
+                    kernel_count=len(extracted.kernel_names),
+                    retained=True,
+                    reason=None,
+                    used_entry_kernels=hits,
+                )
+            else:
+                decision = ElementDecision(
+                    index=extracted.index,
+                    sm_arch=extracted.sm_arch,
+                    size=len(rng),
+                    kernel_count=len(extracted.kernel_names),
+                    retained=False,
+                    reason=RemovalReason.NO_USED_KERNELS,
+                )
+        decisions.append(decision)
+        (retain if decision.retained else remove).append(
+            (rng.start, rng.stop)
+        )
+
+    return LocateResult(
+        soname=lib.soname,
+        device_arch=device_arch,
+        decisions=decisions,
+        retain_ranges=_ranges_from_pairs(retain),
+        remove_ranges=_ranges_from_pairs(remove),
+    )
+
+
+def locate_delta_py(
+    lib: SharedLibrary,
+    previous: LocateResult,
+    added_kernels: frozenset[str],
+    clock: VirtualClock | None = None,
+    cubins: list[ExtractedCubin] | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> LocateResult:
+    """The seed ``KernelLocator.locate_delta`` loop, unchanged."""
+    image = lib.fatbin
+    if image is None:
+        return previous
+    if cubins is None:
+        cubins = extract_cubins(lib)
+
+    if len(cubins) != len(previous.decisions):
+        raise LocationError(
+            f"{lib.soname}: {len(cubins)} cubins vs "
+            f"{len(previous.decisions)} previous decisions - stale "
+            f"extraction cache"
+        )
+    decisions: list[ElementDecision] = []
+    retain: list[tuple[int, int]] = []
+    remove: list[tuple[int, int]] = []
+    flipped = 0
+    for extracted, prev in zip(cubins, previous.decisions):
+        if extracted.index != prev.index:
+            raise LocationError(
+                f"{lib.soname}: cached cubins do not match previous "
+                f"locate result"
+            )
+        decision = prev
+        if prev.sm_arch == previous.device_arch:
+            new_hits = set(extracted.entry_kernel_names) & added_kernels
+            if new_hits:
+                decision = ElementDecision(
+                    index=prev.index,
+                    sm_arch=prev.sm_arch,
+                    size=prev.size,
+                    kernel_count=prev.kernel_count,
+                    retained=True,
+                    reason=None,
+                    used_entry_kernels=tuple(
+                        sorted(set(prev.used_entry_kernels) | new_hits)
+                    ),
+                )
+                if not prev.retained:
+                    flipped += 1
+        decisions.append(decision)
+        rng = image.element_by_index(decision.index).file_range
+        (retain if decision.retained else remove).append(
+            (rng.start, rng.stop)
+        )
+
+    if clock is not None:
+        clock.advance(
+            costs.locate_per_used_kernel * len(added_kernels)
+            + costs.locate_per_element * flipped
+        )
+
+    return LocateResult(
+        soname=lib.soname,
+        device_arch=previous.device_arch,
+        decisions=decisions,
+        retain_ranges=_ranges_from_pairs(retain),
+        remove_ranges=_ranges_from_pairs(remove),
+    )

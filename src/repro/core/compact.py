@@ -104,7 +104,7 @@ class Compactor:
                 raise CompactionError(
                     f"{lib.soname}: GPU removal overlaps structural ranges"
                 )
-            removed_index = {d.index for d in gpu.removed}
+            removed_index = set(gpu.removed_element_indices().tolist())
             payload_holes: list[tuple[int, int]] = []
             for element in image.elements():
                 if element.index not in removed_index:

@@ -11,6 +11,17 @@ retention is what keeps GPU-launching kernels (which the detector cannot
 see) alive, because a kernel launched by another kernel is compiled into
 the same cubin.
 
+The decision hot loop runs at array speed over the library's cached
+:class:`~repro.core.kindex.KernelUsageIndex`: the architecture mask is one
+``==`` over the ``sm_arch`` array, used-kernel hits are a vectorized
+membership probe plus ``np.bitwise_or.reduceat`` over the entry-ID CSR, and
+the retain/remove :class:`~repro.utils.intervals.RangeSet`s come straight
+from the masked file-range arrays.  :class:`ElementDecision` lists are
+materialized from the arrays lazily - only when a report actually reads
+them.  The seed per-element loop is kept verbatim as the
+:mod:`repro.core._locate_py` oracle (mirroring
+``repro.utils._intervals_py``) and fuzz-checked for equivalence.
+
 Every removal is classified for the paper's Fig. 7 analysis:
 Reason I - architecture mismatch; Reason II - no used kernels.
 """
@@ -23,11 +34,17 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.core.kindex import (
+    DecisionTable,
+    KernelUsageIndex,
+    build_csr,
+    index_for,
+)
 from repro.cuda.clock import VirtualClock
 from repro.cuda.costs import DEFAULT_COSTS, CostModel
 from repro.elf.image import SharedLibrary
 from repro.errors import LocationError
-from repro.fatbin.cuobjdump import ExtractedCubin, extract_cubins
+from repro.fatbin.cuobjdump import ExtractedCubin
 from repro.utils.intervals import RangeSet
 
 
@@ -55,15 +72,68 @@ class ElementDecision:
             raise LocationError("decision must have a reason iff removed")
 
 
-@dataclass
 class LocateResult:
-    """All decisions for one library plus the ranges to retain/remove."""
+    """All decisions for one library plus the ranges to retain/remove.
 
-    soname: str
-    device_arch: int
-    decisions: list[ElementDecision]
-    retain_ranges: RangeSet
-    remove_ranges: RangeSet
+    Backed by either a materialized :class:`ElementDecision` list (the
+    serialization layer and the Python oracle construct these) or a
+    :class:`~repro.core.kindex.DecisionTable` of index-aligned arrays (the
+    vectorized locator).  Aggregates - byte/element counts, reason counts -
+    read the arrays directly when present; the decision list is built from
+    the arrays only when reporting code iterates it.
+    """
+
+    def __init__(
+        self,
+        soname: str,
+        device_arch: int,
+        decisions: list[ElementDecision] | None = None,
+        retain_ranges: RangeSet | None = None,
+        remove_ranges: RangeSet | None = None,
+        table: DecisionTable | None = None,
+    ) -> None:
+        if decisions is not None and table is not None:
+            raise LocationError(
+                "LocateResult takes decisions or a table, not both"
+            )
+        self.soname = soname
+        self.device_arch = device_arch
+        self.retain_ranges = (
+            retain_ranges if retain_ranges is not None else RangeSet.empty()
+        )
+        self.remove_ranges = (
+            remove_ranges if remove_ranges is not None else RangeSet.empty()
+        )
+        self.table = table
+        self._decisions = (
+            list(decisions)
+            if decisions is not None
+            else (None if table is not None else [])
+        )
+
+    @property
+    def decisions(self) -> list[ElementDecision]:
+        """The per-element verdicts (materialized from arrays on demand)."""
+        if self._decisions is None:
+            self._decisions = _materialize_decisions(self.table)
+        return self._decisions
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocateResult):
+            return NotImplemented
+        return (
+            self.soname == other.soname
+            and self.device_arch == other.device_arch
+            and self.retain_ranges == other.retain_ranges
+            and self.remove_ranges == other.remove_ranges
+            and self.decisions == other.decisions
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LocateResult({self.soname!r}, arch={self.device_arch}, "
+            f"elements={self.element_count})"
+        )
 
     @cached_property
     def retained(self) -> list[ElementDecision]:
@@ -78,15 +148,90 @@ class LocateResult:
 
     @property
     def element_count(self) -> int:
+        if self.table is not None:
+            return self.table.index.n
         return len(self.decisions)
 
     @property
     def retained_bytes(self) -> int:
+        t = self.table
+        if t is not None:
+            return int(t.index.sizes[t.retained_mask].sum())
         return sum(d.size for d in self.retained)
 
     @property
     def removed_bytes(self) -> int:
+        t = self.table
+        if t is not None:
+            return int(t.index.sizes[~t.retained_mask].sum())
         return sum(d.size for d in self.removed)
+
+    def reason_counts(self) -> dict[RemovalReason, int]:
+        """Removed-element count per reason, off the arrays when present."""
+        t = self.table
+        if t is not None:
+            arch_bad = int((~t.arch_ok).sum())
+            no_used = int((t.arch_ok & ~t.retained_mask).sum())
+            return {
+                RemovalReason.ARCH_MISMATCH: arch_bad,
+                RemovalReason.NO_USED_KERNELS: no_used,
+            }
+        counts = {reason: 0 for reason in RemovalReason}
+        for d in self.decisions:
+            if not d.retained:
+                counts[d.reason] += 1
+        return counts
+
+    def removed_element_indices(self) -> np.ndarray:
+        """Global 1-based indices of removed elements (int64 array)."""
+        t = self.table
+        if t is not None:
+            return t.index.element_index[~t.retained_mask]
+        return np.asarray(
+            [d.index for d in self.decisions if not d.retained],
+            dtype=np.int64,
+        )
+
+
+def _materialize_decisions(table: DecisionTable) -> list[ElementDecision]:
+    """Array form -> :class:`ElementDecision` list (reporting only)."""
+    idx = table.index
+    names_of = idx.id_to_name
+    element_index = idx.element_index.tolist()
+    sm_arch = idx.sm_arch.tolist()
+    sizes = idx.sizes.tolist()
+    kernel_counts = idx.kernel_counts.tolist()
+    arch_ok = table.arch_ok.tolist()
+    retained = table.retained_mask.tolist()
+    ptr = table.hit_ptr.tolist()
+    hit_ids = table.hit_ids.tolist()
+    decisions: list[ElementDecision] = []
+    for i in range(idx.n):
+        if not arch_ok[i]:
+            retained_i, reason, hits = False, RemovalReason.ARCH_MISMATCH, ()
+        elif retained[i]:
+            retained_i, reason = True, None
+            hits = tuple(
+                sorted(names_of[h] for h in hit_ids[ptr[i] : ptr[i + 1]])
+            )
+        else:
+            retained_i, reason, hits = (
+                False,
+                RemovalReason.NO_USED_KERNELS,
+                (),
+            )
+        decisions.append(
+            ElementDecision(
+                index=element_index[i],
+                sm_arch=sm_arch[i],
+                size=sizes[i],
+                kernel_count=kernel_counts[i],
+                retained=retained_i,
+                reason=reason,
+                used_entry_kernels=hits,
+            )
+        )
+    return decisions
 
 
 @dataclass
@@ -102,15 +247,19 @@ class KernelLocator:
         device_arch: int,
         clock: VirtualClock | None = None,
         cubins: list[ExtractedCubin] | None = None,
+        index: KernelUsageIndex | None = None,
     ) -> LocateResult:
         """Decide retention for every fatbin element of ``lib``.
 
         ``used_kernels`` are the detector's recorded CPU-launching kernel
         names for this library; ``device_arch`` is the architecture of the
-        GPU the workload ran on.  ``cubins`` lets a caller that already
-        extracted the library's cubins (the serving store keeps them per
-        library) skip re-extraction; the charged locate cost is unchanged -
-        the cuobjdump boundary is part of what the paper times.
+        GPU the workload ran on.  ``index`` lets a caller that already
+        holds the library's :class:`KernelUsageIndex` pass it explicitly;
+        by default the cached per-library index is used.  ``cubins`` is
+        accepted for callers that still hold a raw extraction (it only
+        cross-checks the element count); the charged locate cost is
+        unchanged either way - the cuobjdump boundary is part of what the
+        paper times.
         """
         image = lib.fatbin
         if image is None:
@@ -121,72 +270,45 @@ class KernelLocator:
                 retain_ranges=RangeSet.empty(),
                 remove_ranges=RangeSet.empty(),
             )
-
-        if cubins is None:
-            cubins = extract_cubins(lib)
+        if index is None:
+            index = index_for(lib)
+        if cubins is not None and len(cubins) != index.n:
+            raise LocationError(
+                f"{lib.soname}: {len(cubins)} cubins vs {index.n} indexed "
+                f"elements - stale extraction cache"
+            )
         if clock is not None:
             clock.advance(
                 self.costs.locate_fixed_per_lib
-                + self.costs.locate_per_element * len(cubins)
+                + self.costs.locate_per_element * index.n
                 + self.costs.locate_per_used_kernel * len(used_kernels)
             )
 
-        decisions: list[ElementDecision] = []
-        retain: list[tuple[int, int]] = []
-        remove: list[tuple[int, int]] = []
-        for extracted in cubins:
-            element = image.element_by_index(extracted.index)
-            if element.sm_arch != extracted.sm_arch:
-                raise LocationError(
-                    f"{lib.soname}: cuobjdump index {extracted.index} does not "
-                    f"match element order"
-                )
-            rng = element.file_range
-            if extracted.sm_arch != device_arch:
-                decision = ElementDecision(
-                    index=extracted.index,
-                    sm_arch=extracted.sm_arch,
-                    size=len(rng),
-                    kernel_count=len(extracted.kernel_names),
-                    retained=False,
-                    reason=RemovalReason.ARCH_MISMATCH,
-                )
-            else:
-                # Entry kernels only: GPU-launching kernels ride along via
-                # whole-element retention.
-                hits = tuple(
-                    sorted(set(extracted.entry_kernel_names) & used_kernels)
-                )
-                if hits:
-                    decision = ElementDecision(
-                        index=extracted.index,
-                        sm_arch=extracted.sm_arch,
-                        size=len(rng),
-                        kernel_count=len(extracted.kernel_names),
-                        retained=True,
-                        reason=None,
-                        used_entry_kernels=hits,
-                    )
-                else:
-                    decision = ElementDecision(
-                        index=extracted.index,
-                        sm_arch=extracted.sm_arch,
-                        size=len(rng),
-                        kernel_count=len(extracted.kernel_names),
-                        retained=False,
-                        reason=RemovalReason.NO_USED_KERNELS,
-                    )
-            decisions.append(decision)
-            (retain if decision.retained else remove).append(
-                (rng.start, rng.stop)
-            )
+        arch_ok = index.sm_arch == device_arch
+        used_ids = index.used_id_array(used_kernels)
+        flat_hits = index.entry_hit_mask(used_ids)
+        # Seed semantics: an arch-mismatched element records no hits even
+        # when a used name appears in it - Reason I wins.
+        flat_hits &= arch_ok[index.entry_elem]
+        retained = index.element_or(flat_hits)
+        hit_ptr, hit_ids = index.hit_csr(flat_hits)
 
         return LocateResult(
             soname=lib.soname,
             device_arch=device_arch,
-            decisions=decisions,
-            retain_ranges=_ranges_from_pairs(retain),
-            remove_ranges=_ranges_from_pairs(remove),
+            retain_ranges=RangeSet.from_arrays(
+                index.starts[retained], index.stops[retained]
+            ),
+            remove_ranges=RangeSet.from_arrays(
+                index.starts[~retained], index.stops[~retained]
+            ),
+            table=DecisionTable(
+                index=index,
+                arch_ok=arch_ok,
+                retained_mask=retained,
+                hit_ptr=hit_ptr,
+                hit_ids=hit_ids,
+            ),
         )
 
     def locate_delta(
@@ -196,6 +318,7 @@ class KernelLocator:
         added_kernels: frozenset[str],
         clock: VirtualClock | None = None,
         cubins: list[ExtractedCubin] | None = None,
+        index: KernelUsageIndex | None = None,
     ) -> LocateResult:
         """Update ``previous`` for a union that grew by ``added_kernels``.
 
@@ -205,34 +328,109 @@ class KernelLocator:
         removals can flip to retained when a newly used kernel lands in
         them.  The result is identical to a full :meth:`locate` against the
         grown union, but the charged cost scales with the *delta* - the
-        serving store's admission win - and cached cubin extractions are
-        reused instead of re-driving the cuobjdump boundary.
+        serving store's admission win - and the cached index is probed
+        instead of re-driving the cuobjdump boundary.
         """
         image = lib.fatbin
         if image is None:
             return previous
-        if cubins is None:
-            cubins = extract_cubins(lib)
-
-        if len(cubins) != len(previous.decisions):
+        if index is None:
+            index = index_for(lib)
+        if cubins is not None and len(cubins) != previous.element_count:
             raise LocationError(
                 f"{lib.soname}: {len(cubins)} cubins vs "
-                f"{len(previous.decisions)} previous decisions - stale "
+                f"{previous.element_count} previous decisions - stale "
                 f"extraction cache"
             )
+        if index.n != previous.element_count:
+            raise LocationError(
+                f"{lib.soname}: {index.n} indexed elements vs "
+                f"{previous.element_count} previous decisions - stale "
+                f"extraction cache"
+            )
+
+        prev_table = previous.table
+        if prev_table is None:
+            return self._locate_delta_decisions(
+                lib, index, previous, added_kernels, clock
+            )
+
+        added_ids = index.used_id_array(added_kernels)
+        flat_new = index.entry_hit_mask(added_ids)
+        flat_new &= prev_table.arch_ok[index.entry_elem]
+        new_hit = index.element_or(flat_new)
+        flipped = int((new_hit & ~prev_table.retained_mask).sum())
+        retained = prev_table.retained_mask | new_hit
+
+        # Merge the previous hit CSR with the new hits: concatenate,
+        # sort by (element, ID), drop duplicates.
+        prev_elems = np.repeat(
+            np.arange(index.n, dtype=np.int64), np.diff(prev_table.hit_ptr)
+        )
+        new_positions = np.flatnonzero(flat_new)
+        all_elems = np.concatenate(
+            (prev_elems, index.entry_elem[new_positions])
+        )
+        all_ids = np.concatenate(
+            (prev_table.hit_ids, index.entry_ids[new_positions])
+        )
+        order = np.lexsort((all_ids, all_elems))
+        hit_ptr, all_ids = build_csr(
+            all_elems[order], all_ids[order], index.n
+        )
+
+        if clock is not None:
+            clock.advance(
+                self.costs.locate_per_used_kernel * len(added_kernels)
+                + self.costs.locate_per_element * flipped
+            )
+
+        return LocateResult(
+            soname=lib.soname,
+            device_arch=previous.device_arch,
+            retain_ranges=RangeSet.from_arrays(
+                index.starts[retained], index.stops[retained]
+            ),
+            remove_ranges=RangeSet.from_arrays(
+                index.starts[~retained], index.stops[~retained]
+            ),
+            table=DecisionTable(
+                index=index,
+                arch_ok=prev_table.arch_ok,
+                retained_mask=retained,
+                hit_ptr=hit_ptr,
+                hit_ids=all_ids,
+            ),
+        )
+
+    def _locate_delta_decisions(
+        self,
+        lib: SharedLibrary,
+        index: KernelUsageIndex,
+        previous: LocateResult,
+        added_kernels: frozenset[str],
+        clock: VirtualClock | None,
+    ) -> LocateResult:
+        """Delta update against a decision-list ``previous`` (no table).
+
+        Deserialized locate results carry materialized decisions only;
+        this path mirrors the seed loop over the cached index so the
+        output (and the charged delta cost) stays identical.
+        """
         decisions: list[ElementDecision] = []
-        retain: list[tuple[int, int]] = []
-        remove: list[tuple[int, int]] = []
+        retain: list[int] = []
         flipped = 0
-        for extracted, prev in zip(cubins, previous.decisions):
-            if extracted.index != prev.index:
+        for row, prev in enumerate(previous.decisions):
+            if int(index.element_index[row]) != prev.index:
                 raise LocationError(
-                    f"{lib.soname}: cached cubins do not match previous "
+                    f"{lib.soname}: cached index does not match previous "
                     f"locate result"
                 )
             decision = prev
             if prev.sm_arch == previous.device_arch:
-                new_hits = set(extracted.entry_kernel_names) & added_kernels
+                new_hits = (
+                    set(index.element_entry_names(row)) & added_kernels
+                )
                 if new_hits:
                     decision = ElementDecision(
                         index=prev.index,
@@ -248,10 +446,8 @@ class KernelLocator:
                     if not prev.retained:
                         flipped += 1
             decisions.append(decision)
-            rng = image.element_by_index(decision.index).file_range
-            (retain if decision.retained else remove).append(
-                (rng.start, rng.stop)
-            )
+            if decision.retained:
+                retain.append(row)
 
         if clock is not None:
             clock.advance(
@@ -259,12 +455,18 @@ class KernelLocator:
                 + self.costs.locate_per_element * flipped
             )
 
+        mask = np.zeros(index.n, dtype=bool)
+        mask[retain] = True
         return LocateResult(
             soname=lib.soname,
             device_arch=previous.device_arch,
             decisions=decisions,
-            retain_ranges=_ranges_from_pairs(retain),
-            remove_ranges=_ranges_from_pairs(remove),
+            retain_ranges=RangeSet.from_arrays(
+                index.starts[mask], index.stops[mask]
+            ),
+            remove_ranges=RangeSet.from_arrays(
+                index.starts[~mask], index.stops[~mask]
+            ),
         )
 
 

@@ -236,13 +236,20 @@ class WorkloadDebloatReport:
         ]
 
     def removal_reason_shares(self) -> dict[RemovalReason, float]:
-        """Percentage of removed elements per reason (paper Fig. 7)."""
-        removed = [d for d in self.element_decisions() if not d.retained]
-        if not removed:
+        """Percentage of removed elements per reason (paper Fig. 7).
+
+        Summed from each locate result's vectorized
+        :meth:`~repro.core.locate.LocateResult.reason_counts`, so no
+        decision list is materialized just to count removals.
+        """
+        counts = {reason: 0 for reason in RemovalReason}
+        for res in self.locate_results.values():
+            for reason, count in res.reason_counts().items():
+                counts[reason] += count
+        total = sum(counts.values())
+        if not total:
             return {reason: 0.0 for reason in RemovalReason}
         return {
-            reason: 100.0
-            * sum(1 for d in removed if d.reason is reason)
-            / len(removed)
+            reason: 100.0 * counts[reason] / total
             for reason in RemovalReason
         }

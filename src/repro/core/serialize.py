@@ -376,9 +376,116 @@ def value_loads(data: bytes, kind: str) -> Any:
     return payload["value"]
 
 
-#: Public aliases: the cached-value tier persists bare RunMetrics too.
+#: Public aliases: the cached-value tier persists bare RunMetrics too, and
+#: the process-sharded locate/compact fan-out ships LocateResults.
 metrics_to_payload = _metrics_to_payload
 metrics_from_payload = _metrics_from_payload
+locate_to_payload = _locate_to_payload
+locate_from_payload = _locate_from_payload
+
+
+# ---------------------------------------------------------------------------
+# process-shard payloads: SparseFile / DebloatedLibrary across workers
+# ---------------------------------------------------------------------------
+
+#: Payload kinds of the process-sharded locate/compact fan-out
+#: (:mod:`repro.core.debloat`): a shard task shipped to a worker process and
+#: the per-library results shipped back.
+SHARD_TASK_KIND = "locate_shard_task"
+SHARD_RESULT_KIND = "locate_shard_result"
+
+
+def sparsefile_to_payload(sf) -> dict[str, Any]:
+    """Exact wire form of a :class:`~repro.utils.sparsefile.SparseFile`.
+
+    Extent starts/ends plus one concatenated chunk blob: rebuilding writes
+    the chunks back in order, and the extent invariant (sorted, disjoint,
+    non-adjacent) guarantees the rebuilt file has identical structure, not
+    just identical reads.
+    """
+    extents = sf.extents()
+    starts = np.asarray(extents.starts, dtype=np.int64)
+    stops = np.asarray(extents.stops, dtype=np.int64)
+    blob = b"".join(
+        sf.read(int(s), int(e - s)) for s, e in zip(starts, stops)
+    )
+    return {
+        "logical_size": sf.logical_size,
+        "starts": starts,
+        "stops": stops,
+        "blob": np.frombuffer(blob, dtype=np.uint8),
+    }
+
+
+def sparsefile_from_payload(p: dict[str, Any]):
+    from repro.utils.sparsefile import SparseFile
+
+    sf = SparseFile(int(p["logical_size"]))
+    blob = p["blob"].tobytes()
+    offset = 0
+    for s, e in zip(p["starts"].tolist(), p["stops"].tolist()):
+        length = e - s
+        sf.write(s, blob[offset : offset + length])
+        offset += length
+    return sf
+
+
+def debloated_to_payload(d) -> dict[str, Any]:
+    """Wire form of a :class:`~repro.core.compact.DebloatedLibrary`.
+
+    Ships the *compacted* bytes plus the removal record; the original
+    library (typically hundreds of MB of generated content the parent
+    already holds) is reattached on the other side by
+    :func:`debloated_from_payload`, never serialized.
+    """
+    lib = d.lib
+    mask = lib.tags.get("removed_function_mask")
+    return {
+        "soname": d.soname,
+        "proprietary": lib.proprietary,
+        "data": sparsefile_to_payload(lib.data),
+        "removed_cpu_ranges": _rangeset_to_payload(d.removed_cpu_ranges),
+        "removed_gpu_ranges": _rangeset_to_payload(d.removed_gpu_ranges),
+        "removed_elements": d.removed_elements,
+        "removed_functions": d.removed_functions,
+        "removed_bytes_total": int(lib.tags["removed_bytes_total"]),
+        "removed_function_mask": (
+            None if mask is None else np.asarray(mask, dtype=bool)
+        ),
+    }
+
+
+def debloated_from_payload(p: dict[str, Any], original):
+    """Rebuild a :class:`DebloatedLibrary` against the caller's original.
+
+    Reproduces exactly what :meth:`~repro.core.compact.Compactor.compact`
+    constructs: a freshly parsed library over the compacted bytes, tags
+    inherited from the original plus the removal record.
+    """
+    from repro.core.compact import DebloatedLibrary
+    from repro.elf.parser import parse_shared_library
+
+    soname = p["soname"]
+    if soname != original.soname:
+        raise CacheDecodeError(
+            f"shard result for {soname!r} paired with {original.soname!r}"
+        )
+    lib = parse_shared_library(
+        sparsefile_from_payload(p["data"]), soname, bool(p["proprietary"])
+    )
+    lib.tags.update(original.tags)
+    lib.tags["debloated_from"] = soname
+    lib.tags["removed_bytes_total"] = int(p["removed_bytes_total"])
+    if p["removed_function_mask"] is not None:
+        lib.tags["removed_function_mask"] = p["removed_function_mask"]
+    return DebloatedLibrary(
+        lib=lib,
+        original=original,
+        removed_cpu_ranges=_rangeset_from_payload(p["removed_cpu_ranges"]),
+        removed_gpu_ranges=_rangeset_from_payload(p["removed_gpu_ranges"]),
+        removed_elements=int(p["removed_elements"]),
+        removed_functions=int(p["removed_functions"]),
+    )
 
 
 def payload_loads(data: bytes) -> dict[str, Any]:

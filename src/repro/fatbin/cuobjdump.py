@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.elf.image import SharedLibrary
 from repro.errors import FatbinFormatError
 
@@ -69,19 +71,48 @@ def list_fatbin_elements(lib: SharedLibrary) -> list[str]:
     return lines
 
 
+def _extracted_view(index, row: int) -> ExtractedCubin:
+    """Rebuild one :class:`ExtractedCubin` record from the cached index."""
+    return ExtractedCubin(
+        index=int(index.element_index[row]),
+        sm_arch=int(index.sm_arch[row]),
+        kernel_names=index.element_names(row),
+        entry_kernel_names=index.element_entry_names(row),
+    )
+
+
 def find_kernel(lib: SharedLibrary, kernel_name: str) -> list[ExtractedCubin]:
-    """All cubins in ``lib`` containing ``kernel_name``."""
-    return [
-        c for c in extract_cubins(lib) if kernel_name in c.kernel_names
-    ]
+    """All cubins in ``lib`` containing ``kernel_name``.
+
+    Served from the library's cached
+    :class:`~repro.core.kindex.KernelUsageIndex`: one vectorized ID probe
+    over the flat kernel table instead of a fresh ``extract_cubins`` walk
+    per query.
+    """
+    from repro.core.kindex import index_for
+
+    index = index_for(lib)
+    kid = index.name_to_id.get(kernel_name)
+    if kid is None:
+        return []
+    rows = np.unique(index.kernel_elem[index.kernel_ids == kid])
+    return [_extracted_view(index, int(row)) for row in rows]
 
 
 def kernel_inventory(lib: SharedLibrary) -> dict[str, list[int]]:
-    """Map kernel name -> element indices containing it (all architectures)."""
+    """Map kernel name -> element indices containing it (all architectures).
+
+    One pass over the cached index's flat name table; repeated calls never
+    re-extract cubins.
+    """
+    from repro.core.kindex import index_for
+
+    index = index_for(lib)
+    element_index = index.element_index.tolist()
+    rows = index.kernel_elem.tolist()
     inventory: dict[str, list[int]] = {}
-    for cubin in extract_cubins(lib):
-        for name in cubin.kernel_names:
-            inventory.setdefault(name, []).append(cubin.index)
+    for name, row in zip(index.kernel_names, rows):
+        inventory.setdefault(name, []).append(element_index[row])
     return inventory
 
 

@@ -640,6 +640,23 @@ def clear_framework_cache() -> None:
     _FRAMEWORK_CACHE.clear()
 
 
+def build_key_for(
+    framework: Framework,
+) -> tuple[str, float, tuple[int, ...]] | None:
+    """The ``(name, scale, archs)`` generation key of a catalog build.
+
+    A memo-table identity scan: returns the key a worker process can feed
+    back into :func:`get_framework` to regenerate byte-identical libraries,
+    or ``None`` for instances that did not come out of the catalog memo
+    (hand-built specs, orphans of :func:`clear_framework_cache`) - those
+    cannot be re-derived remotely and callers must stay in-process.
+    """
+    for key, cached in _FRAMEWORK_CACHE.items():
+        if cached is framework:
+            return key
+    return None
+
+
 def is_canonical_build(framework: Framework) -> bool:
     """True iff ``framework`` is the memoized default-archs catalog build.
 

@@ -7,6 +7,14 @@ keeps a bounded worker pool draining a request queue; workers overlap
 their detection runs and the store's admission lock orders the merges.
 Readers never queue - :meth:`snapshot` returns the store's current
 immutable epoch directly.
+
+With ``batch_max > 1`` a worker that picks up a request also drains
+whatever else is already queued (up to the cap) and admits the whole batch
+through :meth:`DebloatStore.admit_many` - one union merge and one delta
+locate/compact pass per grown library instead of one per admission.  Each
+ticket still resolves to its own :class:`AdmissionResult`; a batch whose
+specs fail upfront validation falls back to per-spec admission so one bad
+request never poisons its queue neighbours.
 """
 
 from __future__ import annotations
@@ -68,11 +76,16 @@ class DebloatServer:
         store: DebloatStore,
         workers: int = 2,
         verify: bool = False,
+        batch_max: int = 1,
     ) -> None:
         if workers < 1:
             raise UsageError("DebloatServer needs at least one worker")
+        if batch_max < 1:
+            raise UsageError("batch_max must be >= 1")
         self.store = store
         self.verify = verify
+        self.batch_max = batch_max
+        self._batches_merged = 0
         self._queue: queue.Queue = queue.Queue()
         # Orders submit() against close(): a ticket must never land behind
         # the shutdown sentinels (it would hang its waiter forever), and
@@ -126,6 +139,7 @@ class DebloatServer:
             "pending": self._queue.qsize(),
             "served": self._served,
             "failed": self._failed,
+            "batches_merged": self._batches_merged,
         }
 
     # -- lifecycle ------------------------------------------------------------
@@ -155,14 +169,59 @@ class DebloatServer:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            ticket, started = item
-            try:
-                result = self.store.admit(ticket.spec, verify=self.verify)
-            except BaseException as exc:  # noqa: BLE001 - relayed to caller
-                with self._state_lock:
-                    self._failed += 1
-                ticket._resolve(started, None, exc)
+            batch = [item]
+            while len(batch) < self.batch_max:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _SHUTDOWN:
+                    # Hand the sentinel on: another worker (or this one's
+                    # next loop turn) still has to see it.
+                    self._queue.put(_SHUTDOWN)
+                    break
+                batch.append(extra)
+            if len(batch) == 1:
+                self._admit_one(*batch[0])
             else:
-                with self._state_lock:
-                    self._served += 1
-                ticket._resolve(started, result, None)
+                self._admit_batch(batch)
+
+    def _admit_one(self, ticket: AdmissionTicket, started: float) -> None:
+        try:
+            result = self.store.admit(ticket.spec, verify=self.verify)
+        except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            with self._state_lock:
+                self._failed += 1
+            ticket._resolve(started, None, exc)
+        else:
+            with self._state_lock:
+                self._served += 1
+            ticket._resolve(started, result, None)
+
+    def _admit_batch(
+        self, batch: list[tuple[AdmissionTicket, float]]
+    ) -> None:
+        """Drained-queue admission: one ``admit_many`` for the whole batch.
+
+        Any batch-level failure falls back to per-spec admission so one
+        bad request never fails its queue neighbours: ``admit_many``
+        validates every spec before mutating anything (a malformed batch
+        raises :class:`UsageError` with the store untouched), and a
+        failure *after* the batch committed (e.g. a strict-verify
+        :class:`VerificationError` for one spec) is safe to retry because
+        re-admission is idempotent - the per-spec pass re-verifies each
+        workload and errors only the ticket that actually failed.
+        """
+        try:
+            results = self.store.admit_many(
+                [ticket.spec for ticket, _ in batch], verify=self.verify
+            )
+        except Exception:  # noqa: BLE001 - per-spec retry assigns blame
+            for ticket, started in batch:
+                self._admit_one(ticket, started)
+            return
+        with self._state_lock:
+            self._served += len(batch)
+            self._batches_merged += 1
+        for (ticket, started), result in zip(batch, results):
+            ticket._resolve(started, result, None)

@@ -11,8 +11,13 @@ that statically but recomputes every library per call;
 * :meth:`admit` runs detection for the *new* workload only, then
   re-locates/re-compacts **only the libraries whose union actually grew**
   (:meth:`~repro.core.locate.KernelLocator.locate_delta` reuses the
-  previous decisions and the cached cubin extraction); libraries with zero
+  previous decisions and the per-library cached
+  :class:`~repro.core.kindex.KernelUsageIndex`); libraries with zero
   new kernels/functions are served from the store untouched;
+* :meth:`admit_many` drains a *batch* of queued workloads into one union
+  merge and a single delta locate/compact pass per grown library -
+  byte-identical end state to sequential admission with far fewer
+  recompactions (the server's queue-draining path);
 * every successful mutation publishes a new immutable
   :class:`StoreSnapshot` (generation-numbered, copy-on-write library map),
   so concurrent readers always observe a consistent library set while
@@ -52,12 +57,12 @@ from repro.core.compact import Compactor, DebloatedLibrary
 from repro.core.cpu import FunctionLocator
 from repro.core.debloat import DebloatOptions, MultiWorkloadReport
 from repro.core.locate import KernelLocator, LocateResult
+from repro.core.kindex import KernelUsageIndex, index_for
 from repro.core.report import LibraryReduction
 from repro.core.verify import VerificationResult, verify_debloat
 from repro.cuda.clock import VirtualClock
 from repro.cuda.costs import DEFAULT_COSTS
 from repro.errors import UsageError, VerificationError
-from repro.fatbin.cuobjdump import ExtractedCubin, extract_cubins
 from repro.frameworks.spec import Framework
 from repro.serving.usage import WorkloadUsage, cached_usage, capture_usage
 from repro.utils.units import pct_reduction
@@ -187,13 +192,15 @@ class DebloatStore:
         self._arch: int | None = None
         self._features: frozenset[str] = frozenset()
         self._union_kernels: dict[str, set[str]] = {}
-        self._union_functions: dict[str, set[int]] = {}
+        #: soname -> sorted-unique int64 used-function indices; kept as
+        #: arrays so membership growth checks and union merges run at
+        #: NumPy speed instead of Python set algebra.
+        self._union_functions: dict[str, np.ndarray] = {}
         self._admitted: list[WorkloadSpec] = []
         self._usage: dict[WorkloadSpec, WorkloadUsage] = {}
         self._marginal_kernels: list[int] = []
         self._debloated: dict[str, DebloatedLibrary] = {}
         self._locates: dict[str, LocateResult] = {}
-        self._cubins: dict[str, list[ExtractedCubin]] = {}
         self._kernel_locator = KernelLocator(self.options.costs)
         self._function_locator = FunctionLocator(self.options.costs)
         self._compactor = Compactor(self.options.costs)
@@ -246,32 +253,9 @@ class DebloatStore:
                 _check_spec(self.framework.name, self._arch, spec)
             duplicate = duplicate or spec in self._usage
 
-            before = sum(len(v) for v in self._union_kernels.values())
-            before_fn = sum(len(v) for v in self._union_functions.values())
-            added_kernels: dict[str, frozenset[str]] = {}
-            for soname, names in usage.kernels.items():
-                new = names - self._union_kernels.get(soname, frozenset())
-                if new:
-                    added_kernels[soname] = frozenset(new)
-            grown_fn: set[str] = set()
-            for soname, idx in usage.functions.items():
-                have = self._union_functions.get(soname, set())
-                if set(idx.tolist()) - have:
-                    grown_fn.add(soname)
-
-            for soname, new in added_kernels.items():
-                self._union_kernels.setdefault(soname, set()).update(new)
-            for soname, idx in usage.functions.items():
-                self._union_functions.setdefault(soname, set()).update(
-                    idx.tolist()
-                )
-            marginal = (
-                sum(len(v) for v in self._union_kernels.values()) - before
+            added_kernels, grown_fn, marginal, marginal_fn = (
+                self._merge_usage_locked(spec, usage)
             )
-            marginal_fn = (
-                sum(len(v) for v in self._union_functions.values()) - before_fn
-            )
-            self._features = self._features | spec.features
 
             libs = self.framework.libraries_for(self._features)
             to_process = [
@@ -348,6 +332,227 @@ class DebloatStore:
             verification=verification,
         )
 
+    def _merge_usage_locked(
+        self, spec: WorkloadSpec, usage: WorkloadUsage
+    ) -> tuple[dict[str, frozenset[str]], set[str], int, int]:
+        """Merge one workload's usage into the union (admission lock held).
+
+        Returns ``(added_kernels, grown_fn, marginal_kernels,
+        marginal_functions)``.  Function unions are sorted-unique int64
+        arrays: growth detection is one ``np.setdiff1d`` probe and the
+        merge one ``np.union1d`` - no Python set algebra on paper-scale
+        index sets.
+        """
+        before = sum(len(v) for v in self._union_kernels.values())
+        before_fn = sum(int(v.size) for v in self._union_functions.values())
+        added_kernels: dict[str, frozenset[str]] = {}
+        for soname, names in usage.kernels.items():
+            new = names - self._union_kernels.get(soname, frozenset())
+            if new:
+                added_kernels[soname] = frozenset(new)
+        grown_fn: set[str] = set()
+        for soname, idx in usage.functions.items():
+            have = self._union_functions.get(soname)
+            if have is None:
+                if idx.size:
+                    grown_fn.add(soname)
+            elif np.setdiff1d(idx, have).size:
+                grown_fn.add(soname)
+
+        for soname, new in added_kernels.items():
+            self._union_kernels.setdefault(soname, set()).update(new)
+        for soname, idx in usage.functions.items():
+            have = self._union_functions.get(soname)
+            self._union_functions[soname] = (
+                np.union1d(have, idx)
+                if have is not None
+                else np.unique(np.asarray(idx, dtype=np.int64))
+            )
+        marginal = sum(len(v) for v in self._union_kernels.values()) - before
+        marginal_fn = (
+            sum(int(v.size) for v in self._union_functions.values())
+            - before_fn
+        )
+        self._features = self._features | spec.features
+        return added_kernels, grown_fn, marginal, marginal_fn
+
+    def admit_many(
+        self, specs: list[WorkloadSpec], verify: bool = False
+    ) -> list[AdmissionResult]:
+        """Admit a batch of queued workloads in ONE delta pass per library.
+
+        Sequential :meth:`admit` calls re-locate/re-compact a library once
+        per admission that grows it; a drained queue of N workloads can
+        touch the same hot library N times.  ``admit_many`` merges every
+        workload's usage into the union first - computing the same
+        per-spec marginals a sequential admission would - and then runs a
+        *single* delta locate/compact over the union of grown libraries.
+        Retention is monotone in the union, so the end state is
+        byte-identical to admitting the specs one at a time; only the
+        number of recompactions shrinks.
+
+        Bookkeeping mirrors sequential admission: the generation advances
+        once per spec, each result's ``recompacted`` lists the libraries
+        *that spec* grew, and the one batched pass's per-library cost is
+        attributed to the first spec that grew each library.  All specs
+        are validated against the store (and each other) before anything
+        is mutated, so a malformed batch raises :class:`UsageError` with
+        the store untouched.
+        """
+        if not specs:
+            raise UsageError("admit_many needs at least one workload")
+        with self._admission_lock:
+            pinned = self._arch
+        arch = (
+            pinned if pinned is not None else specs[0].devices()[0].sm_arch
+        )
+        for spec in specs:
+            _check_spec(self.framework.name, arch, spec)
+
+        captures: list[tuple[WorkloadUsage, bool, bool]] = []
+        batch_seen: dict[WorkloadSpec, WorkloadUsage] = {}
+        for spec in specs:
+            with self._admission_lock:
+                prior = self._usage.get(spec)
+            if prior is None:
+                # A spec queued twice in one batch captures once, exactly
+                # like sequential admission reuses the first admission's
+                # recorded usage.
+                prior = batch_seen.get(spec)
+            if prior is not None:
+                captures.append((prior, True, True))
+            else:
+                usage, cached = self._capture(spec)
+                batch_seen[spec] = usage
+                captures.append((usage, cached, False))
+
+        results: list[AdmissionResult] = []
+        with self._admission_lock:
+            if self._arch is None:
+                self._arch = specs[0].devices()[0].sm_arch
+            for spec in specs:
+                _check_spec(self.framework.name, self._arch, spec)
+
+            batch_added: dict[str, frozenset[str]] = {}
+            first_grower: dict[str, int] = {}
+            pending: list[dict] = []
+            for pos, (spec, (usage, cached, known)) in enumerate(
+                zip(specs, captures)
+            ):
+                duplicate = known or spec in self._usage
+                if cached and not duplicate:
+                    self._stat_usage_cache_hits += 1
+                added_kernels, grown_fn, marginal, marginal_fn = (
+                    self._merge_usage_locked(spec, usage)
+                )
+                for soname, new in added_kernels.items():
+                    batch_added[soname] = (
+                        batch_added.get(soname, frozenset()) | new
+                    )
+                libs = self.framework.libraries_for(self._features)
+                grown = {
+                    lib.soname
+                    for lib in libs
+                    if lib.soname not in self._debloated
+                    and lib.soname not in first_grower
+                    or lib.soname in added_kernels
+                    or lib.soname in grown_fn
+                }
+                added_libs = tuple(
+                    lib.soname
+                    for lib in libs
+                    if lib.soname not in self._debloated
+                    and lib.soname not in first_grower
+                )
+                for soname in grown | set(added_libs):
+                    first_grower.setdefault(soname, pos)
+                untouched = tuple(
+                    lib.soname
+                    for lib in libs
+                    if lib.soname not in grown
+                    and (
+                        lib.soname in self._debloated
+                        or lib.soname in first_grower
+                    )
+                )
+                pending.append(
+                    {
+                        "spec": spec,
+                        "usage": usage,
+                        "cached": cached,
+                        "duplicate": duplicate,
+                        "marginal": marginal,
+                        "marginal_fn": marginal_fn,
+                        "recompacted": tuple(sorted(grown)),
+                        "untouched": untouched,
+                        "added_libraries": added_libs,
+                    }
+                )
+                self._admitted.append(spec)
+                self._usage.setdefault(spec, usage)
+                self._marginal_kernels.append(marginal)
+                self._generation += 1
+                self._stat_admissions += 1
+                self._stat_duplicates += int(duplicate)
+                self._stat_untouched_served += len(untouched)
+
+            libs = self.framework.libraries_for(self._features)
+            to_process = [
+                lib for lib in libs if lib.soname in first_grower
+            ]
+            processed = self._process(to_process, batch_added)
+            per_lib_cost: dict[str, float] = {}
+            new_debloated = dict(self._debloated)
+            for soname, gpu_res, d, elapsed in processed:
+                new_debloated[soname] = d
+                self._locates[soname] = gpu_res
+                per_lib_cost[soname] = elapsed
+            self._debloated = new_debloated
+            self._stat_recompactions += len(to_process)
+            self._publish_snapshot()
+            generation = self._generation
+            union_file_size = self._snapshot.total_file_size
+            union_file_size_after = self._snapshot.total_file_size_after
+            snapshot_libs = self._debloated
+
+            cost_of: list[float] = [0.0] * len(specs)
+            for soname, pos in first_grower.items():
+                cost_of[pos] += per_lib_cost.get(soname, 0.0)
+
+        for pos, item in enumerate(pending):
+            verification = None
+            if verify:
+                verification = verify_debloat(
+                    item["spec"],
+                    self.framework,
+                    snapshot_libs,
+                    item["usage"].metrics,
+                    self.options.costs,
+                )
+                if self.options.strict_verify and not verification.ok:
+                    raise VerificationError(
+                        f"{item['spec'].workload_id}: {verification.error}"
+                    )
+            results.append(
+                AdmissionResult(
+                    workload_id=item["spec"].workload_id,
+                    generation=generation - len(specs) + pos + 1,
+                    new_kernels=item["marginal"],
+                    new_functions=item["marginal_fn"],
+                    recompacted=item["recompacted"],
+                    untouched=item["untouched"],
+                    added_libraries=item["added_libraries"],
+                    union_file_size=union_file_size,
+                    union_file_size_after=union_file_size_after,
+                    detection_run_s=item["usage"].metrics.execution_time_s,
+                    locate_compact_s=cost_of[pos],
+                    detection_cached=item["cached"],
+                    duplicate=item["duplicate"],
+                    verification=verification,
+                )
+            )
+        return results
+
     # -- delta locate/compact -------------------------------------------------
 
     def _process(
@@ -368,15 +573,15 @@ class DebloatStore:
         def process_one(lib) -> tuple:
             with self._lib_lock(lib.soname):
                 clock = VirtualClock()
-                cubins = self._lib_cubins(lib)
+                index = self._lib_index(lib)
                 prev = self._locates.get(lib.soname)
-                if prev is not None and prev.decisions:
+                if prev is not None and prev.element_count:
                     gpu_res = self._kernel_locator.locate_delta(
                         lib,
                         prev,
                         added_kernels.get(lib.soname, frozenset()),
                         clock=clock,
-                        cubins=cubins,
+                        index=index,
                     )
                 else:
                     gpu_res = self._kernel_locator.locate(
@@ -384,14 +589,10 @@ class DebloatStore:
                         frozenset(self._union_kernels.get(lib.soname, ())),
                         self._arch,
                         clock=clock,
-                        cubins=cubins,
+                        index=index,
                     )
                 used = self._union_functions.get(lib.soname)
-                used_arr = (
-                    np.asarray(sorted(used), dtype=np.int64)
-                    if used
-                    else _EMPTY_INDICES
-                )
+                used_arr = used if used is not None else _EMPTY_INDICES
                 cpu_res = self._function_locator.locate(
                     lib, used_arr, clock=clock
                 )
@@ -411,13 +612,18 @@ class DebloatStore:
                 lock = self._lib_locks[soname] = threading.Lock()
             return lock
 
-    def _lib_cubins(self, lib) -> list[ExtractedCubin] | None:
+    def _lib_index(self, lib) -> KernelUsageIndex | None:
+        """The library's cached :class:`KernelUsageIndex`.
+
+        The cache (which replaced the store's raw cubin cache) lives on
+        the :class:`SharedLibrary` instance itself via :func:`index_for`:
+        one fatbin walk per library for the library's lifetime, shared by
+        every admission's locate/locate_delta, eviction recompactions,
+        and any other pipeline touching the same framework build.
+        """
         if lib.fatbin is None:
             return None
-        cached = self._cubins.get(lib.soname)
-        if cached is None:
-            cached = self._cubins[lib.soname] = extract_cubins(lib)
-        return cached
+        return index_for(lib)
 
     def _capture(self, spec: WorkloadSpec) -> tuple[WorkloadUsage, bool]:
         if self._use_cache:
@@ -458,7 +664,7 @@ class DebloatStore:
                 len(v) for v in self._union_kernels.values()
             ),
             union_functions=sum(
-                len(v) for v in self._union_functions.values()
+                int(v.size) for v in self._union_functions.values()
             ),
             reductions=reductions,
         )
@@ -543,8 +749,11 @@ class DebloatStore:
                 for soname, names in usage.kernels.items():
                     self._union_kernels.setdefault(soname, set()).update(names)
                 for soname, idx in usage.functions.items():
-                    self._union_functions.setdefault(soname, set()).update(
-                        idx.tolist()
+                    have = self._union_functions.get(soname)
+                    self._union_functions[soname] = (
+                        np.union1d(have, idx)
+                        if have is not None
+                        else np.unique(np.asarray(idx, dtype=np.int64))
                     )
                 self._marginal_kernels.append(
                     sum(len(v) for v in self._union_kernels.values()) - before
@@ -558,7 +767,6 @@ class DebloatStore:
                 self._features = frozenset()
                 self._debloated = {}
                 self._locates = {}
-                self._cubins = {}
                 self._generation += 1
                 self._publish_snapshot()
                 return EvictionResult(
@@ -582,8 +790,10 @@ class DebloatStore:
                 for lib in libs
                 if self._union_kernels.get(lib.soname, set())
                 != old_kernels.get(lib.soname, set())
-                or self._union_functions.get(lib.soname, set())
-                != old_functions.get(lib.soname, set())
+                or not _fn_union_equal(
+                    self._union_functions.get(lib.soname),
+                    old_functions.get(lib.soname),
+                )
             ]
             # Shrunk unions invalidate the delta path's monotonicity
             # premise: drop the previous locate results so _process takes
@@ -601,7 +811,6 @@ class DebloatStore:
                 self._locates[soname] = gpu_res
             for soname in dropped:
                 self._locates.pop(soname, None)
-                self._cubins.pop(soname, None)
             self._debloated = new_debloated
             self._generation += 1
             self._stat_recompactions += len(shrunk)
@@ -626,7 +835,6 @@ class DebloatStore:
             self._marginal_kernels = []
             self._debloated = {}
             self._locates = {}
-            self._cubins = {}
             self._generation += 1
             self._publish_snapshot()
 
@@ -645,6 +853,13 @@ class DebloatStore:
             "untouched_served": self._stat_untouched_served,
             "usage_cache_hits": self._stat_usage_cache_hits,
         }
+
+
+def _fn_union_equal(a: np.ndarray | None, b: np.ndarray | None) -> bool:
+    """Equality of two sorted-unique function unions (None == empty)."""
+    a = a if a is not None else _EMPTY_INDICES
+    b = b if b is not None else _EMPTY_INDICES
+    return np.array_equal(a, b)
 
 
 def _is_catalog_build(framework: Framework) -> bool:

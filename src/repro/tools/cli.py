@@ -60,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_debloat.add_argument("workload_id", help="e.g. pytorch/train/mobilenetv2")
     p_debloat.add_argument("--top", type=int, default=12,
                            help="show the top-N libraries by reduction")
+    p_debloat.add_argument("--locate-workers", type=int, default=0,
+                           help="fan the per-library locate/compact loop "
+                           "out over N workers (0 = serial; output is "
+                           "byte-identical for any worker count)")
+    p_debloat.add_argument("--locate-workers-mode", default=None,
+                           choices=("thread", "process"),
+                           help="fan-out mode: GIL-bound threads or "
+                           "library shards across a process pool "
+                           "(default: $REPRO_LOCATE_WORKERS_MODE or "
+                           "thread)")
 
     p_serve = sub.add_parser(
         "serve",
@@ -79,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--verify", action="store_true",
                          help="re-run each workload against the store after "
                          "its admission")
+    p_serve.add_argument("--batch-max", type=int, default=1,
+                         help="let a worker drain up to N queued admissions "
+                         "into one union merge + delta pass per library "
+                         "(1 = admit one at a time)")
 
     sub.add_parser("workloads", help="list workload ids")
     return parser
@@ -104,8 +118,16 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def cmd_debloat(args: argparse.Namespace) -> int:
+    from repro.core.debloat import DebloatOptions
+
     spec = workload_by_id(args.workload_id)
-    report = report_for(spec, scale=args.scale)
+    options = None
+    if args.locate_workers or args.locate_workers_mode:
+        kwargs = {"locate_workers": args.locate_workers}
+        if args.locate_workers_mode:
+            kwargs["locate_workers_mode"] = args.locate_workers_mode
+        options = DebloatOptions(**kwargs)
+    report = report_for(spec, scale=args.scale, options=options)
 
     table = Table(
         ["Library", "File MB (red%)", "CPU MB (red%)", "GPU MB (red%)",
@@ -163,8 +185,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
          "Libs served", "Union MB after", "Source"],
         title=f"Serving admissions: {framework_name} @ scale {args.scale}",
     )
-    with DebloatServer(store, workers=args.workers,
-                       verify=args.verify) as server:
+    with DebloatServer(store, workers=args.workers, verify=args.verify,
+                       batch_max=args.batch_max) as server:
         tickets = [server.submit(spec) for spec in specs]
         for ticket in tickets:
             res = ticket.result()
@@ -194,7 +216,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         f"served {stats['served']} admissions with {stats['workers']} "
-        f"workers; {stats['untouched_served']} library servings skipped "
+        f"workers ({stats['batches_merged']} drained batches); "
+        f"{stats['untouched_served']} library servings skipped "
         f"re-compaction, {stats['usage_cache_hits']} detections from cache"
     )
     return 0

@@ -44,7 +44,6 @@ class WorkloadRunner:
 
     def run(self) -> RunMetrics:
         spec = self.spec
-        model = spec.model
         rt = FrameworkRuntime(
             framework=self.framework,
             devices=spec.devices(),

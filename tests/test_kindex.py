@@ -1,0 +1,240 @@
+"""KernelUsageIndex + vectorized locator tests.
+
+The vectorized ``KernelLocator.locate``/``locate_delta`` passes must be
+*indistinguishable* from the seed per-element loop (kept as the
+``repro.core._locate_py`` oracle): identical decisions, ranges, aggregate
+bytes, reason counts, and clock charges, for arbitrary fatbins and used
+sets.  Plus the name-ID table's collision handling and the cached-index
+``cuobjdump`` query routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.core.kindex as kindex
+from repro.core._locate_py import locate_delta_py, locate_py
+from repro.core.kindex import assign_name_ids, build_index, index_for
+from repro.core.locate import KernelLocator, LocateResult
+from repro.cuda.clock import VirtualClock
+from repro.elf.builder import ElfBuilder
+from repro.elf.parser import parse_shared_library
+from repro.elf.symtab import SymbolTable
+from repro.errors import LocationError
+from repro.fatbin.builder import FatbinBuilder
+from repro.fatbin.cubin import Cubin
+from repro.fatbin.cuobjdump import extract_cubins, find_kernel, kernel_inventory
+
+from tests.conftest import build_small_library
+
+#: Kernel-name pool the random fatbins draw from: shared prefixes,
+#: duplicates across cubins, and names of equal length (collision bait for
+#: the salted-ID regression below).
+NAME_POOL = [
+    "gemm_f32", "gemm_f16", "conv_k3", "conv_k5", "softmax", "relu",
+    "add", "mul", "sum", "norm_a", "norm_b", "attn", "rope", "drop",
+]
+
+ARCH_POOL = [70, 75, 80, 86]
+
+
+@st.composite
+def random_libraries(draw):
+    """A small random shared library with a random fatbin layout."""
+    regions = draw(st.lists(st.sampled_from(ARCH_POOL), min_size=1,
+                            max_size=3))
+    fb = FatbinBuilder()
+    for arch in regions:
+        region = fb.add_region()
+        n_cubins = draw(st.integers(1, 3))
+        for _ in range(n_cubins):
+            names = draw(
+                st.lists(st.sampled_from(NAME_POOL), min_size=1, max_size=5)
+            )
+            n = len(names)
+            entry = np.asarray(
+                draw(st.lists(st.booleans(), min_size=n, max_size=n)),
+                dtype=bool,
+            )
+            edges = []
+            if n >= 2 and draw(st.booleans()):
+                edges = [(0, n - 1)]
+            region.add_element(
+                Cubin.build(
+                    names=names,
+                    code_sizes=np.full(n, 64, dtype=np.int64),
+                    entry_mask=entry,
+                    launch_edges=edges,
+                ),
+                sm_arch=arch,
+            )
+    n_fn = 4
+    symtab = SymbolTable.for_functions(
+        [f"fn_{i}" for i in range(n_fn)],
+        np.arange(n_fn, dtype=np.int64) * 32,
+        np.full(n_fn, 32, dtype=np.int64),
+        section_index=1,
+    )
+    builder = ElfBuilder("librandom.so")
+    builder.add_text(n_fn * 32)
+    builder.add_fatbin(fb.build())
+    builder.set_function_symbols(symtab)
+    return parse_shared_library(builder.build(), "librandom.so")
+
+
+used_sets = st.sets(st.sampled_from(NAME_POOL + ["not_in_any_library"]))
+
+
+def assert_equivalent(a: LocateResult, b: LocateResult) -> None:
+    assert a.decisions == b.decisions
+    assert a.retain_ranges == b.retain_ranges
+    assert a.remove_ranges == b.remove_ranges
+    assert a.retained_bytes == b.retained_bytes
+    assert a.removed_bytes == b.removed_bytes
+    assert a.reason_counts() == b.reason_counts()
+    assert np.array_equal(
+        a.removed_element_indices(), b.removed_element_indices()
+    )
+
+
+class TestLocateEquivalenceFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(lib=random_libraries(), used=used_sets,
+           arch=st.sampled_from(ARCH_POOL + [99]))
+    def test_locate_matches_oracle(self, lib, used, arch):
+        locator = KernelLocator()
+        c_vec, c_py = VirtualClock(), VirtualClock()
+        vec = locator.locate(lib, frozenset(used), arch, clock=c_vec)
+        ref = locate_py(lib, frozenset(used), arch, clock=c_py,
+                        costs=locator.costs)
+        assert_equivalent(vec, ref)
+        assert c_vec.now == c_py.now
+
+    @settings(max_examples=60, deadline=None)
+    @given(lib=random_libraries(), first=used_sets, second=used_sets,
+           arch=st.sampled_from(ARCH_POOL))
+    def test_locate_delta_matches_oracle_and_full(self, lib, first, second,
+                                                  arch):
+        locator = KernelLocator()
+        added = frozenset(second - first)
+        prev_vec = locator.locate(lib, frozenset(first), arch)
+        prev_py = locate_py(lib, frozenset(first), arch)
+        c_vec, c_py = VirtualClock(), VirtualClock()
+        delta_vec = locator.locate_delta(lib, prev_vec, added, clock=c_vec)
+        delta_py = locate_delta_py(lib, prev_py, added, clock=c_py,
+                                   costs=locator.costs)
+        full = locator.locate(lib, frozenset(first | second), arch)
+        assert_equivalent(delta_vec, delta_py)
+        assert_equivalent(delta_vec, full)
+        assert c_vec.now == c_py.now
+
+    @settings(max_examples=30, deadline=None)
+    @given(lib=random_libraries(), first=used_sets, second=used_sets,
+           arch=st.sampled_from(ARCH_POOL))
+    def test_delta_against_decision_list_previous(self, lib, first, second,
+                                                  arch):
+        """Deserialized results carry decisions only - same delta output."""
+        locator = KernelLocator()
+        added = frozenset(second - first)
+        prev = locate_py(lib, frozenset(first), arch)  # list-backed
+        assert prev.table is None
+        delta = locator.locate_delta(lib, prev, added)
+        full = locator.locate(lib, frozenset(first | second), arch)
+        assert_equivalent(delta, full)
+
+
+class TestNameIdTable:
+    def test_ids_stable_across_calls(self):
+        a, salt_a = assign_name_ids(["x", "y", "z"])
+        b, salt_b = assign_name_ids(["z", "y", "x", "x"])
+        assert a == b and salt_a == salt_b == 0
+
+    def test_collision_bumps_salt(self, monkeypatch):
+        """Two names colliding at salt 0 re-derive the table at salt 1."""
+        real = kindex.name_id
+
+        def weak(name: str, salt: int = 0) -> int:
+            if salt == 0:
+                return len(name)  # every equal-length pair collides
+            return real(name, salt)
+
+        monkeypatch.setattr(kindex, "name_id", weak)
+        table, salt = assign_name_ids(["ab", "cd", "xyz"])
+        assert salt == 1
+        assert len(set(table.values())) == 3
+
+    def test_collision_pressure_keeps_locate_correct(self, monkeypatch):
+        """An index built under collision pressure locates identically."""
+        real = kindex.name_id
+
+        def weak(name: str, salt: int = 0) -> int:
+            if salt == 0:
+                return len(name)
+            return real(name, salt)
+
+        monkeypatch.setattr(kindex, "name_id", weak)
+        lib = build_small_library()
+        index = build_index(lib)
+        assert index.salt == 1  # k_0_0 / k_1_0 etc. collide at salt 0
+        result = KernelLocator().locate(
+            lib, frozenset({"k_0_0"}), 75, index=index
+        )
+        ref = locate_py(lib, frozenset({"k_0_0"}), 75)
+        assert_equivalent(result, ref)
+
+    def test_unresolvable_collisions_raise(self, monkeypatch):
+        monkeypatch.setattr(kindex, "name_id", lambda name, salt=0: 7)
+        with pytest.raises(LocationError):
+            assign_name_ids(["a", "b"])
+
+
+class TestIndexCachingAndQueries:
+    def test_index_cached_on_library(self):
+        lib = build_small_library()
+        assert index_for(lib) is index_for(lib)
+
+    def test_index_matches_extraction(self):
+        lib = build_small_library()
+        index = index_for(lib)
+        cubins = extract_cubins(lib)
+        assert index.n == len(cubins)
+        for row, extracted in enumerate(cubins):
+            assert int(index.element_index[row]) == extracted.index
+            assert int(index.sm_arch[row]) == extracted.sm_arch
+            assert index.element_names(row) == extracted.kernel_names
+            assert (
+                index.element_entry_names(row)
+                == extracted.entry_kernel_names
+            )
+
+    def test_find_kernel_routes_through_index(self):
+        lib = build_small_library()
+        via_index = find_kernel(lib, "k_0_0")
+        via_extraction = [
+            c for c in extract_cubins(lib) if "k_0_0" in c.kernel_names
+        ]
+        assert via_index == via_extraction
+        assert find_kernel(lib, "missing_kernel") == []
+
+    def test_kernel_inventory_routes_through_index(self):
+        lib = build_small_library()
+        expected: dict[str, list[int]] = {}
+        for cubin in extract_cubins(lib):
+            for name in cubin.kernel_names:
+                expected.setdefault(name, []).append(cubin.index)
+        assert kernel_inventory(lib) == expected
+
+    def test_unknown_used_names_are_ignored(self):
+        lib = build_small_library()
+        index = index_for(lib)
+        assert index.used_id_array({"nope", "also_nope"}).size == 0
+
+    def test_stale_index_rejected_in_delta(self):
+        locator = KernelLocator()
+        lib = build_small_library()
+        other = build_small_library(cubins_per_arch=3)
+        prev = locator.locate(lib, frozenset(), 75)
+        with pytest.raises(LocationError):
+            locator.locate_delta(other, prev, frozenset({"k_0_0"}))

@@ -1,0 +1,144 @@
+"""Process-sharded locate/compact fan-out tests.
+
+``locate_workers_mode="process"`` shards the per-library loop across a
+ProcessPoolExecutor and ships ``DebloatedLibrary``/``LocateResult``
+payloads back through :mod:`repro.core.serialize`.  The contract: reports,
+timings, and the compacted library *bytes* are identical to serial and
+threaded execution, and non-catalog builds fall back to threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import serialize
+from repro.core.compact import Compactor
+from repro.core.cpu import FunctionLocator
+from repro.core.debloat import (
+    DebloatOptions,
+    Debloater,
+    _process_sharded_locate_compact,
+)
+from repro.core.locate import KernelLocator
+from repro.errors import ConfigurationError
+from repro.frameworks.catalog import build_key_for, get_framework
+from repro.workloads.spec import workload_by_id
+
+from tests.conftest import TEST_SCALE, build_small_library
+
+FAST = dict(verify=False, runtime_comparison_top_n=0)
+
+
+class TestShardPayloadRoundTrip:
+    def _compacted(self):
+        lib = build_small_library()
+        gpu = KernelLocator().locate(lib, frozenset({"k_0_0"}), 75)
+        cpu = FunctionLocator().locate(lib, np.array([0, 1, 5]))
+        return lib, Compactor().compact(lib, cpu, gpu)
+
+    def test_sparsefile_roundtrip_exact(self):
+        lib, debloated = self._compacted()
+        payload = serialize.sparsefile_to_payload(debloated.lib.data)
+        rebuilt = serialize.sparsefile_from_payload(payload)
+        assert rebuilt == debloated.lib.data  # extents AND chunks
+        assert rebuilt.logical_size == debloated.lib.data.logical_size
+
+    def test_debloated_roundtrip(self):
+        lib, debloated = self._compacted()
+        payload = serialize.debloated_to_payload(debloated)
+        # The payload survives the binary container (what workers ship).
+        payload = serialize.value_loads(
+            serialize.value_dumps(payload, serialize.SHARD_RESULT_KIND),
+            serialize.SHARD_RESULT_KIND,
+        )
+        rebuilt = serialize.debloated_from_payload(payload, lib)
+        assert rebuilt.lib.data == debloated.lib.data
+        assert rebuilt.original is lib
+        assert rebuilt.removed_cpu_ranges == debloated.removed_cpu_ranges
+        assert rebuilt.removed_gpu_ranges == debloated.removed_gpu_ranges
+        assert rebuilt.removed_elements == debloated.removed_elements
+        assert rebuilt.removed_functions == debloated.removed_functions
+        assert rebuilt.compacted_file_size == debloated.compacted_file_size
+        assert rebuilt.lib.tags.keys() == debloated.lib.tags.keys()
+        assert np.array_equal(
+            rebuilt.lib.tags["removed_function_mask"],
+            debloated.lib.tags["removed_function_mask"],
+        )
+
+    def test_mismatched_original_rejected(self):
+        lib, debloated = self._compacted()
+        other = build_small_library(soname="libother.so")
+        payload = serialize.debloated_to_payload(debloated)
+        with pytest.raises(Exception):
+            serialize.debloated_from_payload(payload, other)
+
+
+class TestProcessFanOutIdentity:
+    @pytest.mark.parametrize("spec_id", ["pytorch/train/mobilenetv2"])
+    def test_serial_thread_process_identical(self, pytorch, spec_id):
+        spec = workload_by_id(spec_id)
+        reports, libsets = {}, {}
+        for label, opts in [
+            ("serial", DebloatOptions(**FAST)),
+            ("thread", DebloatOptions(locate_workers=4, **FAST)),
+            (
+                "process",
+                DebloatOptions(
+                    locate_workers=4, locate_workers_mode="process", **FAST
+                ),
+            ),
+        ]:
+            debloater = Debloater(pytorch, opts)
+            reports[label] = debloater.debloat(spec)
+            libsets[label] = debloater.debloated_libraries
+        for label in ("thread", "process"):
+            assert serialize.reports_equal(
+                reports["serial"], reports[label]
+            ), label
+            for soname, d in libsets["serial"].items():
+                other = libsets[label][soname]
+                assert d.lib.data == other.lib.data, (label, soname)
+                assert d.removed_cpu_ranges == other.removed_cpu_ranges
+                assert d.removed_gpu_ranges == other.removed_gpu_ranges
+                assert d.compacted_file_size == other.compacted_file_size
+
+    def test_non_catalog_build_falls_back(self, pytorch):
+        """A hand-made framework cannot be regenerated in a worker."""
+        from repro.frameworks.spec import Framework
+
+        orphan = Framework(
+            spec=pytorch.spec, libraries=pytorch.libraries,
+            scale=pytorch.scale,
+        )
+        assert build_key_for(orphan) is None
+        assert (
+            _process_sharded_locate_compact(
+                orphan, list(pytorch.libraries.values())[:2], {}, {}, 75,
+                DebloatOptions(), 2,
+            )
+            is None
+        )
+        # ...and the full pipeline still works (thread fallback).
+        spec = workload_by_id("pytorch/inference/mobilenetv2")
+        opts = DebloatOptions(
+            locate_workers=2, locate_workers_mode="process", **FAST
+        )
+        report = Debloater(orphan, opts).debloat(spec)
+        reference = Debloater(pytorch, DebloatOptions(**FAST)).debloat(spec)
+        assert serialize.reports_equal(report, reference)
+
+    def test_catalog_build_key_roundtrip(self, pytorch):
+        assert build_key_for(pytorch) is not None
+        name, scale, archs = build_key_for(pytorch)
+        assert get_framework(name, scale=scale, archs=archs) is pytorch
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DebloatOptions(locate_workers_mode="fleet")
+
+    def test_mode_default_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCATE_WORKERS_MODE", "process")
+        assert DebloatOptions().locate_workers_mode == "process"
+        monkeypatch.delenv("REPRO_LOCATE_WORKERS_MODE")
+        assert DebloatOptions().locate_workers_mode == "thread"

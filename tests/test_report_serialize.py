@@ -252,10 +252,24 @@ class TestStableDigest:
         assert len(digests) == len(TABLE1_WORKLOADS)
 
     def test_locate_workers_is_identity_invariant(self):
-        """The fan-out knob is normalized out: equal digests by design."""
+        """The fan-out knobs are normalized out: equal digests by design."""
         assert serialize.stable_digest(
             default_key(options=DebloatOptions(locate_workers=8))
         ) == serialize.stable_digest(default_key())
+
+    def test_locate_workers_mode_is_identity_invariant(self):
+        """Fan-out *mode* is excluded from the key entirely, so digests of
+        entries persisted before the field existed keep matching."""
+        assert serialize.stable_digest(
+            default_key(
+                options=DebloatOptions(
+                    locate_workers=4, locate_workers_mode="process"
+                )
+            )
+        ) == serialize.stable_digest(default_key())
+        # The frozen options component carries no trace of the field.
+        for item in default_key()[9]:
+            assert item[0] != "locate_workers_mode"
 
     @settings(max_examples=40, deadline=None)
     @given(
@@ -263,10 +277,13 @@ class TestStableDigest:
             [
                 f.name
                 for f in dataclasses.fields(DebloatOptions)
-                # costs is perturbed separately; locate_workers is
-                # deliberately NOT part of the identity (deterministic
-                # output for any worker count).
-                if f.name not in ("costs", "locate_workers")
+                # costs is perturbed separately; locate_workers and
+                # locate_workers_mode are deliberately NOT part of the
+                # identity (deterministic output for any worker count or
+                # fan-out mode).
+                if f.name not in (
+                    "costs", "locate_workers", "locate_workers_mode"
+                )
             ]
         )
     )

@@ -411,3 +411,156 @@ class TestDebloatServer:
         server.close()
         with pytest.raises(UsageError):
             server.submit(specs()[0])
+
+
+class TestAdmissionBatching:
+    """``admit_many`` = one union merge + one delta pass, same end state."""
+
+    def test_batch_matches_sequential(self, pytorch):
+        sequential = DebloatStore(pytorch, OPTS)
+        for spec in specs():
+            sequential.admit(spec)
+        batched = DebloatStore(pytorch, OPTS)
+        results = batched.admit_many(specs())
+
+        assert_same_libraries(
+            sequential.debloated_libraries(), batched.debloated_libraries()
+        )
+        assert (
+            sequential.snapshot().generation == batched.snapshot().generation
+        )
+        assert (
+            sequential.snapshot().workload_ids
+            == batched.snapshot().workload_ids
+        )
+        assert (
+            sequential.snapshot().union_kernels
+            == batched.snapshot().union_kernels
+        )
+        assert (
+            sequential.snapshot().union_functions
+            == batched.snapshot().union_functions
+        )
+        assert [r.workload_id for r in results] == SPEC_IDS
+        assert [r.new_kernels for r in results] == [
+            m for _, m in sequential.report(verify=False).saturation_series()
+        ]
+        assert [r.generation for r in results] == [1, 2, 3]
+
+    def test_batch_fewer_recompactions(self, pytorch):
+        sequential = DebloatStore(pytorch, OPTS)
+        for spec in specs():
+            sequential.admit(spec)
+        batched = DebloatStore(pytorch, OPTS)
+        batched.admit_many(specs())
+        assert (
+            batched.stats()["recompactions"]
+            < sequential.stats()["recompactions"]
+        )
+        # One pass per distinct grown library: every library is processed
+        # at most once in the whole batch.
+        libs = {lib.soname for lib in pytorch.libraries_for(
+            frozenset().union(*(s.features for s in specs()))
+        )}
+        assert batched.stats()["recompactions"] <= len(libs)
+
+    def test_batch_then_more_admissions(self, pytorch):
+        """A store grown by a batch keeps serving deltas afterwards."""
+        store = DebloatStore(pytorch, OPTS)
+        store.admit_many(specs()[:2])
+        res = store.admit(specs()[2])
+        sequential = DebloatStore(pytorch, OPTS)
+        for spec in specs():
+            sequential.admit(spec)
+        assert_same_libraries(
+            store.debloated_libraries(), sequential.debloated_libraries()
+        )
+        assert res.new_kernels == sequential._marginal_kernels[2]
+
+    def test_batch_with_duplicates(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        batch = [specs()[0], specs()[0], specs()[1]]
+        runs = 0
+        original_run = WorkloadRunner.run
+
+        def counting_run(self):
+            nonlocal runs
+            runs += 1
+            return original_run(self)
+
+        WorkloadRunner.run = counting_run
+        try:
+            results = store.admit_many(batch)
+        finally:
+            WorkloadRunner.run = original_run
+        assert results[1].duplicate
+        assert results[1].detection_cached  # reused the in-batch capture
+        assert results[1].new_kernels == 0
+        assert runs == 2  # two distinct specs -> two detections, not three
+        sequential = DebloatStore(pytorch, OPTS)
+        for spec in batch:
+            sequential.admit(spec)
+        assert_same_libraries(
+            store.debloated_libraries(), sequential.debloated_libraries()
+        )
+
+    def test_empty_batch_rejected(self, pytorch):
+        with pytest.raises(UsageError):
+            DebloatStore(pytorch, OPTS).admit_many([])
+
+    def test_malformed_batch_leaves_store_untouched(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        bad = [specs()[0], workload_by_id("tensorflow/train/mobilenetv2")]
+        with pytest.raises(UsageError):
+            store.admit_many(bad)
+        assert store.snapshot().generation == 0
+        assert store.snapshot().workload_ids == ()
+
+    def test_batch_verify(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        results = store.admit_many(specs()[:2], verify=True)
+        assert all(
+            r.verification is not None and r.verification.ok
+            for r in results
+        )
+
+    def test_batch_cost_attribution_sums_to_pass_cost(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        results = store.admit_many(specs())
+        total = sum(r.locate_compact_s for r in results)
+        assert total > 0
+        # First admission pays for the bulk (it grows every library).
+        assert results[0].locate_compact_s > results[1].locate_compact_s
+
+
+class TestServerQueueDraining:
+    def test_draining_server_matches_sequential(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        with DebloatServer(store, workers=1, batch_max=8) as server:
+            results = server.admit_all(specs())
+            stats = server.stats()
+        assert [r.workload_id for r in results] == SPEC_IDS
+        assert stats["served"] == len(SPEC_IDS)
+        sequential = DebloatStore(pytorch, OPTS)
+        for spec in specs():
+            sequential.admit(spec)
+        assert_same_libraries(
+            store.debloated_libraries(), sequential.debloated_libraries()
+        )
+
+    def test_bad_spec_in_drained_batch_fails_alone(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        bad = workload_by_id("tensorflow/train/mobilenetv2")
+        with DebloatServer(store, workers=1, batch_max=8) as server:
+            tickets = [server.submit(s) for s in [specs()[0], bad, specs()[1]]]
+            good_a = tickets[0].result(60)
+            with pytest.raises(UsageError):
+                tickets[1].result(60)
+            good_b = tickets[2].result(60)
+        assert good_a.workload_id == SPEC_IDS[0]
+        assert good_b.workload_id == SPEC_IDS[1]
+        assert store.snapshot().workload_ids == (SPEC_IDS[0], SPEC_IDS[1])
+
+    def test_batch_max_validation(self, pytorch):
+        with pytest.raises(UsageError):
+            DebloatServer(DebloatStore(pytorch, OPTS), batch_max=0)
