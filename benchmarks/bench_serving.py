@@ -114,6 +114,60 @@ def test_incremental_matches_one_shot_union():
         assert d.removed_gpu_ranges == other.removed_gpu_ranges
 
 
+def federation_specs() -> list[WorkloadSpec]:
+    """A 2-framework (pytorch + tensorflow) interleaved arrival sequence.
+
+    Alternating frameworks is the adversarial arrival order for a
+    federated store: every admission switches shards, so any cross-shard
+    interference (shared locks, cross-framework recompaction) would show
+    up directly in the per-arrival latencies.
+    """
+    pt = [w for w in TABLE1_WORKLOADS if w.framework == "pytorch"]
+    tf = [w for w in TABLE1_WORKLOADS if w.framework == "tensorflow"]
+    out: list[WorkloadSpec] = []
+    for a, b in zip(pt, tf):
+        out.extend((a, b))
+    return out
+
+
+def run_federation(specs: list[WorkloadSpec]):
+    """Admit a mixed-framework sequence through one engine federation."""
+    from repro.api import AdmitRequest, DebloatEngine, EngineConfig
+
+    config = EngineConfig(scale=TEST_SCALE, options=OPTIONS, use_cache=False)
+    latencies = []
+    engine = DebloatEngine(config).open()
+    for spec in specs:
+        start = time.perf_counter()
+        engine.admit(AdmitRequest(spec=spec))
+        latencies.append(time.perf_counter() - start)
+    return latencies, engine
+
+
+def test_federation_matches_single_framework_stores():
+    """Each federation shard ends byte-identical to a standalone store."""
+    specs = federation_specs()
+    latencies, engine = run_federation(specs)
+    assert len(latencies) == 8
+    try:
+        snapshot = engine.snapshot()
+        assert snapshot.frameworks == ("pytorch", "tensorflow")
+        for name in snapshot.frameworks:
+            framework = get_framework(name, scale=TEST_SCALE)
+            standalone = DebloatStore(framework, OPTIONS)
+            for spec in specs:
+                if spec.framework == name:
+                    standalone.admit(spec)
+            shard = engine.federation.shard(name).store
+            incremental = shard.debloated_libraries()
+            expected = standalone.debloated_libraries()
+            assert sorted(incremental) == sorted(expected)
+            for soname, d in incremental.items():
+                assert d.lib.data == expected[soname].lib.data, soname
+    finally:
+        engine.close()
+
+
 def test_bench_saturated_admission(benchmark):
     """pytest-benchmark hook: admission into a saturated union.
 
@@ -136,6 +190,10 @@ def main() -> None:
     framework = get_framework("pytorch", scale=TEST_SCALE)
     inc, store = run_incremental(specs, framework)
     naive, _ = run_naive(specs, framework)
+    fed_specs = federation_specs()
+    fed, engine = run_federation(fed_specs)
+    fed_stats = engine.stats()
+    engine.close()
     baseline = {
         "scale": TEST_SCALE,
         "workloads": [s.workload_id for s in specs],
@@ -146,6 +204,14 @@ def main() -> None:
         "speedup": round(sum(naive) / sum(inc), 1),
         "speedup_floor": SPEEDUP_FLOOR,
         "store_stats": store.stats(),
+        "federation": {
+            "workloads": [s.workload_id for s in fed_specs],
+            "arrival_ms": [round(s * 1e3, 1) for s in fed],
+            "total_ms": round(sum(fed) * 1e3, 1),
+            "shards": fed_stats["shards"],
+            "recompactions": fed_stats["recompactions"],
+            "untouched_served": fed_stats["untouched_served"],
+        },
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
     print(json.dumps(baseline, indent=2))

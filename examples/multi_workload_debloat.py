@@ -9,7 +9,8 @@ workloads are added (most of what a new workload needs was already kept).
 Run:  python examples/multi_workload_debloat.py
 """
 
-from repro import DebloatOptions, Debloater, get_framework, workload_by_id
+from repro import DebloatOptions, workload_by_id
+from repro.api import AdmitRequest, DebloatEngine, DebloatRequest, EngineConfig
 from repro.utils.tables import Table
 
 SCALE = 0.125
@@ -23,20 +24,24 @@ WORKLOAD_IDS = (
 
 
 def main() -> None:
-    framework = get_framework("pytorch", scale=SCALE)
     specs = [workload_by_id(wid) for wid in WORKLOAD_IDS]
+    config = EngineConfig(
+        scale=SCALE,
+        options=DebloatOptions(runtime_comparison_top_n=0),
+        use_cache=False,
+    )
+    with DebloatEngine(config) as engine:
+        # Per-workload reductions for reference.
+        solo = {}
+        for spec in specs:
+            report = engine.debloat(DebloatRequest(spec=spec)).report
+            solo[spec.workload_id] = report.file_reduction_pct
 
-    # Per-workload reductions for reference.
-    solo = {}
-    for spec in specs:
-        report = Debloater(
-            framework, DebloatOptions(runtime_comparison_top_n=0)
-        ).debloat(spec)
-        solo[spec.workload_id] = report.file_reduction_pct
-
-    multi = Debloater(
-        framework, DebloatOptions(runtime_comparison_top_n=0)
-    ).debloat_many(specs)
+        # The union build: admit every workload into the engine's pytorch
+        # store shard, then read the shard's debloat_many-shaped report.
+        for spec in specs:
+            engine.admit(AdmitRequest(spec=spec))
+        multi = engine.report("pytorch").union_report
 
     table = Table(
         ["Workload", "Solo file red %", "New kernels it added"],

@@ -1,0 +1,122 @@
+"""Engine configuration: one object that subsumes every pipeline knob.
+
+Before the :mod:`repro.api` facade existed, each entry point wired its own
+slice of configuration by hand - ``DebloatOptions`` for the pipeline, cache
+flags on the CLIs, worker counts on the server, scale/arch arguments on the
+experiment helpers.  :class:`EngineConfig` is the single place all of those
+live now: construct one, hand it to
+:class:`~repro.api.engine.DebloatEngine`, and every layer underneath (the
+pipeline cache, the store federation, the admission server) reads the same
+object.
+
+:class:`EvictionPolicy` is the serving-side half: how a long-running engine
+sheds idle workloads.  Last-served timestamps are fed by request traffic
+(every admission touches its workload), and a sweep - explicit via
+:meth:`~repro.api.engine.DebloatEngine.sweep`, or periodic via the server's
+background sweeper - applies the policy:
+
+* ``ttl`` - evict workloads idle longer than ``ttl_s``;
+* ``lru`` - keep at most ``max_workloads`` per framework shard, evicting
+  the least recently served beyond the cap;
+* ``pinned`` - only explicitly pinned workloads survive a sweep;
+* ``none`` - never evict (the default).
+
+Pinned workloads (``pinned`` here, or ``AdmitRequest(pinned=True)``) are
+never evicted under any mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.debloat import DebloatOptions
+from repro.cuda.arch import SHIPPED_ARCHITECTURES
+from repro.errors import ConfigurationError
+from repro.experiments.common import DEFAULT_SCALE
+
+#: Modes :class:`EvictionPolicy` accepts.
+EVICTION_MODES = ("none", "ttl", "lru", "pinned")
+
+
+@dataclass(frozen=True)
+class EvictionPolicy:
+    """Traffic-driven store eviction (see module docstring for the modes)."""
+
+    mode: str = "none"
+    #: ``ttl`` mode: seconds a workload may sit idle before eviction.
+    ttl_s: float | None = None
+    #: ``lru`` mode: per-shard cap on distinct admitted workloads.
+    max_workloads: int | None = None
+    #: Workload ids that are never evicted, under any mode.
+    pinned: frozenset[str] = frozenset()
+    #: Period of the server's background sweeper (None = no background
+    #: sweeps; callers can still sweep explicitly).
+    sweep_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in EVICTION_MODES:
+            raise ConfigurationError(
+                f"eviction mode must be one of {EVICTION_MODES}, got "
+                f"{self.mode!r}"
+            )
+        if self.mode == "ttl" and (self.ttl_s is None or self.ttl_s < 0):
+            raise ConfigurationError(
+                "ttl eviction requires a non-negative ttl_s"
+            )
+        if self.mode == "lru" and (
+            self.max_workloads is None or self.max_workloads < 1
+        ):
+            raise ConfigurationError(
+                "lru eviction requires max_workloads >= 1"
+            )
+        if self.sweep_interval_s is not None:
+            if self.sweep_interval_s <= 0:
+                raise ConfigurationError("sweep_interval_s must be positive")
+            if self.mode == "none":
+                raise ConfigurationError(
+                    "sweep_interval_s needs an eviction mode - a sweeper "
+                    "under mode 'none' would never evict anything"
+                )
+        object.__setattr__(self, "pinned", frozenset(self.pinned))
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "none"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything a :class:`~repro.api.engine.DebloatEngine` needs.
+
+    Subsumes the knobs the old entry points wired by hand:
+
+    * **pipeline** - ``options`` (a full :class:`DebloatOptions`, including
+      the ``locate_workers``/``locate_workers_mode`` fan-out), ``scale``
+      and ``archs`` (which framework build the engine debloats);
+    * **cache** - ``use_cache`` (route reports, admission usage, and kernel
+      indexes through the two-tier pipeline cache), ``disk_cache`` /
+      ``cache_dir`` (explicit disk-tier overrides applied on ``open()``;
+      ``None`` leaves the process-wide settings alone);
+    * **serving** - admission ``workers`` and ``batch_max`` for the queue
+      server, ``verify_admissions``, and the ``eviction`` policy.
+    """
+
+    scale: float = DEFAULT_SCALE
+    archs: tuple[int, ...] = SHIPPED_ARCHITECTURES
+    options: DebloatOptions = field(default_factory=DebloatOptions)
+    use_cache: bool = True
+    disk_cache: bool | None = None
+    cache_dir: str | None = None
+    verify_admissions: bool = False
+    workers: int = 2
+    batch_max: int = 1
+    eviction: EvictionPolicy = field(default_factory=EvictionPolicy)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.batch_max < 1:
+            raise ConfigurationError("batch_max must be >= 1")
+        object.__setattr__(self, "archs", tuple(self.archs))

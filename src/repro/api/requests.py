@@ -1,0 +1,164 @@
+"""Typed request/response dataclasses of the :mod:`repro.api` facade.
+
+Every engine operation takes one request object and returns one
+:class:`EngineResult`.  Requests name a workload either by ``spec`` (a full
+:class:`~repro.workloads.spec.WorkloadSpec`) or by ``workload_id`` (resolved
+against the Table-1 catalog); results uniformly carry the payload plus the
+three things every caller of the old ad-hoc entry points had to reconstruct
+by hand - cache provenance, wall-clock timing, and the store generation the
+operation landed on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.debloat import DebloatOptions
+from repro.errors import UsageError
+from repro.workloads.spec import WorkloadSpec, workload_by_id
+
+
+def _resolve_spec(
+    spec: WorkloadSpec | None, workload_id: str | None, kind: str
+) -> WorkloadSpec:
+    if (spec is None) == (workload_id is None):
+        raise UsageError(
+            f"{kind} needs exactly one of spec= or workload_id="
+        )
+    if spec is not None:
+        return spec
+    return workload_by_id(workload_id)
+
+
+@dataclass(frozen=True)
+class DebloatRequest:
+    """Run (or fetch cached) the full single-workload debloat pipeline.
+
+    ``scale``/``options``/``archs`` default to the engine's
+    :class:`~repro.api.config.EngineConfig`; passing them overrides per
+    request (the ablation experiments debloat single-arch rebuilds and
+    option variants through the same engine).
+    """
+
+    spec: WorkloadSpec | None = None
+    workload_id: str | None = None
+    scale: float | None = None
+    options: DebloatOptions | None = None
+    archs: tuple[int, ...] | None = None
+
+    def resolve_spec(self) -> WorkloadSpec:
+        return _resolve_spec(self.spec, self.workload_id, "DebloatRequest")
+
+
+@dataclass(frozen=True)
+class AdmitRequest:
+    """Admit one workload into the engine's federated serving store.
+
+    ``verify`` (None = the engine's ``verify_admissions``) re-runs the
+    workload against the post-admission library set; ``pinned`` marks the
+    workload as never evictable by any sweep.
+    """
+
+    spec: WorkloadSpec | None = None
+    workload_id: str | None = None
+    verify: bool | None = None
+    pinned: bool = False
+
+    def resolve_spec(self) -> WorkloadSpec:
+        return _resolve_spec(self.spec, self.workload_id, "AdmitRequest")
+
+
+@dataclass(frozen=True)
+class EvictRequest:
+    """Evict every admission of a workload from the federation.
+
+    ``framework`` narrows the eviction to one shard; ``None`` evicts from
+    every shard that holds the workload (raises
+    :class:`~repro.errors.UsageError` if none does).
+    """
+
+    workload_id: str
+    framework: str | None = None
+
+
+@dataclass(frozen=True)
+class InspectRequest:
+    """Describe one generated library (the ``negativa-ml inspect`` payload).
+
+    ``kernels`` renders the per-cubin kernel listing from the engine's
+    cached :class:`~repro.core.kindex.KernelUsageIndex` - repeated inspects
+    (and a warm disk cache) never re-parse the fatbin.
+    """
+
+    framework: str
+    soname: str
+    sections: bool = False
+    kernels: bool = False
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Uniform envelope for every engine operation.
+
+    ``value`` is the operation payload (a
+    :class:`~repro.core.report.WorkloadDebloatReport`, an
+    :class:`~repro.serving.store.AdmissionResult`, eviction records,
+    rendered text, ...); typed accessors below assert the kind for callers
+    that want early failure over duck typing.
+    """
+
+    #: Operation kind: ``debloat``/``admit``/``evict``/``sweep``/
+    #: ``inspect``/``report``.
+    kind: str
+    value: Any
+    #: Wall-clock seconds the engine spent on this request.
+    wall_s: float
+    #: Framework the request resolved to (None for cross-shard sweeps).
+    framework: str | None = None
+    #: Framework-build fingerprint of the shard/build involved, when the
+    #: build came out of the catalog.
+    fingerprint: str | None = None
+    #: Where the expensive part came from: ``memory``/``disk``/``computed``
+    #: for pipeline reports and index queries, ``cache``/``run`` for
+    #: admission detection.
+    cache_source: str | None = None
+    #: Store generation after a mutating operation.
+    generation: int | None = None
+
+    def _expect(self, kind: str) -> Any:
+        if self.kind != kind:
+            raise UsageError(
+                f"result holds a {self.kind!r} payload, not {kind!r}"
+            )
+        return self.value
+
+    @property
+    def report(self):
+        """The :class:`WorkloadDebloatReport` of a ``debloat`` result."""
+        return self._expect("debloat")
+
+    @property
+    def admission(self):
+        """The :class:`AdmissionResult` of an ``admit`` result."""
+        return self._expect("admit")
+
+    @property
+    def evictions(self):
+        """``{framework: EvictionResult}`` of an ``evict`` result."""
+        return self._expect("evict")
+
+    @property
+    def swept(self):
+        """The :class:`SweptWorkload` list of a ``sweep`` result."""
+        return self._expect("sweep")
+
+    @property
+    def text(self) -> str:
+        """The rendered text of an ``inspect`` result."""
+        return self._expect("inspect")
+
+    @property
+    def union_report(self):
+        """The :class:`MultiWorkloadReport` of a ``report`` result."""
+        return self._expect("report")

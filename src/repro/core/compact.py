@@ -106,6 +106,8 @@ class Compactor:
                 )
             removed_index = set(gpu.removed_element_indices().tolist())
             payload_holes: list[tuple[int, int]] = []
+            flag_offsets: list[int] = []
+            flag_words: list[bytes] = []
             for element in image.elements():
                 if element.index not in removed_index:
                     continue
@@ -117,15 +119,24 @@ class Compactor:
                         + element.header.padded_payload_size,
                     )
                 )
-                flags = element.header.flags | FC.ELEMENT_FLAG_REMOVED
-                data.write(
-                    element.header_offset + _ELEMENT_FLAGS_OFFSET,
-                    struct.pack("<I", flags),
+                flag_offsets.append(
+                    element.header_offset + _ELEMENT_FLAGS_OFFSET
+                )
+                flag_words.append(
+                    struct.pack(
+                        "<I", element.header.flags | FC.ELEMENT_FLAG_REMOVED
+                    )
                 )
                 removed_elements += 1
-            if payload_holes:
-                # Payload ranges never overlap the headers just written, so
-                # punching them in one batched pass is order-equivalent.
+            if flag_offsets:
+                # Flag words land at distinct header offsets and payload
+                # ranges never overlap the headers, so batching both - the
+                # flag patches through write_batch, the holes through
+                # zero_ranges - is order-equivalent to the per-element
+                # write/zero interleaving.
+                data.write_batch(
+                    np.asarray(flag_offsets, dtype=np.int64), flag_words
+                )
                 holes = np.asarray(payload_holes, dtype=np.int64)
                 data.zero_ranges(RangeSet.from_arrays(holes[:, 0], holes[:, 1]))
 

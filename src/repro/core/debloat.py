@@ -315,21 +315,40 @@ class Debloater:
         retention growth per added workload - how quickly the "needed" set
         saturates.
 
-        This is now a thin loop over
-        :meth:`repro.serving.store.DebloatStore.admit` - the incremental
-        serving path and the one-shot union produce byte-identical reports
-        and library bytes.  Malformed spec lists (empty, mixed frameworks,
-        mixed device architectures) raise
-        :class:`~repro.errors.UsageError` before anything runs.
+        DEPRECATED: this is now a shim over the :mod:`repro.api` facade -
+        an ephemeral :class:`~repro.api.engine.DebloatEngine` hosts this
+        debloater's framework as one federation shard, admits every spec,
+        and returns the shard's union report (byte-identical to the
+        pre-engine loop over :meth:`DebloatStore.admit`, which itself is
+        byte-identical to the one-shot union).  New code should hold an
+        engine and call :meth:`~repro.api.engine.DebloatEngine.admit` /
+        :meth:`~repro.api.engine.DebloatEngine.report` directly.  Malformed
+        spec lists (empty, mixed frameworks, mixed device architectures)
+        still raise :class:`~repro.errors.UsageError` before anything runs.
         """
-        from repro.serving.store import DebloatStore, validate_union_specs
+        import warnings
+
+        warnings.warn(
+            "Debloater.debloat_many is deprecated; use "
+            "repro.api.DebloatEngine.admit/report",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api import AdmitRequest, DebloatEngine, EngineConfig
+        from repro.serving.store import validate_union_specs
 
         validate_union_specs(self.framework.name, specs)
-        store = DebloatStore(self.framework, self.options)
-        for spec in specs:
-            store.admit(spec)
-        report = store.report()
-        self.debloated_libraries = store.debloated_libraries()
+        config = EngineConfig(
+            scale=self.framework.scale,
+            options=self.options,
+            use_cache=False,
+        )
+        with DebloatEngine(config) as engine:
+            shard = engine.federation.ensure_shard(self.framework)
+            for spec in specs:
+                engine.admit(AdmitRequest(spec=spec))
+            report = engine.report(self.framework.name).union_report
+            self.debloated_libraries = shard.store.debloated_libraries()
         return report
 
 

@@ -310,6 +310,106 @@ def build_index(lib: SharedLibrary) -> KernelUsageIndex:
     )
 
 
+#: Cached-value payload kind of a persisted index (disk cache tier).
+INDEX_KIND = "kernel_usage_index"
+
+
+def index_to_payload(index: KernelUsageIndex) -> dict:
+    """Wire form of an index (``value_dumps``-compatible payload tree).
+
+    Everything but the name table ships as raw arrays; ``name_to_id`` is
+    rebuilt from the flat (name, ID) pairs on load, so a restored index
+    skips both the fatbin walk *and* the per-name blake2 hashing.
+    """
+    return {
+        "soname": index.soname,
+        "salt": int(index.salt),
+        "element_index": index.element_index,
+        "sm_arch": index.sm_arch,
+        "starts": index.starts,
+        "stops": index.stops,
+        "kernel_ptr": index.kernel_ptr,
+        "kernel_ids": index.kernel_ids,
+        "kernel_names": list(index.kernel_names),
+        "entry_mask": index.entry_mask,
+        "entry_ptr": index.entry_ptr,
+        "entry_ids": index.entry_ids,
+        "entry_elem": index.entry_elem,
+    }
+
+
+def index_from_payload(payload: dict) -> KernelUsageIndex:
+    """Rebuild an index from :func:`index_to_payload` output.
+
+    Raises :class:`~repro.errors.CacheDecodeError` on any structural
+    problem, so cache readers treat a damaged entry as a miss and
+    recompute.
+    """
+    from repro.errors import CacheDecodeError
+
+    try:
+        names = tuple(payload["kernel_names"])
+        kernel_ids = np.asarray(payload["kernel_ids"], dtype=np.int64)
+        if len(names) != kernel_ids.size:
+            raise CacheDecodeError(
+                f"index payload: {len(names)} names vs {kernel_ids.size} ids"
+            )
+        return KernelUsageIndex(
+            soname=payload["soname"],
+            element_index=np.asarray(
+                payload["element_index"], dtype=np.int64
+            ),
+            sm_arch=np.asarray(payload["sm_arch"], dtype=np.int64),
+            starts=np.asarray(payload["starts"], dtype=np.int64),
+            stops=np.asarray(payload["stops"], dtype=np.int64),
+            kernel_ptr=np.asarray(payload["kernel_ptr"], dtype=np.int64),
+            kernel_ids=kernel_ids,
+            kernel_names=names,
+            entry_mask=np.asarray(payload["entry_mask"], dtype=bool),
+            entry_ptr=np.asarray(payload["entry_ptr"], dtype=np.int64),
+            entry_ids=np.asarray(payload["entry_ids"], dtype=np.int64),
+            entry_elem=np.asarray(payload["entry_elem"], dtype=np.int64),
+            name_to_id=dict(zip(names, kernel_ids.tolist())),
+            salt=int(payload["salt"]),
+        )
+    except CacheDecodeError:
+        raise
+    except Exception as exc:  # malformed tree of any shape -> decode error
+        raise CacheDecodeError(f"malformed index payload: {exc}") from exc
+
+
+def index_matches_library(
+    index: KernelUsageIndex, lib: SharedLibrary
+) -> bool:
+    """Cheap structural sanity check for a persisted index.
+
+    The disk digest already covers the framework build, so this only
+    guards against cross-wiring (an entry served for the wrong library):
+    soname and element count must line up with the parsed fatbin headers.
+    """
+    image = lib.fatbin
+    return (
+        index.soname == lib.soname
+        and image is not None
+        and index.n == image.element_count()
+    )
+
+
+def cached_index(lib: SharedLibrary) -> KernelUsageIndex | None:
+    """The index already attached to ``lib``, or None.
+
+    The one accessor for the per-library attribute cache - callers (the
+    pipeline cache's persisted tier included) must never spell the
+    attribute name themselves, so the caching contract lives here alone.
+    """
+    return getattr(lib, "_kernel_usage_index", None)
+
+
+def remember_index(lib: SharedLibrary, index: KernelUsageIndex) -> None:
+    """Attach ``index`` as the library's cached index (see :func:`cached_index`)."""
+    lib._kernel_usage_index = index
+
+
 def index_for(lib: SharedLibrary) -> KernelUsageIndex:
     """The library's cached index (built on first use, then reused).
 
@@ -319,8 +419,8 @@ def index_for(lib: SharedLibrary) -> KernelUsageIndex:
     ``cuobjdump`` queries over the same generated framework all share one
     build.
     """
-    cached = getattr(lib, "_kernel_usage_index", None)
-    if cached is None:
-        cached = build_index(lib)
-        lib._kernel_usage_index = cached
-    return cached
+    index = cached_index(lib)
+    if index is None:
+        index = build_index(lib)
+        remember_index(lib, index)
+    return index

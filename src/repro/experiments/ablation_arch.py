@@ -10,7 +10,7 @@ but far smaller.
 from __future__ import annotations
 
 from repro.analysis.reasons import reason_breakdown
-from repro.experiments.common import DEFAULT_SCALE, report_for, shape_check
+from repro.experiments.common import DEFAULT_SCALE, pipeline_report, shape_check
 from repro.utils.tables import Table
 from repro.workloads.spec import workload_by_id
 
@@ -23,8 +23,8 @@ def run(scale: float = DEFAULT_SCALE) -> str:
 
     # Both builds flow through the pipeline cache: ``archs`` is part of the
     # run identity and of the framework-build fingerprint.
-    multi = report_for(spec, scale)
-    single = report_for(spec, scale, archs=(75,))
+    multi = pipeline_report(spec, scale)
+    single = pipeline_report(spec, scale, archs=(75,))
 
     table = Table(
         [

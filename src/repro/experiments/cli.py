@@ -69,10 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def configure_cache(args: argparse.Namespace) -> None:
-    """Apply the shared cache flags to the process-wide pipeline cache."""
-    from repro.experiments.common import PIPELINE_CACHE
+    """Apply the shared cache flags through the process-wide engine facade."""
+    from repro.api import default_engine
 
-    PIPELINE_CACHE.configure(
+    default_engine().configure_cache(
         enabled=False if args.no_cache else None,
         disk_enabled=False if args.no_disk_cache else None,
         cache_dir=args.cache_dir,

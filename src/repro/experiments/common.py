@@ -118,13 +118,24 @@ class PipelineCache:
         scale: float,
         options: DebloatOptions | None,
         archs: tuple[int, ...] = SHIPPED_ARCHITECTURES,
+        provenance: dict | None = None,
     ) -> WorkloadDebloatReport:
+        """Fetch (or compute) a pipeline report.
+
+        ``provenance``, when given, receives ``{"source": "memory" |
+        "disk" | "computed"}`` - the engine facade surfaces it on every
+        :class:`~repro.api.requests.EngineResult`.
+        """
+        if provenance is not None:
+            provenance["source"] = "computed"
         key = self.key(spec, scale, options, archs)
         fingerprint: str | None = None
         if self.enabled:
             cached = self._store.get(key)
             if cached is not None:
                 self.hits += 1
+                if provenance is not None:
+                    provenance["source"] = "memory"
                 return cached
             if self.disk.enabled:
                 fingerprint = framework_build_fingerprint(
@@ -133,6 +144,8 @@ class PipelineCache:
                 report = self.disk.get(key, fingerprint)
                 if report is not None:
                     self._store[key] = report
+                    if provenance is not None:
+                        provenance["source"] = "disk"
                     return report
         self.misses += 1
         framework = get_framework(spec.framework, scale=scale, archs=archs)
@@ -198,6 +211,77 @@ class PipelineCache:
                 self.disk.put_value(key, fingerprint, kind, value)
         return value
 
+    def library_index(
+        self,
+        lib,
+        framework_name: str,
+        scale: float,
+        archs: tuple[int, ...] = SHIPPED_ARCHITECTURES,
+    ) -> tuple["KernelUsageIndex", str]:
+        """Two-tier :class:`~repro.core.kindex.KernelUsageIndex` lookup.
+
+        Tier 0 is the per-``SharedLibrary`` attribute cache
+        (:func:`~repro.core.kindex.index_for`); tier 1 persists the index
+        arrays on disk keyed on the framework-build fingerprint, so a warm
+        engine skips even the one-time fatbin walk and per-name hashing.
+        Returns ``(index, source)`` with source ``memory``/``disk``/
+        ``computed``; corrupted or cross-wired entries are misses that
+        recompute and overwrite.
+        """
+        from repro.core import kindex
+        from repro.errors import CacheError
+
+        use_disk = self.enabled and self.disk.enabled
+        key = fingerprint = None
+        if use_disk:
+            key = _kindex_key(framework_name, scale, archs, lib.soname)
+            fingerprint = framework_build_fingerprint(
+                framework_name, scale, archs
+            )
+        target = (
+            str(self.disk.path_for(key, fingerprint, kindex.INDEX_KIND))
+            if use_disk
+            else None
+        )
+        cached = kindex.cached_index(lib)
+        if cached is not None:
+            # Write-through once per library and cache location: an index
+            # built before this cache saw it (a plain pipeline run earlier
+            # in the process) still warms the next process.
+            if use_disk and getattr(
+                lib, "_kernel_usage_index_persisted", None
+            ) != target:
+                self.disk.put_value(
+                    key, fingerprint, kindex.INDEX_KIND,
+                    kindex.index_to_payload(cached),
+                )
+                lib._kernel_usage_index_persisted = target
+            return cached, "memory"
+        if use_disk:
+            value = self.disk.get_value(key, fingerprint, kindex.INDEX_KIND)
+            if value is not None:
+                try:
+                    index = kindex.index_from_payload(value)
+                except CacheError:
+                    index = None
+                if index is not None and kindex.index_matches_library(
+                    index, lib
+                ):
+                    kindex.remember_index(lib, index)
+                    lib._kernel_usage_index_persisted = target
+                    return index, "disk"
+                # Decodable-but-wrong entries count like corrupt ones and
+                # fall through to a recompute that overwrites the file.
+                self.disk.errors += 1
+        index = kindex.index_for(lib)
+        if use_disk:
+            self.disk.put_value(
+                key, fingerprint, kindex.INDEX_KIND,
+                kindex.index_to_payload(index),
+            )
+            lib._kernel_usage_index_persisted = target
+        return index, "computed"
+
     def invalidate(
         self,
         workload_id: str | None = None,
@@ -257,6 +341,33 @@ class PipelineCache:
 PIPELINE_CACHE = PipelineCache()
 
 
+def _kindex_key(
+    framework_name: str,
+    scale: float,
+    archs: tuple[int, ...],
+    soname: str,
+) -> tuple:
+    """Disk-cache key of one library's persisted kernel-usage index.
+
+    Mirrors the :meth:`PipelineCache.key` positional contract the disk
+    tier's file naming and filtered invalidation rely on: index 0 is the
+    (pseudo) workload id, 7 the framework, 8 the scale.  The ``kindex/``
+    prefix keeps these ids disjoint from every real workload's.
+    """
+    return (
+        f"kindex/{soname}",
+        "kindex",
+        0,
+        0,
+        "",
+        0,
+        "",
+        framework_name,
+        float(scale),
+        tuple(archs),
+    )
+
+
 def spec_run_identity(spec: WorkloadSpec) -> tuple:
     """The per-workload component of every cache key.
 
@@ -280,7 +391,7 @@ def framework_for(spec: WorkloadSpec, scale: float = DEFAULT_SCALE) -> Framework
     return get_framework(spec.framework, scale=scale)
 
 
-def report_for(
+def pipeline_report(
     spec: WorkloadSpec,
     scale: float = DEFAULT_SCALE,
     options: DebloatOptions | None = None,
@@ -288,11 +399,41 @@ def report_for(
 ) -> WorkloadDebloatReport:
     """Run (or fetch cached) the full debloat pipeline for a workload.
 
-    ``archs`` selects the framework *build* (which fatbin architectures the
-    generated libraries ship); the architecture ablation debloats a
-    single-arch rebuild through the same cache.
+    The experiments' canonical path: a thin adapter over the process-wide
+    :class:`~repro.api.engine.DebloatEngine`, which routes through
+    :data:`PIPELINE_CACHE` - outputs are byte-identical to the pre-engine
+    ``report_for``.  ``archs`` selects the framework *build* (which fatbin
+    architectures the generated libraries ship); the architecture ablation
+    debloats a single-arch rebuild through the same cache.
     """
-    return PIPELINE_CACHE.get_or_run(spec, scale, options, archs)
+    from repro.api import DebloatRequest, default_engine
+
+    return default_engine().debloat(
+        DebloatRequest(spec=spec, scale=scale, options=options, archs=archs)
+    ).report
+
+
+def report_for(
+    spec: WorkloadSpec,
+    scale: float = DEFAULT_SCALE,
+    options: DebloatOptions | None = None,
+    archs: tuple[int, ...] = SHIPPED_ARCHITECTURES,
+) -> WorkloadDebloatReport:
+    """Deprecated alias of :func:`pipeline_report` (the pre-API entry point).
+
+    Returns the byte-identical report the engine produces; new code should
+    call :meth:`repro.api.DebloatEngine.debloat` (or :func:`pipeline_report`
+    inside the experiments package).
+    """
+    import warnings
+
+    warnings.warn(
+        "report_for is deprecated; use repro.api.DebloatEngine.debloat "
+        "(or repro.experiments.common.pipeline_report)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return pipeline_report(spec, scale, options, archs)
 
 
 def instrumented_run_metrics(
@@ -387,7 +528,7 @@ def table1_reports(
     scale: float = DEFAULT_SCALE,
 ) -> list[tuple[WorkloadSpec, WorkloadDebloatReport]]:
     """Pipeline reports for all ten Table-1 workloads."""
-    return [(spec, report_for(spec, scale)) for spec in TABLE1_WORKLOADS]
+    return [(spec, pipeline_report(spec, scale)) for spec in TABLE1_WORKLOADS]
 
 
 def clear_report_cache() -> None:

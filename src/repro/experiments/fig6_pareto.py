@@ -8,7 +8,7 @@ reduction; across workloads the top 10% of libraries contribute >90%.
 from __future__ import annotations
 
 from repro.analysis.pareto import library_pareto
-from repro.experiments.common import DEFAULT_SCALE, report_for, shape_check, table1_reports
+from repro.experiments.common import DEFAULT_SCALE, pipeline_report, shape_check, table1_reports
 from repro.utils.tables import Table
 from repro.workloads.spec import workload_by_id
 
@@ -17,7 +17,7 @@ TITLE = "Figure 6: Pareto chart of file size removed per library (PyTorch/Train/
 
 
 def run(scale: float = DEFAULT_SCALE) -> str:
-    report = report_for(workload_by_id("pytorch/train/mobilenetv2"), scale)
+    report = pipeline_report(workload_by_id("pytorch/train/mobilenetv2"), scale)
     pareto = library_pareto(report)
 
     table = Table(

@@ -16,7 +16,7 @@ attribution for all three setups - the clean baseline, the detector run
 
 from __future__ import annotations
 
-from repro.experiments.common import DEFAULT_SCALE, report_for, shape_check
+from repro.experiments.common import DEFAULT_SCALE, pipeline_report, shape_check
 from repro.utils.tables import Table
 from repro.workloads.spec import workload_by_id
 
@@ -26,7 +26,7 @@ TITLE = "Section 4.6: detection overhead - kernel detector vs NSys"
 
 def run(scale: float = DEFAULT_SCALE) -> str:
     spec = workload_by_id("pytorch/train/mobilenetv2")
-    report = report_for(spec, scale)
+    report = pipeline_report(spec, scale)
     base_s = report.baseline.execution_time_s
     det_s = report.timing.kernel_detection_run_s
     nsys_s = report.timing.nsys_traced_run_s

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cuda.driver import LoadingMode
-from repro.experiments.common import DEFAULT_SCALE, cell_count, cell_mb, report_for, shape_check
+from repro.experiments.common import DEFAULT_SCALE, cell_count, cell_mb, pipeline_report, shape_check
 from repro.utils.tables import Table
 from repro.workloads.datasets import get_dataset
 from repro.workloads.models import LEADERBOARD_LLMS
@@ -50,7 +50,7 @@ def run(scale: float = DEFAULT_SCALE, models=None) -> str:
     for framework in ("vllm", "transformers"):
         for model in models:
             spec = distributed_spec(framework, model)
-            report = report_for(spec, scale)
+            report = pipeline_report(spec, scale)
             table.add_row(
                 framework,
                 model.display_name,
@@ -65,7 +65,7 @@ def run(scale: float = DEFAULT_SCALE, models=None) -> str:
             file_reds[framework].append(report.file_reduction_pct)
 
     # Single-GPU reference for the element-count contrast.
-    single = report_for(
+    single = pipeline_report(
         workload_by_id("vllm/inference/llama2-7b").variant(
             device_name="a100-40gb"
         ),

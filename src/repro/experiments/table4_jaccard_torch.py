@@ -10,7 +10,7 @@ kernels.
 from __future__ import annotations
 
 from repro.analysis.jaccard import combined_table, jaccard_matrix
-from repro.experiments.common import DEFAULT_SCALE, report_for, shape_check
+from repro.experiments.common import DEFAULT_SCALE, pipeline_report, shape_check
 from repro.utils.tables import Table
 from repro.workloads.spec import TABLE1_WORKLOADS
 
@@ -39,7 +39,7 @@ def _usage_sets(scale: float):
     kernels: dict[str, frozenset] = {}
     for wid, label in zip(_WORKLOAD_IDS, _LABELS):
         spec = next(w for w in TABLE1_WORKLOADS if w.workload_id == wid)
-        report = report_for(spec, scale)
+        report = pipeline_report(spec, scale)
         functions[label] = frozenset(
             report.baseline.used_functions.get(_LIB, ()).tolist()
         )

@@ -12,7 +12,7 @@ from repro.experiments.common import (
     DEFAULT_SCALE,
     cell_count,
     cell_mb,
-    report_for,
+    pipeline_report,
     shape_check,
 )
 from repro.utils.tables import Table
@@ -31,7 +31,7 @@ def h100_variants(scale: float):
             spec = workload_by_id(wid).variant(
                 device_name="h100", loading_mode=mode
             )
-            out.append((wid.split("/")[0], mode, report_for(spec, scale)))
+            out.append((wid.split("/")[0], mode, pipeline_report(spec, scale)))
     return out
 
 

@@ -10,7 +10,7 @@ in both modes (less file to read), more under eager.
 from __future__ import annotations
 
 from repro.cuda.driver import LoadingMode
-from repro.experiments.common import DEFAULT_SCALE, report_for, shape_check
+from repro.experiments.common import DEFAULT_SCALE, pipeline_report, shape_check
 from repro.experiments.table6_h100_sizes import h100_variants
 from repro.utils.tables import Table
 from repro.utils.units import pct_reduction

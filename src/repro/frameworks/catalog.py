@@ -17,6 +17,7 @@ build and is excluded there, as in the paper.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 
 from repro.cuda.arch import SHIPPED_ARCHITECTURES
@@ -609,6 +610,12 @@ def framework_build_fingerprint(
 
 _FRAMEWORK_CACHE: dict[tuple, Framework] = {}
 
+#: Serializes memo fills: concurrent callers (federation shards, server
+#: workers) must observe ONE instance per build key - identity checks like
+#: :func:`is_canonical_build` and :func:`build_key_for` depend on it - and
+#: must never pay the generation cost twice.
+_FRAMEWORK_LOCK = threading.RLock()
+
 
 def get_framework(
     name: str,
@@ -624,16 +631,20 @@ def get_framework(
     fw = _FRAMEWORK_CACHE.get(key)
     if fw is not None:
         return fw
-    spec = _SPECS[name]()
-    libraries = {
-        lib_spec.soname: generated_library(
-            lib_spec, build_id_for(name, lib_spec.soname), scale, archs
-        )
-        for lib_spec in spec.libraries
-    }
-    fw = Framework(spec=spec, libraries=libraries, scale=scale)
-    _FRAMEWORK_CACHE[key] = fw
-    return fw
+    with _FRAMEWORK_LOCK:
+        fw = _FRAMEWORK_CACHE.get(key)
+        if fw is not None:
+            return fw
+        spec = _SPECS[name]()
+        libraries = {
+            lib_spec.soname: generated_library(
+                lib_spec, build_id_for(name, lib_spec.soname), scale, archs
+            )
+            for lib_spec in spec.libraries
+        }
+        fw = Framework(spec=spec, libraries=libraries, scale=scale)
+        _FRAMEWORK_CACHE[key] = fw
+        return fw
 
 
 def clear_framework_cache() -> None:

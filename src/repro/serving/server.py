@@ -1,4 +1,4 @@
-"""Request-queue + worker-pool front-end over a :class:`DebloatStore`.
+"""Request-queue + worker-pool front-end over a store or federation.
 
 The serving story: workloads arrive over time, each admission's expensive
 part (the fused instrumented detection run) is independent of the store,
@@ -8,6 +8,11 @@ their detection runs and the store's admission lock orders the merges.
 Readers never queue - :meth:`snapshot` returns the store's current
 immutable epoch directly.
 
+The target is anything with the store admission surface - a single
+:class:`DebloatStore` or a multi-framework
+:class:`~repro.api.federation.StoreFederation` (the engine facade fronts
+the latter); the server itself is routing-agnostic.
+
 With ``batch_max > 1`` a worker that picks up a request also drains
 whatever else is already queued (up to the cap) and admits the whole batch
 through :meth:`DebloatStore.admit_many` - one union merge and one delta
@@ -15,6 +20,12 @@ locate/compact pass per grown library instead of one per admission.  Each
 ticket still resolves to its own :class:`AdmissionResult`; a batch whose
 specs fail upfront validation falls back to per-spec admission so one bad
 request never poisons its queue neighbours.
+
+With ``sweep_interval_s`` set (and a ``sweep()``-capable target), a
+background sweeper thread periodically applies the federation's
+traffic-driven eviction policy - the ROADMAP's TTL/eviction story - so
+idle workloads age out of a long-running server without any caller
+driving eviction explicitly.
 """
 
 from __future__ import annotations
@@ -69,7 +80,7 @@ _SHUTDOWN = object()
 
 
 class DebloatServer:
-    """Admission workers over one shared store."""
+    """Admission workers over one shared store (or store federation)."""
 
     def __init__(
         self,
@@ -77,11 +88,20 @@ class DebloatServer:
         workers: int = 2,
         verify: bool = False,
         batch_max: int = 1,
+        sweep_interval_s: float | None = None,
     ) -> None:
         if workers < 1:
             raise UsageError("DebloatServer needs at least one worker")
         if batch_max < 1:
             raise UsageError("batch_max must be >= 1")
+        if sweep_interval_s is not None:
+            if sweep_interval_s <= 0:
+                raise UsageError("sweep_interval_s must be positive")
+            if not hasattr(store, "sweep"):
+                raise UsageError(
+                    "sweep_interval_s needs a sweep()-capable target "
+                    "(a StoreFederation)"
+                )
         self.store = store
         self.verify = verify
         self.batch_max = batch_max
@@ -94,6 +114,9 @@ class DebloatServer:
         self._closed = False
         self._served = 0
         self._failed = 0
+        self._sweeps_run = 0
+        self._sweeps_evicted = 0
+        self._sweep_stop = threading.Event()
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"debloat-serve-{i}", daemon=True
@@ -102,6 +125,15 @@ class DebloatServer:
         ]
         for t in self._threads:
             t.start()
+        self._sweeper: threading.Thread | None = None
+        if sweep_interval_s is not None:
+            self._sweeper = threading.Thread(
+                target=self._sweep_loop,
+                args=(sweep_interval_s,),
+                name="debloat-serve-sweeper",
+                daemon=True,
+            )
+            self._sweeper.start()
 
     # -- submission -----------------------------------------------------------
 
@@ -140,6 +172,8 @@ class DebloatServer:
             "served": self._served,
             "failed": self._failed,
             "batches_merged": self._batches_merged,
+            "sweeps_run": self._sweeps_run,
+            "sweeps_evicted": self._sweeps_evicted,
         }
 
     # -- lifecycle ------------------------------------------------------------
@@ -155,14 +189,33 @@ class DebloatServer:
             # workers exit.
             for _ in self._threads:
                 self._queue.put(_SHUTDOWN)
+        self._sweep_stop.set()
         for t in self._threads:
             t.join()
+        if self._sweeper is not None:
+            self._sweeper.join()
 
     def __enter__(self) -> "DebloatServer":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def _sweep_loop(self, interval_s: float) -> None:
+        """Periodic policy sweep against the federation target.
+
+        Sweep failures (a racing explicit evict, a strict-verify error
+        surfaced by a recompaction) must never kill the sweeper - the
+        next tick retries against fresh state.
+        """
+        while not self._sweep_stop.wait(interval_s):
+            try:
+                swept = self.store.sweep()
+            except Exception:  # noqa: BLE001 - sweeping is best-effort
+                continue
+            with self._state_lock:
+                self._sweeps_run += 1
+                self._sweeps_evicted += len(swept)
 
     def _worker(self) -> None:
         while True:

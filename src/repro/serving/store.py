@@ -167,9 +167,14 @@ class DebloatStore:
         framework: Framework,
         options: DebloatOptions | None = None,
         use_cache: bool = False,
+        cache=None,
     ) -> None:
         self.framework = framework
         self.options = options or DebloatOptions()
+        #: Explicit pipeline-cache override (the engine facade threads its
+        #: own through); None = the process-wide PIPELINE_CACHE, resolved
+        #: dynamically per use so reconfiguration/monkeypatching holds.
+        self._cache_override = cache
         # Cached usage is keyed on (spec, scale, catalog-build fingerprint)
         # under the default cost model; a custom cost model changes run
         # metrics and a non-catalog build (e.g. a single-arch ablation
@@ -180,6 +185,13 @@ class DebloatStore:
             bool(use_cache)
             and self.options.costs is DEFAULT_COSTS
             and _is_catalog_build(framework)
+        )
+        # Generation key for the persisted kernel-index tier: cached
+        # indexes are keyed on the framework-build fingerprint, so only
+        # catalog builds (whose (name, scale, archs) a fingerprint can
+        # describe) participate; the usage-cache guard implies that.
+        self._index_key = (
+            _catalog_build_key(framework) if self._use_cache else None
         )
         self._admission_lock = threading.RLock()
         # Guards only the per-library lock table (not the admission lock):
@@ -615,19 +627,37 @@ class DebloatStore:
     def _lib_index(self, lib) -> KernelUsageIndex | None:
         """The library's cached :class:`KernelUsageIndex`.
 
-        The cache (which replaced the store's raw cubin cache) lives on
-        the :class:`SharedLibrary` instance itself via :func:`index_for`:
-        one fatbin walk per library for the library's lifetime, shared by
-        every admission's locate/locate_delta, eviction recompactions,
-        and any other pipeline touching the same framework build.
+        The in-process cache (which replaced the store's raw cubin cache)
+        lives on the :class:`SharedLibrary` instance itself via
+        :func:`index_for`: one fatbin walk per library for the library's
+        lifetime, shared by every admission's locate/locate_delta,
+        eviction recompactions, and any other pipeline touching the same
+        framework build.  Cache-backed catalog stores additionally route
+        through the pipeline cache's persisted index tier
+        (:meth:`~repro.experiments.common.PipelineCache.library_index`),
+        so a warm engine skips even the one-time fatbin walk.
         """
         if lib.fatbin is None:
             return None
+        if self._index_key is not None:
+            name, scale, archs = self._index_key
+            return self._pipeline_cache().library_index(
+                lib, name, scale, archs
+            )[0]
         return index_for(lib)
+
+    def _pipeline_cache(self):
+        if self._cache_override is not None:
+            return self._cache_override
+        from repro.experiments.common import PIPELINE_CACHE
+
+        return PIPELINE_CACHE
 
     def _capture(self, spec: WorkloadSpec) -> tuple[WorkloadUsage, bool]:
         if self._use_cache:
-            return cached_usage(spec, self.framework)
+            return cached_usage(
+                spec, self.framework, cache=self._pipeline_cache()
+            )
         return capture_usage(spec, self.framework, self.options.costs), False
 
     def _validate(self, spec: WorkloadSpec) -> None:
@@ -872,6 +902,15 @@ def _is_catalog_build(framework: Framework) -> bool:
     from repro.frameworks.catalog import is_canonical_build
 
     return is_canonical_build(framework)
+
+
+def _catalog_build_key(
+    framework: Framework,
+) -> tuple[str, float, tuple[int, ...]] | None:
+    """The (name, scale, archs) generation key of a catalog build, or None."""
+    from repro.frameworks.catalog import build_key_for
+
+    return build_key_for(framework)
 
 
 def _check_spec(

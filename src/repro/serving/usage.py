@@ -105,16 +105,20 @@ def usage_from_payload(payload: dict) -> WorkloadUsage:
 
 
 def cached_usage(
-    spec: WorkloadSpec, framework: Framework
+    spec: WorkloadSpec, framework: Framework, cache=None
 ) -> tuple[WorkloadUsage, bool]:
     """Capture usage through the pipeline cache's value tier.
 
     Returns ``(usage, from_cache)``.  Only valid for catalog framework
     builds (the disk key includes the framework-build fingerprint derived
     from the catalog generator) under the default cost model; the store
-    guards both.
+    guards both.  ``cache`` overrides the process-wide cache (the engine
+    facade threads its own through the store).
     """
-    from repro.experiments.common import PIPELINE_CACHE
+    if cache is None:
+        from repro.experiments.common import PIPELINE_CACHE
+
+        cache = PIPELINE_CACHE
 
     ran = False
 
@@ -123,7 +127,7 @@ def cached_usage(
         ran = True
         return usage_to_payload(capture_usage(spec, framework))
 
-    value = PIPELINE_CACHE.get_or_run_value(
+    value = cache.get_or_run_value(
         spec, framework.scale, USAGE_KIND, (), compute
     )
     return usage_from_payload(value), not ran

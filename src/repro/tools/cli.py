@@ -6,18 +6,22 @@ Subcommands:
   (sections, code sizes, fatbin architectures, kernels);
 * ``debloat <workload-id>`` - run the full pipeline for a Table-1 workload
   and print the per-library reduction report;
-* ``serve`` - run the multi-workload debloat server: admit workloads into
-  one shared :class:`~repro.serving.store.DebloatStore` through a worker
-  pool, delta-compacting only the libraries each admission actually grew;
+* ``serve`` - run the federated debloat server: admit workloads (of one or
+  several frameworks) through a worker pool into per-framework
+  :class:`~repro.serving.store.DebloatStore` shards, delta-compacting only
+  the libraries each admission actually grew, with optional traffic-driven
+  TTL/LRU/pinned eviction;
 * ``workloads`` - list the available workload ids.
 
-``debloat`` and ``serve`` go through the shared two-tier pipeline cache
-(:data:`repro.experiments.common.PIPELINE_CACHE`), so a workload already
-debloated by an earlier invocation - or by the experiment CLI - renders
-from the persisted report (or admits from cached usage) without re-running
-anything.  ``--no-cache``, ``--no-disk-cache``, and ``--cache-dir`` mirror
-the experiment CLI's cache flags; printed reports are byte-identical either
-way.
+Every subcommand is a thin adapter over the :class:`repro.api.DebloatEngine`
+facade: the CLI flags build one :class:`~repro.api.EngineConfig`, requests
+go through typed :mod:`repro.api.requests` objects, and the engine routes
+reports, admission usage, and kernel indexes through the shared two-tier
+pipeline cache - so a workload already debloated by an earlier invocation
+(or by the experiment CLI) renders from the persisted report, and a warm
+store admits from cached usage, without re-running anything.  ``--no-cache``,
+``--no-disk-cache``, and ``--cache-dir`` mirror the experiment CLI's cache
+flags; printed reports are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -25,9 +29,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.common import DEFAULT_SCALE, report_for
-from repro.frameworks.catalog import FRAMEWORK_NAMES, get_framework
-from repro.tools.inspect import describe_library, kernel_listing, readelf_sections
+from repro.api import (
+    AdmitRequest,
+    DebloatEngine,
+    DebloatRequest,
+    EngineConfig,
+    EvictionPolicy,
+    InspectRequest,
+)
+from repro.errors import ConfigurationError, UsageError
+from repro.experiments.common import DEFAULT_SCALE
+from repro.frameworks.catalog import FRAMEWORK_NAMES
 from repro.utils.tables import Table
 from repro.utils.units import fmt_mb
 from repro.workloads.spec import TABLE1_WORKLOADS, workload_by_id
@@ -73,12 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="admit workloads into a shared debloated-library store",
+        help="admit workloads into the federated debloated-library store",
     )
     p_serve.add_argument(
         "workload_ids", nargs="*",
-        help="workload ids to admit in order (default: every catalog "
-        "workload of --framework)")
+        help="workload ids to admit in order, any mix of frameworks "
+        "(default: every catalog workload of --framework)")
     p_serve.add_argument("--framework", default="pytorch",
                          choices=FRAMEWORK_NAMES,
                          help="framework whose catalog workloads to serve "
@@ -93,27 +105,57 @@ def build_parser() -> argparse.ArgumentParser:
                          help="let a worker drain up to N queued admissions "
                          "into one union merge + delta pass per library "
                          "(1 = admit one at a time)")
+    p_serve.add_argument("--evict", default="none",
+                         choices=("none", "ttl", "lru", "pinned"),
+                         help="traffic-driven eviction policy applied on "
+                         "sweeps (default: none)")
+    p_serve.add_argument("--ttl-s", type=float, default=None,
+                         help="ttl mode: seconds a workload may sit idle "
+                         "before a sweep evicts it")
+    p_serve.add_argument("--max-workloads", type=int, default=None,
+                         help="lru mode: per-framework cap on admitted "
+                         "workloads")
+    p_serve.add_argument("--pin", action="append", default=[],
+                         metavar="WORKLOAD_ID",
+                         help="workload id a sweep must never evict "
+                         "(repeatable)")
+    p_serve.add_argument("--sweep-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="run the policy sweep periodically in the "
+                         "background while serving (default: one final "
+                         "sweep after all admissions)")
 
     sub.add_parser("workloads", help="list workload ids")
     return parser
 
 
+def engine_config(args: argparse.Namespace, **serving) -> EngineConfig:
+    """One EngineConfig from the CLI's shared + per-subcommand flags."""
+    return EngineConfig(
+        scale=args.scale,
+        use_cache=not args.no_cache,
+        disk_cache=False if args.no_disk_cache else None,
+        cache_dir=args.cache_dir,
+        **serving,
+    )
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
-    framework = get_framework(args.framework, scale=args.scale)
-    lib = framework.libraries.get(args.soname)
-    if lib is None:
-        print(f"no library {args.soname!r} in {args.framework}; available:",
-              file=sys.stderr)
-        for soname in sorted(framework.libraries):
-            print(f"  {soname}", file=sys.stderr)
-        return 1
-    print(describe_library(lib))
-    if args.sections:
-        print()
-        print(readelf_sections(lib))
-    if args.kernels and lib.has_gpu_code:
-        print()
-        print(kernel_listing(lib))
+    with DebloatEngine(engine_config(args)) as engine:
+        try:
+            result = engine.inspect(InspectRequest(
+                framework=args.framework,
+                soname=args.soname,
+                sections=args.sections,
+                kernels=args.kernels,
+            ))
+        except UsageError as err:
+            print(f"no library {args.soname!r} in {args.framework}; available:",
+                  file=sys.stderr)
+            for soname in getattr(err, "available", []):
+                print(f"  {soname}", file=sys.stderr)
+            return 1
+    print(result.text)
     return 0
 
 
@@ -127,7 +169,10 @@ def cmd_debloat(args: argparse.Namespace) -> int:
         if args.locate_workers_mode:
             kwargs["locate_workers_mode"] = args.locate_workers_mode
         options = DebloatOptions(**kwargs)
-    report = report_for(spec, scale=args.scale, options=options)
+    with DebloatEngine(engine_config(args)) as engine:
+        report = engine.debloat(
+            DebloatRequest(spec=spec, options=options)
+        ).report
 
     table = Table(
         ["Library", "File MB (red%)", "CPU MB (red%)", "GPU MB (red%)",
@@ -159,34 +204,42 @@ def cmd_debloat(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving import DebloatServer, DebloatStore
-
     if args.workload_ids:
         specs = [workload_by_id(wid) for wid in args.workload_ids]
-        frameworks = {spec.framework for spec in specs}
-        if len(frameworks) != 1:
-            print(
-                f"serve admits one framework per store; got {sorted(frameworks)}",
-                file=sys.stderr,
-            )
-            return 1
-        framework_name = specs[0].framework
     else:
-        framework_name = args.framework
         specs = [
             spec for spec in TABLE1_WORKLOADS
-            if spec.framework == framework_name
+            if spec.framework == args.framework
         ]
+    frameworks = sorted({spec.framework for spec in specs})
 
-    framework = get_framework(framework_name, scale=args.scale)
-    store = DebloatStore(framework, use_cache=not args.no_cache)
+    try:
+        policy = EvictionPolicy(
+            mode=args.evict,
+            ttl_s=args.ttl_s,
+            max_workloads=args.max_workloads,
+            pinned=frozenset(args.pin),
+            sweep_interval_s=args.sweep_interval,
+        )
+        config = engine_config(
+            args,
+            verify_admissions=args.verify,
+            workers=args.workers,
+            batch_max=args.batch_max,
+            eviction=policy,
+        )
+    except ConfigurationError as err:
+        print(str(err), file=sys.stderr)
+        return 1
+
     table = Table(
         ["Workload", "Latency ms", "New kernels", "Libs redone",
          "Libs served", "Union MB after", "Source"],
-        title=f"Serving admissions: {framework_name} @ scale {args.scale}",
+        title=f"Serving admissions: {'+'.join(frameworks)} @ scale "
+        f"{args.scale}",
     )
-    with DebloatServer(store, workers=args.workers, verify=args.verify,
-                       batch_max=args.batch_max) as server:
+    with DebloatEngine(config) as engine:
+        server = engine.server()
         tickets = [server.submit(spec) for spec in specs]
         for ticket in tickets:
             res = ticket.result()
@@ -202,24 +255,42 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 fmt_mb(res.union_file_size_after),
                 "cache" if res.detection_cached else "run",
             )
-        stats = server.stats()
+        swept = engine.sweep().swept if policy.enabled else []
+        stats = engine.stats()
+        snapshot = engine.snapshot()
     print(table.render())
     print()
-    snap = store.snapshot()
-    print(
-        f"store generation {snap.generation}: {len(snap.reductions)} "
-        f"libraries, union {snap.union_kernels:,} kernels / "
-        f"{snap.union_functions:,} functions, "
-        f"{fmt_mb(snap.total_file_size)} MB -> "
-        f"{fmt_mb(snap.total_file_size_after)} MB "
-        f"({snap.file_reduction_pct:.0f}% reduction)"
-    )
+    for name in snapshot.frameworks:
+        snap = snapshot.shards[name].store
+        print(
+            f"{name} store generation {snap.generation}: "
+            f"{len(snap.reductions)} libraries, union "
+            f"{snap.union_kernels:,} kernels / "
+            f"{snap.union_functions:,} functions, "
+            f"{fmt_mb(snap.total_file_size)} MB -> "
+            f"{fmt_mb(snap.total_file_size_after)} MB "
+            f"({snap.file_reduction_pct:.0f}% reduction)"
+        )
     print(
         f"served {stats['served']} admissions with {stats['workers']} "
         f"workers ({stats['batches_merged']} drained batches); "
         f"{stats['untouched_served']} library servings skipped "
         f"re-compaction, {stats['usage_cache_hits']} detections from cache"
     )
+    if policy.enabled:
+        print(
+            f"eviction policy {policy.mode}: final sweep evicted "
+            f"{len(swept)} workload(s)"
+            + (
+                " - " + ", ".join(
+                    f"{s.workload_id} [{s.framework}] "
+                    f"({s.reason}, {len(s.result.recompacted)} libs "
+                    f"recompacted, {len(s.result.dropped_libraries)} dropped)"
+                    for s in swept
+                )
+                if swept else ""
+            )
+        )
     return 0
 
 
@@ -231,9 +302,6 @@ def cmd_workloads(_: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    from repro.experiments.cli import configure_cache
-
-    configure_cache(args)
     handlers = {
         "inspect": cmd_inspect,
         "debloat": cmd_debloat,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.elf import constants as EC
 from repro.elf.image import SharedLibrary
-from repro.fatbin.cuobjdump import extract_cubins, list_fatbin_elements
+from repro.fatbin.cuobjdump import list_fatbin_elements
 from repro.utils.tables import Table, kv_block
 from repro.utils.units import fmt_bytes, fmt_count
 
@@ -69,10 +69,27 @@ def describe_library(lib: SharedLibrary, verbose: bool = False) -> str:
     return out
 
 
-def kernel_listing(lib: SharedLibrary, limit: int = 30) -> str:
-    """``cuobjdump -elf``-style kernel listing per extracted cubin."""
+def kernel_listing(
+    lib: SharedLibrary, limit: int = 30, index=None
+) -> str:
+    """``cuobjdump -elf``-style kernel listing per extracted cubin.
+
+    Rendered from the library's cached
+    :class:`~repro.core.kindex.KernelUsageIndex` (pass ``index`` when a
+    caller - e.g. the engine facade - already holds one, possibly loaded
+    from the persisted disk tier), so repeated listings never re-drive the
+    cubin extraction.  Output is identical to the historical
+    ``extract_cubins`` walk: the index preserves file order and per-cubin
+    name order.
+    """
+    from repro.core.kindex import index_for
+    from repro.fatbin.cuobjdump import _extracted_view
+
+    if index is None:
+        index = index_for(lib)
     lines = []
-    for cubin in extract_cubins(lib)[:limit]:
+    for row in range(min(index.n, limit)):
+        cubin = _extracted_view(index, row)
         lines.append(
             f"{cubin.filename}: sm_{cubin.sm_arch}, "
             f"{len(cubin.kernel_names)} kernels "

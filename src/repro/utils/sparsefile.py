@@ -109,6 +109,60 @@ class SparseFile:
         )
         self._chunks[lo:hi] = [bytes(buf)]
 
+    def write_batch(self, offsets, blobs: list[bytes]) -> None:
+        """Apply many small writes in one vectorized bookkeeping pass.
+
+        Equivalent to ``for o, b in zip(offsets, blobs): self.write(o, b)``
+        (in order, later writes win on overlap).  The fast path covers
+        writes that each land inside one already-written extent - the
+        compactor's per-element header-flag patches - mapping every write
+        to its containing chunk with one ``searchsorted`` and re-slicing
+        each affected chunk exactly once, the same way ``zero_ranges``
+        batches payload holes.  Batches that extend the file or bridge
+        extents fall back to sequential :meth:`write` calls.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.size != len(blobs):
+            raise ValueError("write_batch needs one offset per blob")
+        if not blobs:
+            return
+        if offsets.size and int(offsets.min()) < 0:
+            raise ValueError("offset must be non-negative")
+        lengths = np.fromiter(
+            (len(b) for b in blobs), dtype=np.int64, count=len(blobs)
+        )
+        ends = offsets + lengths
+        n = len(self._chunks)
+        if n:
+            # Containing extent: the first whose end reaches past the
+            # write's start must also start at-or-before it and cover the
+            # write's end.
+            pos = np.searchsorted(self._ends, offsets, side="right")
+            pos_c = np.minimum(pos, n - 1)
+            inside = (
+                (pos < n)
+                & (self._starts[pos_c] <= offsets)
+                & (self._ends[pos_c] >= ends)
+            )
+        else:
+            inside = np.zeros(offsets.size, dtype=bool)
+        if not inside.all():
+            for offset, blob in zip(offsets.tolist(), blobs):
+                self.write(offset, blob)
+            return
+        order = np.argsort(pos_c, kind="stable")
+        row = 0
+        while row < order.size:
+            chunk_i = int(pos_c[order[row]])
+            start = int(self._starts[chunk_i])
+            buf = bytearray(self._chunks[chunk_i])
+            while row < order.size and int(pos_c[order[row]]) == chunk_i:
+                write = int(order[row])
+                at = int(offsets[write]) - start
+                buf[at : at + len(blobs[write])] = blobs[write]
+                row += 1
+            self._chunks[chunk_i] = bytes(buf)
+
     def read(self, offset: int, size: int) -> bytes:
         """Read ``size`` bytes at ``offset``; holes read back as zeros."""
         if offset < 0 or size < 0:

@@ -159,9 +159,33 @@ class TestToolCli:
         assert "Serving admissions: pytorch" in out
         assert "store generation 2" in out
 
-    def test_serve_rejects_mixed_frameworks(self, capsys):
+    def test_serve_federates_mixed_frameworks(self, capsys):
+        """Mixed-framework arrivals route to per-framework store shards."""
         code = tool_main(
             ["--scale", str(TEST_SCALE), "serve",
              "pytorch/train/mobilenetv2", "tensorflow/train/mobilenetv2"]
         )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving admissions: pytorch+tensorflow" in out
+        assert "pytorch store generation 1" in out
+        assert "tensorflow store generation 1" in out
+
+    def test_serve_ttl_eviction(self, capsys):
+        code = tool_main(
+            ["--scale", str(TEST_SCALE), "serve",
+             "pytorch/train/mobilenetv2", "pytorch/inference/mobilenetv2",
+             "--evict", "ttl", "--ttl-s", "0", "--pin",
+             "pytorch/train/mobilenetv2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eviction policy ttl: final sweep evicted 1 workload(s)" in out
+        assert "pytorch/inference/mobilenetv2 [pytorch] (ttl" in out
+
+    def test_serve_rejects_malformed_policy(self, capsys):
+        code = tool_main(
+            ["--scale", str(TEST_SCALE), "serve", "--evict", "ttl"]
+        )
         assert code == 1
+        assert "ttl" in capsys.readouterr().err

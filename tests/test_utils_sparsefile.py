@@ -248,3 +248,86 @@ class TestAgainstReferenceModel:
         if len(starts) > 1:
             # Strictly increasing with a gap: no touching extents survive.
             assert (starts[1:] > ends[:-1]).all()
+
+
+class TestWriteBatch:
+    """``write_batch`` == sequential ``write`` calls, structurally."""
+
+    def _assert_structurally_equal(self, a: SparseFile, b: SparseFile):
+        assert a == b  # extent starts + chunk payloads
+        assert a.logical_size == b.logical_size
+        assert (a._ends == b._ends).all()
+
+    def test_interior_patches_match_sequential(self):
+        base = bytes(range(256)) * 4
+        batched = SparseFile.from_bytes(base)
+        sequential = SparseFile.from_bytes(base)
+        offsets = [0, 17, 500, 1020]
+        blobs = [b"AAAA", b"bb", b"cccccc", b"dddd"]
+        batched.write_batch(offsets, blobs)
+        for offset, blob in zip(offsets, blobs):
+            sequential.write(offset, blob)
+        self._assert_structurally_equal(batched, sequential)
+
+    def test_multiple_patches_in_one_chunk_apply_in_order(self):
+        batched = SparseFile.from_bytes(b"\xff" * 64)
+        sequential = SparseFile.from_bytes(b"\xff" * 64)
+        offsets = [10, 8, 12]  # overlapping: later writes win
+        blobs = [b"XXXX", b"yyyy", b"zz"]
+        batched.write_batch(offsets, blobs)
+        for offset, blob in zip(offsets, blobs):
+            sequential.write(offset, blob)
+        self._assert_structurally_equal(batched, sequential)
+
+    def test_fallback_for_extending_or_bridging_writes(self):
+        for offsets, blobs in (
+            ([100], [b"grow"]),          # past the last extent
+            ([30], [b"bridge" * 4]),     # spans a hole between extents
+        ):
+            batched = SparseFile(64)
+            batched.write(0, b"a" * 32)
+            batched.write(40, b"b" * 8)
+            sequential = batched.copy()
+            batched.write_batch(offsets, blobs)
+            for offset, blob in zip(offsets, blobs):
+                sequential.write(offset, blob)
+            self._assert_structurally_equal(batched, sequential)
+
+    def test_empty_batch_and_empty_blobs(self):
+        sparse = SparseFile.from_bytes(b"abcdef")
+        before = sparse.copy()
+        sparse.write_batch([], [])
+        sparse.write_batch([2], [b""])
+        self._assert_structurally_equal(sparse, before)
+
+    def test_mismatched_lengths_rejected(self):
+        sparse = SparseFile.from_bytes(b"abcdef")
+        with pytest.raises(ValueError):
+            sparse.write_batch([1, 2], [b"x"])
+        with pytest.raises(ValueError):
+            sparse.write_batch([-1], [b"x"])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=600),
+                st.binary(min_size=0, max_size=40),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_fuzz_equivalence(self, writes):
+        base = SparseFile(640)
+        base.write(50, b"\x11" * 100)
+        base.write(300, b"\x22" * 200)
+        batched = base.copy()
+        sequential = base.copy()
+        offsets = [o for o, _ in writes]
+        blobs = [b for _, b in writes]
+        batched.write_batch(offsets, blobs)
+        for offset, blob in writes:
+            sequential.write(offset, blob)
+        assert batched == sequential
+        assert batched.to_bytes() == sequential.to_bytes()
