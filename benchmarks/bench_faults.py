@@ -1,0 +1,226 @@
+"""Fault-tolerance benchmark: availability and admission latency under a
+deterministic 5% injected-fault rate, vs a no-fault baseline.
+
+The robustness claim: with transactional admission (roll back the touched
+epoch, retry the one failed admission) a 5% transient-fault rate costs a
+few retried admissions - not availability, and not a store rebuild.  The
+comparison quantifies both:
+
+* **availability** - the fraction of arrivals that resolve to a successful
+  admission (after retries) rather than a typed failure;
+* **p99 admission latency** - queue-to-resolution, so retry backoff shows
+  up where an SLO would see it;
+* **recompactions saved by rollback-vs-rebuild** - every rollback re-does
+  only the failed admission's delta pass; a store that recovered by
+  rebuilding from scratch would recompact the whole union per fault.
+
+``test_*`` functions assert the contract at the tiny test scale under a
+plain pytest invocation; ``python benchmarks/bench_faults.py`` regenerates
+``BENCH_faults.json``, the recorded baseline future PRs compare against.
+``REPRO_FAULT_PLAN`` overrides the injected plan for ad-hoc runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.core.debloat import DebloatOptions
+from repro.errors import AdmissionError
+from repro.frameworks.catalog import get_framework
+from repro.serving.server import DebloatServer
+from repro.serving.store import DebloatStore
+from repro.testing import faults
+from repro.workloads.spec import TABLE1_WORKLOADS, WorkloadSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_faults.json"
+
+TEST_SCALE = 0.02
+
+#: The injected failure mix: 5% of worker attempts die before touching the
+#: store, 5% of union merges fault mid-transaction, and two fixed
+#: per-library delta passes fault mid-admission (the ``store.process``
+#: site is per *library*, so a per-invocation rate would compound over the
+#: hundred-plus libraries of a large delta - ordinals keep it at two
+#: guaranteed mid-transaction rollbacks).  The fixed seed makes the firing
+#: pattern - and therefore the whole benchmark - reproducible.
+FAULT_SEED = 20250808
+FAULT_PLAN = (
+    f"seed={FAULT_SEED};"
+    "worker.pre_merge%0.05;store.merge%0.05;store.process@25,150"
+)
+
+#: Availability floor under the 5% plan: the default 3-attempt retry
+#: budget must absorb essentially every injected transient.
+AVAILABILITY_FLOOR = 0.9
+
+#: No verification/runtime-comparison runs: the benchmark isolates the
+#: admission path (detection + locate + compact + retry).
+OPTIONS = DebloatOptions(verify=False, runtime_comparison_top_n=0)
+
+
+def arrival_specs() -> list[WorkloadSpec]:
+    """A 16-arrival single-framework sequence (batch variants + re-admits).
+
+    The four PyTorch catalog workloads, half- and quarter-batch variants
+    of each (genuinely distinct usage sets), then the base four again
+    (steady-state duplicate re-admissions).
+    """
+    base = [w for w in TABLE1_WORKLOADS if w.framework == "pytorch"]
+    half = [w.variant(batch_size=max(1, w.batch_size // 2)) for w in base]
+    quarter = [w.variant(batch_size=max(1, w.batch_size // 4)) for w in base]
+    return base + half + quarter + base
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty sample."""
+    ranked = sorted(values)
+    return ranked[min(len(ranked) - 1, math.ceil(q * len(ranked)) - 1)]
+
+
+def run_arrivals(
+    specs: list[WorkloadSpec], framework, plan: faults.FaultPlan | None
+) -> dict:
+    """Drive one server over the arrival sequence, under ``plan`` (or none).
+
+    Returns per-arrival latencies, the availability split, the server's
+    retry/rollback counters, and the end-state store (for byte-identity
+    checks and the rollback-vs-rebuild accounting).
+    """
+    store = DebloatStore(framework, OPTIONS)
+    latencies: list[float] = []
+    admitted: list[str] = []
+    failed: list[str] = []
+    ctx = faults.fault_plan(plan) if plan is not None else None
+    try:
+        if ctx is not None:
+            ctx.__enter__()
+        with DebloatServer(store, workers=2) as server:
+            tickets = [(s, server.submit(s)) for s in specs]
+            for spec, ticket in tickets:
+                try:
+                    ticket.result(timeout=300)
+                    admitted.append(spec.workload_id)
+                except AdmissionError:
+                    failed.append(spec.workload_id)
+                latencies.append(ticket.latency_s)
+            stats = server.stats()
+    finally:
+        if ctx is not None:
+            ctx.__exit__(None, None, None)
+    return {
+        "latencies": latencies,
+        "admitted": admitted,
+        "failed": failed,
+        "stats": stats,
+        "store": store,
+        "faults_fired": dict(plan.stats()) if plan is not None else {},
+    }
+
+
+def summarize(run: dict) -> dict:
+    n = len(run["latencies"])
+    return {
+        "arrivals": n,
+        "admitted": len(run["admitted"]),
+        "failed": len(run["failed"]),
+        "availability_pct": round(100.0 * len(run["admitted"]) / n, 2),
+        "mean_ms": round(sum(run["latencies"]) / n * 1e3, 1),
+        "p99_ms": round(percentile(run["latencies"], 0.99) * 1e3, 1),
+        "retries": run["stats"]["retries"],
+        "rollbacks": run["stats"]["rollbacks"],
+        "recompactions": run["stats"]["recompactions"],
+        "rollback_recompactions": run["stats"]["rollback_recompactions"],
+        "faults_fired": run["faults_fired"],
+    }
+
+
+def rollback_vs_rebuild(faulted: dict) -> dict:
+    """Recompactions a rebuild-from-scratch recovery would have cost.
+
+    Rollback recovery discards only the aborted transaction's delta pass
+    (the store counts that discarded work in ``rollback_recompactions``)
+    and retries the one admission.  A store that recovered from each
+    mid-transaction fault by rebuilding would instead recompact every
+    library in the union per rollback.
+    """
+    rollbacks = faulted["stats"]["rollbacks"]
+    libraries = faulted["stats"]["libraries"]
+    redone = faulted["stats"]["rollback_recompactions"]
+    rebuild_cost = rollbacks * libraries
+    return {
+        "rollbacks": rollbacks,
+        "union_libraries": libraries,
+        "recompactions_redone": redone,
+        "rebuild_recompactions": rebuild_cost,
+        "recompactions_saved": rebuild_cost - redone,
+    }
+
+
+def test_availability_under_faults():
+    """5% injected faults: retries keep availability at the floor, and the
+    end-state store is byte-identical to the fault-free run."""
+    specs = arrival_specs()
+    framework = get_framework("pytorch", scale=TEST_SCALE)
+    baseline = run_arrivals(specs, framework, None)
+    faulted = run_arrivals(
+        specs, framework, faults.parse_plan(FAULT_PLAN)
+    )
+    assert len(baseline["failed"]) == 0
+    assert sum(faulted["faults_fired"].values()) >= 1  # faults really fired
+    availability = len(faulted["admitted"]) / len(specs)
+    assert availability >= AVAILABILITY_FLOOR
+    if not faulted["failed"]:
+        # Every arrival landed: byte-identity against the fault-free run.
+        clean = baseline["store"].debloated_libraries()
+        recovered = faulted["store"].debloated_libraries()
+        assert sorted(recovered) == sorted(clean)
+        for soname, d in recovered.items():
+            assert d.lib.data == clean[soname].lib.data, soname
+    faulted["store"].validate_invariants()
+
+
+def test_rollback_cheaper_than_rebuild():
+    """Each rollback discards one delta pass, not the whole union."""
+    specs = arrival_specs()
+    framework = get_framework("pytorch", scale=TEST_SCALE)
+    faulted = run_arrivals(
+        specs, framework, faults.parse_plan(FAULT_PLAN)
+    )
+    comparison = rollback_vs_rebuild(faulted)
+    if comparison["rollbacks"]:
+        assert comparison["recompactions_saved"] > 0
+        assert (
+            comparison["recompactions_redone"]
+            < comparison["rebuild_recompactions"]
+        )
+
+
+def main() -> None:
+    """Regenerate the recorded baseline (run on the reference machine)."""
+    plan_text = faults.plan_from_env()
+    plan_spec = plan_text.name if plan_text is not None else FAULT_PLAN
+    specs = arrival_specs()
+    framework = get_framework("pytorch", scale=TEST_SCALE)
+    start = time.perf_counter()
+    baseline = run_arrivals(specs, framework, None)
+    faulted = run_arrivals(specs, framework, faults.parse_plan(plan_spec))
+    record = {
+        "scale": TEST_SCALE,
+        "fault_plan": plan_spec,
+        "arrivals": [s.workload_id for s in specs],
+        "availability_floor_pct": round(100.0 * AVAILABILITY_FLOOR, 1),
+        "baseline": summarize(baseline),
+        "faulted": summarize(faulted),
+        "rollback_vs_rebuild": rollback_vs_rebuild(faulted),
+        "wall_s": round(time.perf_counter() - start, 1),
+    }
+    BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+
+
+if __name__ == "__main__":
+    main()

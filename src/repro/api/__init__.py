@@ -21,7 +21,12 @@ legacy entry points (``Debloater.debloat_many``,
 this package.
 """
 
-from repro.api.config import EVICTION_MODES, EngineConfig, EvictionPolicy
+from repro.api.config import (
+    EVICTION_MODES,
+    DegradedModes,
+    EngineConfig,
+    EvictionPolicy,
+)
 from repro.api.engine import DebloatEngine, default_engine
 from repro.api.federation import (
     FederationShard,
@@ -42,6 +47,7 @@ __all__ = [
     "AdmitRequest",
     "DebloatEngine",
     "DebloatRequest",
+    "DegradedModes",
     "EVICTION_MODES",
     "EngineConfig",
     "EngineResult",

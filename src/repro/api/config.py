@@ -33,9 +33,36 @@ from repro.core.debloat import DebloatOptions
 from repro.cuda.arch import SHIPPED_ARCHITECTURES
 from repro.errors import ConfigurationError
 from repro.experiments.common import DEFAULT_SCALE
+from repro.utils.retry import RetryPolicy
 
 #: Modes :class:`EvictionPolicy` accepts.
 EVICTION_MODES = ("none", "ttl", "lru", "pinned")
+
+
+@dataclass(frozen=True)
+class DegradedModes:
+    """What the engine is allowed to do when a component fails.
+
+    Each knob trades a little fidelity for availability; all default on,
+    matching the ISSUE's failure model (see README "Failure model &
+    degraded modes"):
+
+    * ``fanout_thread_fallback`` - a process-pool locate fan-out whose
+      pool breaks twice (original + one rebuild) re-runs the same shards
+      on threads instead of failing the admission; off = the
+      ``BrokenProcessPool`` propagates (and the retry policy decides).
+    * ``serve_last_good_reads`` - while a shard is mid-recovery (a worker
+      is retrying an admission against it), federation reads serve the
+      shard's last successfully committed :class:`StoreSnapshot` instead
+      of blocking or erroring.
+    * ``quarantine_corrupt_entries`` - corrupt disk-cache entries move to
+      the ``quarantine/`` sidecar for inspection; off = they are deleted
+      outright.  Either way the entry is recomputed.
+    """
+
+    fanout_thread_fallback: bool = True
+    serve_last_good_reads: bool = True
+    quarantine_corrupt_entries: bool = True
 
 
 @dataclass(frozen=True)
@@ -98,7 +125,10 @@ class EngineConfig:
       ``cache_dir`` (explicit disk-tier overrides applied on ``open()``;
       ``None`` leaves the process-wide settings alone);
     * **serving** - admission ``workers`` and ``batch_max`` for the queue
-      server, ``verify_admissions``, and the ``eviction`` policy.
+      server, ``verify_admissions``, and the ``eviction`` policy;
+    * **fault tolerance** - the worker ``retry`` policy
+      (:class:`~repro.utils.retry.RetryPolicy`) and the
+      :class:`DegradedModes` knobs.
     """
 
     scale: float = DEFAULT_SCALE
@@ -111,6 +141,8 @@ class EngineConfig:
     workers: int = 2
     batch_max: int = 1
     eviction: EvictionPolicy = field(default_factory=EvictionPolicy)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    degraded_modes: DegradedModes = field(default_factory=DegradedModes)
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

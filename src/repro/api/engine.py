@@ -91,6 +91,11 @@ class DebloatEngine:
                 disk_enabled=self.config.disk_cache,
                 cache_dir=self.config.cache_dir,
             )
+        if not self.config.degraded_modes.quarantine_corrupt_entries:
+            self.cache.configure(quarantine=False)
+        from repro.core.debloat import configure_fanout
+
+        configure_fanout(self.config.degraded_modes.fanout_thread_fallback)
         self._federation = StoreFederation(
             self.config, clock=self._clock, cache=self._cache
         )
@@ -136,6 +141,7 @@ class DebloatEngine:
                 verify=self.config.verify_admissions,
                 batch_max=self.config.batch_max,
                 sweep_interval_s=self.config.eviction.sweep_interval_s,
+                retry=self.config.retry,
             )
         return self._server
 
@@ -263,6 +269,31 @@ class DebloatEngine:
             return self._server.stats()
         return self.federation.stats()
 
+    def health(self) -> dict:
+        """One aggregated health report across every serving layer.
+
+        Includes the server's worker/sweeper liveness (when a server is
+        running), per-shard recovery state and retry counters from the
+        federation, process-wide locate fan-out degradations, and the
+        disk cache's quarantine count.  Safe to call on a closed engine.
+        """
+        from repro.core.debloat import fanout_events
+
+        if self._closed:
+            out: dict = {"state": "closed"}
+        elif self._server is not None:
+            out = self._server.health()
+        else:
+            self._ensure_open()
+            target = self.federation.health()
+            out = {"state": target["state"], "target": target}
+        events = fanout_events()
+        out["fanout_degraded"] = len(events)
+        out["quarantined_entries"] = self.cache.stats().get(
+            "disk_quarantined", 0
+        )
+        return out
+
     # -- inspection -----------------------------------------------------------
 
     def inspect(self, request: InspectRequest) -> EngineResult:
@@ -323,10 +354,14 @@ class DebloatEngine:
         enabled: bool | None = None,
         disk_enabled: bool | None = None,
         cache_dir=None,
+        quarantine: bool | None = None,
     ) -> None:
         """Adjust the process-wide pipeline cache (None = leave unchanged)."""
         self.cache.configure(
-            enabled=enabled, disk_enabled=disk_enabled, cache_dir=cache_dir
+            enabled=enabled,
+            disk_enabled=disk_enabled,
+            cache_dir=cache_dir,
+            quarantine=quarantine,
         )
 
 

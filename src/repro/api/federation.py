@@ -75,6 +75,10 @@ class ShardSnapshot:
     #: workload id -> last-served clock reading (federation clock units).
     last_served: Mapping[str, float]
     pinned: tuple[str, ...]
+    #: ``ok`` / ``recovering`` (a worker is retrying against this shard;
+    #: ``store`` may be the last-good epoch) / ``degraded`` (the last
+    #: admission failed permanently).
+    state: str = "ok"
 
 
 @dataclass(frozen=True)
@@ -130,6 +134,14 @@ class FederationShard:
         #: only input besides pins.
         self.last_served: dict[str, float] = {}
         self.pinned: set[str] = set()
+        #: ``ok`` / ``recovering`` / ``degraded`` - see ShardSnapshot.
+        self.state = "ok"
+        self.consecutive_failures = 0
+        self.retries = 0
+        self.last_error: str | None = None
+        #: The last successfully committed epoch; served for reads while
+        #: the shard is mid-recovery (``degraded_modes.serve_last_good_reads``).
+        self.last_good: StoreSnapshot = self.store.snapshot()
 
     def touch(self, workload_id: str, now: float, pinned: bool) -> None:
         self.last_served[workload_id] = now
@@ -139,6 +151,24 @@ class FederationShard:
     def forget(self, workload_id: str) -> None:
         self.last_served.pop(workload_id, None)
         self.pinned.discard(workload_id)
+
+    # -- recovery state (called under the federation's routing lock) ---------
+
+    def note_retry(self, error: BaseException) -> None:
+        self.state = "recovering"
+        self.consecutive_failures += 1
+        self.retries += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+
+    def note_failure(self, error: BaseException) -> None:
+        self.state = "degraded"
+        self.consecutive_failures += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+
+    def note_success(self) -> None:
+        self.state = "ok"
+        self.consecutive_failures = 0
+        self.last_good = self.store.snapshot()
 
 
 class StoreFederation:
@@ -225,6 +255,7 @@ class StoreFederation:
         result = shard.store.admit(spec, verify=verify)
         with self._lock:
             shard.touch(spec.workload_id, self._clock(), pinned)
+            shard.note_success()
         return result
 
     def admit_many(
@@ -256,7 +287,34 @@ class StoreFederation:
                 for pos, result in zip(positions, group_results):
                     results[pos] = result
                     shard.touch(specs[pos].workload_id, now, False)
+                shard.note_success()
         return results  # type: ignore[return-value]
+
+    # -- recovery tracking ----------------------------------------------------
+    # Duck-typed hooks the DebloatServer workers call on their target;
+    # a shard that has not been created yet (the very first admission of a
+    # framework failed before its shard registered) is simply skipped.
+
+    def mark_recovering(self, spec: WorkloadSpec, error: BaseException) -> None:
+        """A worker is retrying ``spec``'s admission after a transient error."""
+        with self._lock:
+            shard = self._shards.get(spec.framework)
+            if shard is not None:
+                shard.note_retry(error)
+
+    def record_failure(self, spec: WorkloadSpec, error: BaseException) -> None:
+        """``spec``'s admission failed permanently (retry budget exhausted)."""
+        with self._lock:
+            shard = self._shards.get(spec.framework)
+            if shard is not None:
+                shard.note_failure(error)
+
+    def record_success(self, spec: WorkloadSpec) -> None:
+        """``spec``'s admission committed; the shard is healthy again."""
+        with self._lock:
+            shard = self._shards.get(spec.framework)
+            if shard is not None:
+                shard.note_success()
 
     def touch(self, workload_id: str, framework: str | None = None) -> int:
         """Refresh last-served timestamps without admitting (read traffic)."""
@@ -385,6 +443,15 @@ class StoreFederation:
     # -- readers --------------------------------------------------------------
 
     def snapshot(self) -> FederationSnapshot:
+        """Every shard's consistent view (one immutable object).
+
+        A shard that is mid-recovery (a worker retrying against it) serves
+        its **last-good** committed epoch when
+        ``degraded_modes.serve_last_good_reads`` is on - readers keep
+        getting a consistent library set while the shard heals, they just
+        may not see the admission that is being retried yet.
+        """
+        serve_last_good = self.config.degraded_modes.serve_last_good_reads
         with self._lock:
             return FederationSnapshot(
                 shards=MappingProxyType(
@@ -392,16 +459,48 @@ class StoreFederation:
                         name: ShardSnapshot(
                             framework=name,
                             fingerprint=shard.fingerprint,
-                            store=shard.store.snapshot(),
+                            store=(
+                                shard.last_good
+                                if serve_last_good
+                                and shard.state == "recovering"
+                                else shard.store.snapshot()
+                            ),
                             last_served=MappingProxyType(
                                 dict(shard.last_served)
                             ),
                             pinned=tuple(sorted(shard.pinned)),
+                            state=shard.state,
                         )
                         for name, shard in self._shards.items()
                     }
                 )
             )
+
+    def health(self) -> dict:
+        """Per-shard recovery state, retry/rollback counters, last errors."""
+        with self._lock:
+            rows = {
+                name: {
+                    "state": shard.state,
+                    "generation": shard.store.generation,
+                    "workloads": len(
+                        shard.store.snapshot().workload_ids
+                    ),
+                    "consecutive_failures": shard.consecutive_failures,
+                    "retries": shard.retries,
+                    "rollbacks": shard.store.stats().get("rollbacks", 0),
+                    "last_error": shard.last_error,
+                }
+                for name, shard in self._shards.items()
+            }
+        states = {row["state"] for row in rows.values()}
+        if "recovering" in states:
+            state = "recovering"
+        elif "degraded" in states:
+            state = "degraded"
+        else:
+            state = "ok"
+        return {"state": state, "shards": rows}
 
     def report(self, framework_name: str) -> MultiWorkloadReport:
         """One shard's ``debloat_many``-shaped union report."""

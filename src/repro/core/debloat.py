@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +44,7 @@ from repro.cuda.costs import DEFAULT_COSTS, CostModel
 from repro.errors import VerificationError
 from repro.frameworks.spec import Framework
 from repro.loader.profiler import FunctionProfiler
+from repro.testing import faults
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import WorkloadSpec
 
@@ -394,6 +397,55 @@ def _pool_context():
     return None
 
 
+@dataclass(frozen=True)
+class FanoutDegraded:
+    """One process fan-out that fell back to thread mode.
+
+    Recorded when a :class:`BrokenProcessPool` survives the single pool
+    rebuild: the admission itself still succeeds (the caller re-runs the
+    same shards on threads - the per-library work is a pure function, so
+    results are identical), but the degradation is observable through
+    :func:`fanout_events` and the engine's ``health()``.
+    """
+
+    framework: str
+    shards: int
+    reason: str
+
+
+_FANOUT_EVENTS: list[FanoutDegraded] = []
+_FANOUT_LOCK = threading.Lock()
+_FANOUT_THREAD_FALLBACK = True
+
+
+def configure_fanout(thread_fallback: bool = True) -> None:
+    """Process-wide degraded-mode switch for the locate fan-out.
+
+    ``thread_fallback=False`` makes a twice-broken process pool propagate
+    its :class:`BrokenProcessPool` (the admission retry policy then
+    decides) instead of silently re-running on threads; the engine facade
+    sets this from ``EngineConfig.degraded_modes``.
+    """
+    global _FANOUT_THREAD_FALLBACK
+    _FANOUT_THREAD_FALLBACK = bool(thread_fallback)
+
+
+def fanout_events() -> tuple[FanoutDegraded, ...]:
+    """Every recorded process-to-thread fan-out degradation, oldest first."""
+    with _FANOUT_LOCK:
+        return tuple(_FANOUT_EVENTS)
+
+
+def clear_fanout_events() -> None:
+    with _FANOUT_LOCK:
+        _FANOUT_EVENTS.clear()
+
+
+def _record_fanout_degraded(framework: str, shards: int, reason: str) -> None:
+    with _FANOUT_LOCK:
+        _FANOUT_EVENTS.append(FanoutDegraded(framework, shards, reason))
+
+
 def _process_sharded_locate_compact(
     framework: Framework,
     libs: list,
@@ -452,10 +504,35 @@ def _process_sharded_locate_compact(
             )
         )
 
-    with ProcessPoolExecutor(
-        max_workers=len(shards), mp_context=_pool_context()
-    ) as pool:
-        blobs = list(pool.map(_locate_compact_shard, tasks))
+    def run_pool() -> list[bytes]:
+        with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=_pool_context()
+        ) as pool:
+            futures = [
+                pool.submit(_locate_compact_shard, task) for task in tasks
+            ]
+            blobs: list[bytes] = []
+            for i, future in enumerate(futures):
+                # Parent-side collection is the fault site: an injected
+                # BrokenProcessPool lands exactly where a crashed worker
+                # process would surface.
+                faults.check(f"locate.shard.{i}")
+                blobs.append(future.result())
+            return blobs
+
+    try:
+        try:
+            blobs = run_pool()
+        except BrokenProcessPool:
+            # A crashed worker poisons the whole pool; one rebuild retries
+            # the full shard set (shard work is pure, so re-running is
+            # safe and byte-identical).
+            blobs = run_pool()
+    except BrokenProcessPool as exc:
+        _record_fanout_degraded(name, len(shards), str(exc))
+        if not _FANOUT_THREAD_FALLBACK:
+            raise
+        return None
 
     by_soname: dict[str, dict] = {}
     for blob in blobs:

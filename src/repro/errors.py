@@ -112,6 +112,17 @@ class VerificationError(DebloatError):
     """The debloated workload output differs from the original output."""
 
 
+class StoreInvariantError(DebloatError):
+    """A serving-store epoch failed its commit-time consistency check.
+
+    Raised by :meth:`~repro.serving.store.DebloatStore.validate_invariants`
+    when the union bookkeeping, library map, and admission ledger disagree.
+    A transactional admission that trips this rolls back to the previous
+    epoch before re-raising, so the store a caller observes afterwards is
+    always the last consistent one.
+    """
+
+
 class ConfigurationError(ReproError):
     """A spec or configuration object is internally inconsistent."""
 
@@ -124,6 +135,78 @@ class UsageError(ConfigurationError):
     empty workload list, a workload targeting a different framework than
     the debloater holds, or a mixed-architecture union - and nothing was
     executed.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance / serving errors
+# ---------------------------------------------------------------------------
+
+
+class TransientError(ReproError):
+    """A failure that is expected to succeed on retry.
+
+    The serving tier's :class:`~repro.utils.retry.RetryPolicy` retries
+    these (and OS-level errors); everything else - usage errors,
+    verification failures - is permanent and surfaces immediately.
+    """
+
+
+class FaultError(TransientError):
+    """An injected failure from the deterministic fault harness.
+
+    Raised by :func:`repro.testing.faults.check` at an instrumented fault
+    site when the active :class:`~repro.testing.faults.FaultPlan` fires.
+    Subclasses :class:`TransientError` so every recovery path (retry,
+    rollback, quarantine, sweeper survival) treats an injected fault
+    exactly like the real transient failure it stands in for.
+    """
+
+    def __init__(self, site: str, ordinal: int = 0, kind: str = "fault"):
+        super().__init__(f"injected {kind} at {site} (ordinal {ordinal})")
+        self.site = site
+        self.ordinal = ordinal
+        self.kind = kind
+
+
+class AdmissionError(ReproError):
+    """An admission failed permanently after exhausting its retry budget.
+
+    Carries the workload, the attempt count, and the last underlying
+    failure (also chained as ``__cause__``), so a ticket waiter can tell a
+    retried-then-dead admission apart from a malformed request
+    (:class:`UsageError`) or a closed server (:class:`ServerClosedError`).
+    """
+
+    def __init__(
+        self, workload_id: str, attempts: int, cause: BaseException
+    ):
+        super().__init__(
+            f"admission of {workload_id} failed after {attempts} "
+            f"attempt(s): {type(cause).__name__}: {cause}"
+        )
+        self.workload_id = workload_id
+        self.attempts = attempts
+        self.cause = cause
+        self.__cause__ = cause
+
+
+class ServerClosedError(UsageError):
+    """The serving queue is closed: the request was rejected or abandoned.
+
+    Raised by ``submit()`` on a closed server, and by
+    :meth:`~repro.serving.server.AdmissionTicket.result` for tickets that
+    were still pending when ``close()`` drained the queue - a closed
+    server never strands a waiter.
+    """
+
+
+class TicketTimeoutError(ReproError, TimeoutError):
+    """An :class:`~repro.serving.server.AdmissionTicket` deadline expired.
+
+    Subclasses :class:`TimeoutError` so pre-existing callers that caught
+    the builtin keep working; the ticket itself stays valid and a later
+    ``result()`` call can still succeed once the admission lands.
     """
 
 

@@ -315,6 +315,7 @@ class PipelineCache:
         enabled: bool | None = None,
         disk_enabled: bool | None = None,
         cache_dir: str | os.PathLike | None = None,
+        quarantine: bool | None = None,
     ) -> None:
         """Adjust either tier in place (None leaves a setting unchanged)."""
         if enabled is not None:
@@ -322,7 +323,9 @@ class PipelineCache:
             if not enabled:
                 self._store.clear()
                 self._values.clear()
-        self.disk.configure(directory=cache_dir, enabled=disk_enabled)
+        self.disk.configure(
+            directory=cache_dir, enabled=disk_enabled, quarantine=quarantine
+        )
 
     def __len__(self) -> int:
         return len(self._store)

@@ -19,7 +19,12 @@ at an isolated tmp dir without rebuilding module-level cache objects.
 **Failure policy.** A cache must never turn into a correctness or
 availability hazard: corrupted, truncated, version-skewed, or unreadable
 entries - and any filesystem error - are treated as misses (counted in
-``stats()['disk_errors']``), recomputed, and overwritten in place.
+``stats()['disk_errors']``) and recomputed.  A corrupt entry is
+additionally **quarantined**: moved into a ``quarantine/`` sidecar
+directory (counted in ``stats()['disk_quarantined']``) so the bad bytes
+are preserved for inspection instead of being silently overwritten, while
+the recompute path writes a fresh entry at the original name.  Writes
+retry once on an OS error before giving up (best-effort).
 
 **File layout.** One file per entry,
 ``<framework>--<workload-id-slug>--s<scale>--<digest>.rpdc``; the readable
@@ -36,10 +41,14 @@ from pathlib import Path
 
 from repro.core import serialize
 from repro.core.report import WorkloadDebloatReport
-from repro.errors import CacheError
+from repro.errors import CacheError, FaultError
+from repro.testing import faults
 
 #: Filename extension of serialized report containers.
 SUFFIX = ".rpdc"
+
+#: Sidecar directory (under the cache dir) holding quarantined entries.
+QUARANTINE_DIR = "quarantine"
 
 #: Default cache location (overridden by ``$REPRO_PIPELINE_CACHE_DIR``).
 DEFAULT_CACHE_DIR = "~/.cache/repro-debloat"
@@ -71,12 +80,16 @@ class DiskReportCache:
         self,
         directory: str | os.PathLike | None = None,
         enabled: bool | None = None,
+        quarantine: bool = True,
     ) -> None:
         self._directory = Path(directory).expanduser() if directory else None
         self._enabled = enabled
+        #: Preserve corrupt entries in the sidecar dir (False = delete).
+        self._quarantine_enabled = quarantine
         self.hits = 0
         self.misses = 0
         self.errors = 0
+        self.quarantined = 0
 
     # -- configuration --------------------------------------------------------
 
@@ -97,12 +110,15 @@ class DiskReportCache:
         self,
         directory: str | os.PathLike | None = None,
         enabled: bool | None = None,
+        quarantine: bool | None = None,
     ) -> None:
         """Pin the directory and/or the enabled flag (None = leave as is)."""
         if directory is not None:
             self._directory = Path(directory).expanduser()
         if enabled is not None:
             self._enabled = enabled
+        if quarantine is not None:
+            self._quarantine_enabled = quarantine
 
     # -- keying ---------------------------------------------------------------
 
@@ -161,11 +177,14 @@ class DiskReportCache:
             self.errors += 1
             return None
         try:
+            faults.check("diskcache.read")
             report = serialize.loads(data)
-        except CacheError:
-            # Truncated, corrupt, or schema-skewed entry: a miss.  The
-            # recompute path overwrites it via put().
+        except (CacheError, FaultError):
+            # Truncated, corrupt, or schema-skewed entry: a miss.  The bad
+            # bytes move to the quarantine sidecar and the recompute path
+            # writes a fresh entry via put().
             self.errors += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return report
@@ -192,9 +211,11 @@ class DiskReportCache:
             self.errors += 1
             return None
         try:
+            faults.check("diskcache.read")
             value = serialize.value_loads(data, kind)
-        except CacheError:
+        except (CacheError, FaultError):
             self.errors += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return value
@@ -209,15 +230,41 @@ class DiskReportCache:
             serialize.value_dumps(value, kind),
         )
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into the sidecar dir (drop it if we can't)."""
+        if not self._quarantine_enabled:
+            self._remove(path)
+            return
+        self.quarantined += 1
+        target_dir = self.directory / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            self._remove(path)
+
     def _write(self, path: Path, data: bytes) -> None:
+        try:
+            self._write_once(path, data)
+        except OSError:
+            # One retry: a transient I/O failure (or an injected one at
+            # the diskcache.write site) usually clears; a second failure
+            # is counted and the entry stays a recomputable miss.
+            try:
+                self._write_once(path, data)
+            except OSError:
+                self.errors += 1
+
+    def _write_once(self, path: Path, data: bytes) -> None:
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         try:
+            faults.check("diskcache.write")
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp.write_bytes(data)
             os.replace(tmp, path)
         except OSError:
-            self.errors += 1
             self._remove(tmp)  # don't leak a half-written temp file
+            raise
 
     # -- maintenance ----------------------------------------------------------
 
@@ -284,4 +331,5 @@ class DiskReportCache:
             "disk_hits": self.hits,
             "disk_misses": self.misses,
             "disk_errors": self.errors,
+            "disk_quarantined": self.quarantined,
         }

@@ -17,6 +17,7 @@ from repro.serving.store import (
     StoreSnapshot,
 )
 from repro.serving.usage import WorkloadUsage, capture_usage
+from repro.utils.retry import RetryPolicy
 
 __all__ = [
     "AdmissionResult",
@@ -24,6 +25,7 @@ __all__ = [
     "DebloatServer",
     "DebloatStore",
     "EvictionResult",
+    "RetryPolicy",
     "StoreSnapshot",
     "WorkloadUsage",
     "capture_usage",

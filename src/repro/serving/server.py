@@ -35,8 +35,15 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import UsageError
+from repro.errors import (
+    AdmissionError,
+    ServerClosedError,
+    TicketTimeoutError,
+    UsageError,
+)
 from repro.serving.store import AdmissionResult, DebloatStore, StoreSnapshot
+from repro.testing import faults
+from repro.utils.retry import DEFAULT_RETRYABLE, RetryPolicy
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -46,6 +53,7 @@ class AdmissionTicket:
 
     spec: WorkloadSpec
     _done: threading.Event = field(default_factory=threading.Event)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
     _result: AdmissionResult | None = None
     _error: BaseException | None = None
     #: Wall-clock seconds from submit to completion (queueing included).
@@ -55,9 +63,16 @@ class AdmissionTicket:
         return self._done.is_set()
 
     def result(self, timeout: float | None = None) -> AdmissionResult:
+        """Block for the outcome; raise it if the admission failed.
+
+        Raises :class:`~repro.errors.TicketTimeoutError` (a
+        :class:`TimeoutError` subclass) when ``timeout`` expires first;
+        the ticket stays valid and a later call can still succeed.
+        """
         if not self._done.wait(timeout):
-            raise TimeoutError(
-                f"admission of {self.spec.workload_id} still pending"
+            raise TicketTimeoutError(
+                f"admission of {self.spec.workload_id} still pending "
+                f"after {timeout}s"
             )
         if self._error is not None:
             raise self._error
@@ -69,11 +84,20 @@ class AdmissionTicket:
         started: float,
         result: AdmissionResult | None,
         error: BaseException | None,
-    ) -> None:
-        self.latency_s = time.perf_counter() - started
-        self._result = result
-        self._error = error
-        self._done.set()
+    ) -> bool:
+        """First resolution wins; returns whether this call was it.
+
+        Idempotence lets ``close()`` fail a ticket whose worker is stuck
+        without racing that worker's own (late) resolution.
+        """
+        with self._lock:
+            if self._done.is_set():
+                return False
+            self.latency_s = time.perf_counter() - started
+            self._result = result
+            self._error = error
+            self._done.set()
+            return True
 
 
 _SHUTDOWN = object()
@@ -89,6 +113,7 @@ class DebloatServer:
         verify: bool = False,
         batch_max: int = 1,
         sweep_interval_s: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise UsageError("DebloatServer needs at least one worker")
@@ -105,6 +130,7 @@ class DebloatServer:
         self.store = store
         self.verify = verify
         self.batch_max = batch_max
+        self.retry = retry if retry is not None else RetryPolicy()
         self._batches_merged = 0
         self._queue: queue.Queue = queue.Queue()
         # Orders submit() against close(): a ticket must never land behind
@@ -114,8 +140,14 @@ class DebloatServer:
         self._closed = False
         self._served = 0
         self._failed = 0
+        self._retries = 0
+        #: Every unresolved ticket, keyed by identity: close() fails
+        #: whatever is left here so no waiter ever hangs.
+        self._pending: dict[int, tuple[AdmissionTicket, float]] = {}
         self._sweeps_run = 0
         self._sweeps_evicted = 0
+        self._sweeps_failed = 0
+        self.last_sweep_error: str | None = None
         self._sweep_stop = threading.Event()
         self._threads = [
             threading.Thread(
@@ -141,9 +173,11 @@ class DebloatServer:
         """Enqueue one admission; returns immediately with a ticket."""
         with self._state_lock:
             if self._closed:
-                raise UsageError("server is closed")
+                raise ServerClosedError("server is closed")
             ticket = AdmissionTicket(spec)
-            self._queue.put((ticket, time.perf_counter()))
+            started = time.perf_counter()
+            self._pending[id(ticket)] = (ticket, started)
+            self._queue.put((ticket, started))
         return ticket
 
     def admit(
@@ -171,15 +205,77 @@ class DebloatServer:
             "pending": self._queue.qsize(),
             "served": self._served,
             "failed": self._failed,
+            "retries": self._retries,
             "batches_merged": self._batches_merged,
             "sweeps_run": self._sweeps_run,
             "sweeps_evicted": self._sweeps_evicted,
+            "sweeps_failed": self._sweeps_failed,
         }
+
+    def health(self) -> dict:
+        """Liveness + fault counters for the server and its target.
+
+        ``state`` is ``ok`` (all workers alive), ``degraded`` (some worker
+        died), or ``closed``.  When the target exposes its own ``health()``
+        (a :class:`~repro.api.federation.StoreFederation`) it is included
+        under ``target``; a bare store contributes its rollback counters
+        under ``store``.
+        """
+        with self._state_lock:
+            closed = self._closed
+            pending = len(self._pending)
+            served, failed, retries = self._served, self._failed, self._retries
+            sweeps_run = self._sweeps_run
+            sweeps_failed = self._sweeps_failed
+        alive = sum(t.is_alive() for t in self._threads)
+        if closed:
+            state = "closed"
+        elif alive == len(self._threads):
+            state = "ok"
+        else:
+            state = "degraded"
+        out: dict = {
+            "state": state,
+            "workers": len(self._threads),
+            "workers_alive": alive,
+            "pending": pending,
+            "served": served,
+            "failed": failed,
+            "retries": retries,
+            "sweeper": {
+                "configured": self._sweeper is not None,
+                "alive": (
+                    self._sweeper.is_alive()
+                    if self._sweeper is not None
+                    else False
+                ),
+                "runs": sweeps_run,
+                "failed": sweeps_failed,
+                "last_error": self.last_sweep_error,
+            },
+        }
+        target_health = getattr(self.store, "health", None)
+        if callable(target_health):
+            out["target"] = target_health()
+        else:
+            stats = self.store.stats()
+            out["store"] = {
+                "rollbacks": stats.get("rollbacks", 0),
+                "last_error": getattr(self.store, "last_error", None),
+            }
+        return out
 
     # -- lifecycle ------------------------------------------------------------
 
-    def close(self) -> None:
-        """Drain the queue, stop the workers, and reject new submissions."""
+    def close(self, timeout: float | None = None) -> None:
+        """Drain the queue, stop the workers, and reject new submissions.
+
+        Never strands a waiter: after the workers are joined (or
+        ``timeout`` expires while one is stuck), every still-unresolved
+        ticket fails immediately with
+        :class:`~repro.errors.ServerClosedError` - a pending ``result()``
+        call returns right away instead of blocking out its own timeout.
+        """
         with self._state_lock:
             if self._closed:
                 return
@@ -190,10 +286,36 @@ class DebloatServer:
             for _ in self._threads:
                 self._queue.put(_SHUTDOWN)
         self._sweep_stop.set()
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
         for t in self._threads:
-            t.join()
+            t.join(
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
         if self._sweeper is not None:
-            self._sweeper.join()
+            self._sweeper.join(
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+        with self._state_lock:
+            leftovers = [t for t, _ in self._pending.values()]
+            self._pending.clear()
+        for ticket in leftovers:
+            won = ticket._resolve(
+                time.perf_counter(),
+                None,
+                ServerClosedError(
+                    f"server closed with admission of "
+                    f"{ticket.spec.workload_id} still pending"
+                ),
+            )
+            if won:
+                with self._state_lock:
+                    self._failed += 1
 
     def __enter__(self) -> "DebloatServer":
         return self
@@ -210,8 +332,12 @@ class DebloatServer:
         """
         while not self._sweep_stop.wait(interval_s):
             try:
+                faults.check("sweeper.tick")
                 swept = self.store.sweep()
-            except Exception:  # noqa: BLE001 - sweeping is best-effort
+            except Exception as exc:  # noqa: BLE001 - sweeping is best-effort
+                with self._state_lock:
+                    self._sweeps_failed += 1
+                self.last_sweep_error = f"{type(exc).__name__}: {exc}"
                 continue
             with self._state_lock:
                 self._sweeps_run += 1
@@ -240,16 +366,69 @@ class DebloatServer:
                 self._admit_batch(batch)
 
     def _admit_one(self, ticket: AdmissionTicket, started: float) -> None:
+        """One admission under the retry policy.
+
+        Transient failures (injected faults, OS errors - the store rolled
+        back, so re-admission is safe) retry with backoff; exhausting the
+        budget resolves the ticket with a typed
+        :class:`~repro.errors.AdmissionError`.  Permanent failures (usage
+        or verification errors) resolve immediately without retrying.
+        Shard recovery state is relayed to federation targets that track
+        it (``mark_recovering`` / ``record_failure`` / ``record_success``).
+        """
+        spec = ticket.spec
+        attempts = 1
+
+        def attempt():
+            faults.check("worker.pre_merge")
+            return self.store.admit(spec, verify=self.verify)
+
+        def note_retry(n: int, exc: BaseException) -> None:
+            nonlocal attempts
+            attempts = n + 1
+            with self._state_lock:
+                self._retries += 1
+            mark = getattr(self.store, "mark_recovering", None)
+            if callable(mark):
+                mark(spec, exc)
+
         try:
-            result = self.store.admit(ticket.spec, verify=self.verify)
+            result = self.retry.call(
+                attempt, token=spec.workload_id, on_retry=note_retry
+            )
+        except DEFAULT_RETRYABLE as exc:
+            record = getattr(self.store, "record_failure", None)
+            if callable(record):
+                record(spec, exc)
+            self._finish(
+                ticket,
+                started,
+                None,
+                AdmissionError(spec.workload_id, attempts, exc),
+            )
         except BaseException as exc:  # noqa: BLE001 - relayed to caller
-            with self._state_lock:
-                self._failed += 1
-            ticket._resolve(started, None, exc)
+            self._finish(ticket, started, None, exc)
         else:
-            with self._state_lock:
-                self._served += 1
-            ticket._resolve(started, result, None)
+            record = getattr(self.store, "record_success", None)
+            if callable(record):
+                record(spec)
+            self._finish(ticket, started, result, None)
+
+    def _finish(
+        self,
+        ticket: AdmissionTicket,
+        started: float,
+        result: AdmissionResult | None,
+        error: BaseException | None,
+    ) -> None:
+        won = ticket._resolve(started, result, error)
+        with self._state_lock:
+            self._pending.pop(id(ticket), None)
+            if won:
+                if error is None:
+                    self._served += 1
+                else:
+                    self._failed += 1
 
     def _admit_batch(
         self, batch: list[tuple[AdmissionTicket, float]]
@@ -274,7 +453,9 @@ class DebloatServer:
                 self._admit_one(ticket, started)
             return
         with self._state_lock:
-            self._served += len(batch)
             self._batches_merged += 1
+        record = getattr(self.store, "record_success", None)
         for (ticket, started), result in zip(batch, results):
-            ticket._resolve(started, result, None)
+            if callable(record):
+                record(ticket.spec)
+            self._finish(ticket, started, result, None)

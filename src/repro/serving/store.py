@@ -22,6 +22,12 @@ that statically but recomputes every library per call;
   :class:`StoreSnapshot` (generation-numbered, copy-on-write library map),
   so concurrent readers always observe a consistent library set while
   admissions mutate;
+* every mutation is **transactional**: the union merge, delta
+  locate/compact, and bookkeeping run inside :meth:`_txn`, which commits
+  (invariant check + snapshot publish) atomically or rolls the store back
+  to the pre-mutation epoch on any exception - a failure mid-``admit``,
+  mid-batch in ``admit_many``, or mid-eviction leaves no partially-merged
+  union behind (see :class:`~repro.errors.StoreInvariantError`);
 * delta compaction fans out over threads
   (``DebloatOptions.locate_workers``) while the union merge itself stays
   serialized under the admission lock; per-library locks additionally
@@ -47,6 +53,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Mapping
@@ -62,9 +69,10 @@ from repro.core.report import LibraryReduction
 from repro.core.verify import VerificationResult, verify_debloat
 from repro.cuda.clock import VirtualClock
 from repro.cuda.costs import DEFAULT_COSTS
-from repro.errors import UsageError, VerificationError
+from repro.errors import StoreInvariantError, UsageError, VerificationError
 from repro.frameworks.spec import Framework
 from repro.serving.usage import WorkloadUsage, cached_usage, capture_usage
+from repro.testing import faults
 from repro.utils.units import pct_reduction
 from repro.workloads.spec import WorkloadSpec
 
@@ -229,6 +237,129 @@ class DebloatStore:
         self._stat_recompactions = 0
         self._stat_untouched_served = 0
         self._stat_usage_cache_hits = 0
+        self._stat_rollbacks = 0
+        self._stat_rollback_recompactions = 0
+        #: ``"ExcType: message"`` of the last rolled-back mutation, or None.
+        self.last_error: str | None = None
+
+    # -- transactions ----------------------------------------------------------
+
+    #: Counter attributes restored on rollback alongside the union state
+    #: (``_stat_rollbacks`` is deliberately absent: a rolled-back mutation
+    #: must still be *counted*).
+    _TXN_COUNTERS = (
+        "_stat_admissions",
+        "_stat_duplicates",
+        "_stat_recompactions",
+        "_stat_untouched_served",
+        "_stat_usage_cache_hits",
+    )
+
+    @contextmanager
+    def _txn(self):
+        """All-or-nothing mutation scope (admission lock must be held).
+
+        The body stages union growth, delta locates, and recompactions
+        against the live fields; on success the commit validates the
+        epoch's invariants and publishes the new :class:`StoreSnapshot`.
+        On *any* exception - including one raised mid-batch or by the
+        invariant check itself - every mutable field (union sets, library
+        map, admission ledger, counters, pinned architecture) is restored
+        to the pre-transaction epoch before the exception propagates, and
+        nothing is published: lock-free readers only ever observe the
+        last committed snapshot.
+        """
+        state = self._capture_epoch_locked()
+        try:
+            yield
+            self._validate_invariants_locked()
+        except BaseException as exc:
+            # Recompactions performed inside the aborted transaction are
+            # discarded work; count them before the restore erases them.
+            self._stat_rollback_recompactions += (
+                self._stat_recompactions
+                - state["counters"]["_stat_recompactions"]
+            )
+            self._restore_epoch_locked(state)
+            self._stat_rollbacks += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            raise
+        else:
+            self._publish_snapshot()
+
+    def _capture_epoch_locked(self) -> dict:
+        return {
+            "generation": self._generation,
+            "arch": self._arch,
+            "features": self._features,
+            # Kernel sets are mutated in place by the merge; everything
+            # else is rebind-on-write, so shallow container copies suffice.
+            "union_kernels": {
+                k: set(v) for k, v in self._union_kernels.items()
+            },
+            "union_functions": dict(self._union_functions),
+            "admitted": list(self._admitted),
+            "usage": dict(self._usage),
+            "marginal_kernels": list(self._marginal_kernels),
+            "debloated": dict(self._debloated),
+            "locates": dict(self._locates),
+            "counters": {
+                name: getattr(self, name) for name in self._TXN_COUNTERS
+            },
+        }
+
+    def _restore_epoch_locked(self, state: dict) -> None:
+        self._generation = state["generation"]
+        self._arch = state["arch"]
+        self._features = state["features"]
+        self._union_kernels = state["union_kernels"]
+        self._union_functions = state["union_functions"]
+        self._admitted = state["admitted"]
+        self._usage = state["usage"]
+        self._marginal_kernels = state["marginal_kernels"]
+        self._debloated = state["debloated"]
+        self._locates = state["locates"]
+        for name, value in state["counters"].items():
+            setattr(self, name, value)
+
+    def validate_invariants(self) -> None:
+        """Check epoch consistency; raise :class:`StoreInvariantError`.
+
+        Runs automatically at every transaction commit; public so tests
+        and health probes can assert the live store is consistent.
+        """
+        with self._admission_lock:
+            self._validate_invariants_locked()
+
+    def _validate_invariants_locked(self) -> None:
+        problems: list[str] = []
+        if len(self._marginal_kernels) != len(self._admitted):
+            problems.append(
+                f"{len(self._admitted)} admissions but "
+                f"{len(self._marginal_kernels)} marginal entries"
+            )
+        admitted = set(self._admitted)
+        if admitted != set(self._usage):
+            problems.append("admission ledger and usage map disagree")
+        if self._admitted:
+            if self._arch is None:
+                problems.append("admissions present but no pinned arch")
+            else:
+                expected = {
+                    lib.soname
+                    for lib in self.framework.libraries_for(self._features)
+                }
+                if set(self._debloated) != expected:
+                    problems.append(
+                        f"library map holds {sorted(self._debloated)}, "
+                        f"feature set implies {sorted(expected)}"
+                    )
+        elif self._debloated:
+            problems.append("empty store still holds libraries")
+        if not set(self._locates) <= set(self._debloated):
+            problems.append("locate results for libraries not in the store")
+        if problems:
+            raise StoreInvariantError("; ".join(problems))
 
     # -- admission ------------------------------------------------------------
 
@@ -255,59 +386,63 @@ class DebloatStore:
             duplicate = False
 
         with self._admission_lock:
-            if detection_cached and not duplicate:
-                self._stat_usage_cache_hits += 1
-            if self._arch is None:
-                self._arch = spec.devices()[0].sm_arch
-            else:
+            if self._arch is not None:
                 # Authoritative re-check under the lock: two racing first
                 # admissions may both have seen no pinned architecture.
+                # Validation precedes the transaction - a malformed
+                # request is a rejection, not a rollback.
                 _check_spec(self.framework.name, self._arch, spec)
             duplicate = duplicate or spec in self._usage
 
-            added_kernels, grown_fn, marginal, marginal_fn = (
-                self._merge_usage_locked(spec, usage)
-            )
+            with self._txn():
+                if detection_cached and not duplicate:
+                    self._stat_usage_cache_hits += 1
+                if self._arch is None:
+                    self._arch = spec.devices()[0].sm_arch
 
-            libs = self.framework.libraries_for(self._features)
-            to_process = [
-                lib
-                for lib in libs
-                if lib.soname not in self._debloated
-                or lib.soname in added_kernels
-                or lib.soname in grown_fn
-            ]
-            added_libs = tuple(
-                lib.soname
-                for lib in libs
-                if lib.soname not in self._debloated
-            )
-            processed = {p.soname for p in to_process}
-            untouched = tuple(
-                lib.soname
-                for lib in libs
-                if lib.soname in self._debloated
-                and lib.soname not in processed
-            )
+                added_kernels, grown_fn, marginal, marginal_fn = (
+                    self._merge_usage_locked(spec, usage)
+                )
 
-            results = self._process(to_process, added_kernels)
-            new_debloated = dict(self._debloated)
-            locate_compact_s = 0.0
-            for soname, gpu_res, d, elapsed in results:
-                new_debloated[soname] = d
-                self._locates[soname] = gpu_res
-                locate_compact_s += elapsed
-            self._debloated = new_debloated
+                libs = self.framework.libraries_for(self._features)
+                to_process = [
+                    lib
+                    for lib in libs
+                    if lib.soname not in self._debloated
+                    or lib.soname in added_kernels
+                    or lib.soname in grown_fn
+                ]
+                added_libs = tuple(
+                    lib.soname
+                    for lib in libs
+                    if lib.soname not in self._debloated
+                )
+                processed = {p.soname for p in to_process}
+                untouched = tuple(
+                    lib.soname
+                    for lib in libs
+                    if lib.soname in self._debloated
+                    and lib.soname not in processed
+                )
 
-            self._admitted.append(spec)
-            self._usage.setdefault(spec, usage)
-            self._marginal_kernels.append(marginal)
-            self._generation += 1
-            self._stat_admissions += 1
-            self._stat_duplicates += int(duplicate)
-            self._stat_recompactions += len(to_process)
-            self._stat_untouched_served += len(untouched)
-            self._publish_snapshot()
+                results = self._process(to_process, added_kernels)
+                new_debloated = dict(self._debloated)
+                locate_compact_s = 0.0
+                for soname, gpu_res, d, elapsed in results:
+                    new_debloated[soname] = d
+                    self._locates[soname] = gpu_res
+                    locate_compact_s += elapsed
+                self._debloated = new_debloated
+
+                self._admitted.append(spec)
+                self._usage.setdefault(spec, usage)
+                self._marginal_kernels.append(marginal)
+                self._generation += 1
+                self._stat_admissions += 1
+                self._stat_duplicates += int(duplicate)
+                self._stat_recompactions += len(to_process)
+                self._stat_untouched_served += len(untouched)
+
             snapshot_libs = self._debloated
             generation = self._generation
             union_file_size = self._snapshot.total_file_size
@@ -355,6 +490,7 @@ class DebloatStore:
         merge one ``np.union1d`` - no Python set algebra on paper-scale
         index sets.
         """
+        faults.check("store.merge")
         before = sum(len(v) for v in self._union_kernels.values())
         before_fn = sum(int(v.size) for v in self._union_functions.values())
         added_kernels: dict[str, frozenset[str]] = {}
@@ -440,6 +576,65 @@ class DebloatStore:
 
         results: list[AdmissionResult] = []
         with self._admission_lock:
+            if self._arch is not None:
+                # Re-validate under the lock (a racing admission may have
+                # pinned a conflicting architecture) before any mutation.
+                for spec in specs:
+                    _check_spec(self.framework.name, self._arch, spec)
+            pending, cost_of = self._admit_many_locked(specs, captures)
+            generation = self._generation
+            union_file_size = self._snapshot.total_file_size
+            union_file_size_after = self._snapshot.total_file_size_after
+            snapshot_libs = self._debloated
+
+        for pos, item in enumerate(pending):
+            verification = None
+            if verify:
+                verification = verify_debloat(
+                    item["spec"],
+                    self.framework,
+                    snapshot_libs,
+                    item["usage"].metrics,
+                    self.options.costs,
+                )
+                if self.options.strict_verify and not verification.ok:
+                    raise VerificationError(
+                        f"{item['spec'].workload_id}: {verification.error}"
+                    )
+            results.append(
+                AdmissionResult(
+                    workload_id=item["spec"].workload_id,
+                    generation=generation - len(specs) + pos + 1,
+                    new_kernels=item["marginal"],
+                    new_functions=item["marginal_fn"],
+                    recompacted=item["recompacted"],
+                    untouched=item["untouched"],
+                    added_libraries=item["added_libraries"],
+                    union_file_size=union_file_size,
+                    union_file_size_after=union_file_size_after,
+                    detection_run_s=item["usage"].metrics.execution_time_s,
+                    locate_compact_s=cost_of[pos],
+                    detection_cached=item["cached"],
+                    duplicate=item["duplicate"],
+                    verification=verification,
+                )
+            )
+        return results
+
+    def _admit_many_locked(
+        self,
+        specs: list[WorkloadSpec],
+        captures: list[tuple[WorkloadUsage, bool, bool]],
+    ) -> tuple[list[dict], list[float]]:
+        """The transactional body of :meth:`admit_many` (lock held).
+
+        Any exception - a merge fault on the third spec, a compaction
+        failure in the single batched pass - rolls the *whole batch* back:
+        the store ends at the pre-batch epoch, exactly as if ``admit_many``
+        was never called.  Returns the per-spec bookkeeping ``pending``
+        dicts and the per-spec attributed locate/compact costs.
+        """
+        with self._txn():
             if self._arch is None:
                 self._arch = specs[0].devices()[0].sm_arch
             for spec in specs:
@@ -521,49 +716,11 @@ class DebloatStore:
                 per_lib_cost[soname] = elapsed
             self._debloated = new_debloated
             self._stat_recompactions += len(to_process)
-            self._publish_snapshot()
-            generation = self._generation
-            union_file_size = self._snapshot.total_file_size
-            union_file_size_after = self._snapshot.total_file_size_after
-            snapshot_libs = self._debloated
 
             cost_of: list[float] = [0.0] * len(specs)
             for soname, pos in first_grower.items():
                 cost_of[pos] += per_lib_cost.get(soname, 0.0)
-
-        for pos, item in enumerate(pending):
-            verification = None
-            if verify:
-                verification = verify_debloat(
-                    item["spec"],
-                    self.framework,
-                    snapshot_libs,
-                    item["usage"].metrics,
-                    self.options.costs,
-                )
-                if self.options.strict_verify and not verification.ok:
-                    raise VerificationError(
-                        f"{item['spec'].workload_id}: {verification.error}"
-                    )
-            results.append(
-                AdmissionResult(
-                    workload_id=item["spec"].workload_id,
-                    generation=generation - len(specs) + pos + 1,
-                    new_kernels=item["marginal"],
-                    new_functions=item["marginal_fn"],
-                    recompacted=item["recompacted"],
-                    untouched=item["untouched"],
-                    added_libraries=item["added_libraries"],
-                    union_file_size=union_file_size,
-                    union_file_size_after=union_file_size_after,
-                    detection_run_s=item["usage"].metrics.execution_time_s,
-                    locate_compact_s=cost_of[pos],
-                    detection_cached=item["cached"],
-                    duplicate=item["duplicate"],
-                    verification=verification,
-                )
-            )
-        return results
+        return pending, cost_of
 
     # -- delta locate/compact -------------------------------------------------
 
@@ -580,9 +737,17 @@ class DebloatStore:
         uncontended under today's admission-lock-serialized merges; it
         exists so two compactions of one library stay ordered if a caller
         ever runs ``_process`` outside the admission lock.
+
+        A pass that dies partway discards every compaction it already
+        finished (the enclosing transaction rolls back); those are counted
+        in ``rollback_recompactions`` - the cost a retry re-pays, and the
+        number the rollback-vs-rebuild benchmark compares against a full
+        union rebuild.
         """
+        completed: list[str] = []
 
         def process_one(lib) -> tuple:
+            faults.check("store.process")
             with self._lib_lock(lib.soname):
                 clock = VirtualClock()
                 index = self._lib_index(lib)
@@ -609,13 +774,18 @@ class DebloatStore:
                     lib, used_arr, clock=clock
                 )
                 d = self._compactor.compact(lib, cpu_res, gpu_res, clock=clock)
+                completed.append(lib.soname)
                 return lib.soname, gpu_res, d, clock.now
 
         workers = self.options.locate_workers
-        if workers and workers > 1 and len(libs) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(process_one, libs))
-        return [process_one(lib) for lib in libs]
+        try:
+            if workers and workers > 1 and len(libs) > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(process_one, libs))
+            return [process_one(lib) for lib in libs]
+        except BaseException:
+            self._stat_rollback_recompactions += len(completed)
+            raise
 
     def _lib_lock(self, soname: str) -> threading.Lock:
         with self._locks_guard:
@@ -763,110 +933,114 @@ class DebloatStore:
                     f"{sorted({s.workload_id for s in self._admitted})}"
                 )
             kept_specs = {s for s in keep}
-            self._usage = {
-                s: u for s, u in self._usage.items() if s in kept_specs
-            }
-            old_kernels = self._union_kernels
-            old_functions = self._union_functions
-            self._union_kernels = {}
-            self._union_functions = {}
-            self._marginal_kernels = []
-            for spec in keep:
-                usage = self._usage[spec]
-                before = sum(
-                    len(v) for v in self._union_kernels.values()
-                )
-                for soname, names in usage.kernels.items():
-                    self._union_kernels.setdefault(soname, set()).update(names)
-                for soname, idx in usage.functions.items():
-                    have = self._union_functions.get(soname)
-                    self._union_functions[soname] = (
-                        np.union1d(have, idx)
-                        if have is not None
-                        else np.unique(np.asarray(idx, dtype=np.int64))
+            with self._txn():
+                self._usage = {
+                    s: u for s, u in self._usage.items() if s in kept_specs
+                }
+                old_kernels = self._union_kernels
+                old_functions = self._union_functions
+                self._union_kernels = {}
+                self._union_functions = {}
+                self._marginal_kernels = []
+                for spec in keep:
+                    usage = self._usage[spec]
+                    before = sum(
+                        len(v) for v in self._union_kernels.values()
                     )
-                self._marginal_kernels.append(
-                    sum(len(v) for v in self._union_kernels.values()) - before
+                    for soname, names in usage.kernels.items():
+                        self._union_kernels.setdefault(
+                            soname, set()
+                        ).update(names)
+                    for soname, idx in usage.functions.items():
+                        have = self._union_functions.get(soname)
+                        self._union_functions[soname] = (
+                            np.union1d(have, idx)
+                            if have is not None
+                            else np.unique(np.asarray(idx, dtype=np.int64))
+                        )
+                    self._marginal_kernels.append(
+                        sum(len(v) for v in self._union_kernels.values())
+                        - before
+                    )
+                self._admitted = keep
+                if not keep:
+                    # Last admission gone: the store is empty, not "serving
+                    # the zero-feature library set".
+                    dropped = tuple(self._debloated)
+                    self._arch = None
+                    self._features = frozenset()
+                    self._debloated = {}
+                    self._locates = {}
+                    self._generation += 1
+                    return EvictionResult(
+                        workload_id=workload_id,
+                        generation=self._generation,
+                        removed_admissions=removed,
+                        recompacted=(),
+                        dropped_libraries=dropped,
+                    )
+                self._features = frozenset().union(
+                    *(s.features for s in keep)
                 )
-            self._admitted = keep
-            if not keep:
-                # Last admission gone: the store is empty, not "serving the
-                # zero-feature library set".
-                dropped = tuple(self._debloated)
-                self._arch = None
-                self._features = frozenset()
-                self._debloated = {}
-                self._locates = {}
+
+                libs = self.framework.libraries_for(self._features)
+                keep_sonames = {lib.soname for lib in libs}
+                dropped = tuple(
+                    soname
+                    for soname in self._debloated
+                    if soname not in keep_sonames
+                )
+                shrunk = [
+                    lib
+                    for lib in libs
+                    if self._union_kernels.get(lib.soname, set())
+                    != old_kernels.get(lib.soname, set())
+                    or not _fn_union_equal(
+                        self._union_functions.get(lib.soname),
+                        old_functions.get(lib.soname),
+                    )
+                ]
+                # Shrunk unions invalidate the delta path's monotonicity
+                # premise: drop the previous locate results so _process
+                # takes the full locate path for them.
+                for lib in shrunk:
+                    self._locates.pop(lib.soname, None)
+                results = self._process(shrunk, {})
+                new_debloated = {
+                    soname: d
+                    for soname, d in self._debloated.items()
+                    if soname in keep_sonames
+                }
+                for soname, gpu_res, d, _elapsed in results:
+                    new_debloated[soname] = d
+                    self._locates[soname] = gpu_res
+                for soname in dropped:
+                    self._locates.pop(soname, None)
+                self._debloated = new_debloated
                 self._generation += 1
-                self._publish_snapshot()
+                self._stat_recompactions += len(shrunk)
                 return EvictionResult(
                     workload_id=workload_id,
                     generation=self._generation,
                     removed_admissions=removed,
-                    recompacted=(),
+                    recompacted=tuple(lib.soname for lib in shrunk),
                     dropped_libraries=dropped,
                 )
-            self._features = frozenset().union(*(s.features for s in keep))
-
-            libs = self.framework.libraries_for(self._features)
-            keep_sonames = {lib.soname for lib in libs}
-            dropped = tuple(
-                soname
-                for soname in self._debloated
-                if soname not in keep_sonames
-            )
-            shrunk = [
-                lib
-                for lib in libs
-                if self._union_kernels.get(lib.soname, set())
-                != old_kernels.get(lib.soname, set())
-                or not _fn_union_equal(
-                    self._union_functions.get(lib.soname),
-                    old_functions.get(lib.soname),
-                )
-            ]
-            # Shrunk unions invalidate the delta path's monotonicity
-            # premise: drop the previous locate results so _process takes
-            # the full locate path for them.
-            for lib in shrunk:
-                self._locates.pop(lib.soname, None)
-            results = self._process(shrunk, {})
-            new_debloated = {
-                soname: d
-                for soname, d in self._debloated.items()
-                if soname in keep_sonames
-            }
-            for soname, gpu_res, d, _elapsed in results:
-                new_debloated[soname] = d
-                self._locates[soname] = gpu_res
-            for soname in dropped:
-                self._locates.pop(soname, None)
-            self._debloated = new_debloated
-            self._generation += 1
-            self._stat_recompactions += len(shrunk)
-            self._publish_snapshot()
-            return EvictionResult(
-                workload_id=workload_id,
-                generation=self._generation,
-                removed_admissions=removed,
-                recompacted=tuple(lib.soname for lib in shrunk),
-                dropped_libraries=dropped,
-            )
 
     def reset(self) -> None:
         """Forget every admission and library; the generation still advances."""
         with self._admission_lock:
-            self._arch = None
-            self._features = frozenset()
-            self._union_kernels = {}
-            self._union_functions = {}
-            self._admitted = []
-            self._usage = {}
-            self._marginal_kernels = []
-            self._debloated = {}
-            self._locates = {}
-            self._generation += 1
-            self._publish_snapshot()
+            with self._txn():
+                self._arch = None
+                self._features = frozenset()
+                self._union_kernels = {}
+                self._union_functions = {}
+                self._admitted = []
+                self._usage = {}
+                self._marginal_kernels = []
+                self._debloated = {}
+                self._locates = {}
+                self._generation += 1
 
     # -- stats ----------------------------------------------------------------
 
@@ -882,6 +1056,8 @@ class DebloatStore:
             "recompactions": self._stat_recompactions,
             "untouched_served": self._stat_untouched_served,
             "usage_cache_hits": self._stat_usage_cache_hits,
+            "rollbacks": self._stat_rollbacks,
+            "rollback_recompactions": self._stat_rollback_recompactions,
         }
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from repro.api import (
     AdmitRequest,
@@ -37,7 +38,7 @@ from repro.api import (
     EvictionPolicy,
     InspectRequest,
 )
-from repro.errors import ConfigurationError, UsageError
+from repro.errors import AdmissionError, ConfigurationError, UsageError
 from repro.experiments.common import DEFAULT_SCALE
 from repro.frameworks.catalog import FRAMEWORK_NAMES
 from repro.utils.tables import Table
@@ -124,6 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the policy sweep periodically in the "
                          "background while serving (default: one final "
                          "sweep after all admissions)")
+    p_serve.add_argument("--max-attempts", type=int, default=None,
+                         metavar="N",
+                         help="retry each admission up to N times on "
+                         "transient faults with exponential backoff "
+                         "(default: 3)")
+    p_serve.add_argument("--fault-plan", default=None, metavar="PLAN",
+                         help="activate a deterministic fault-injection "
+                         "plan while serving: a named plan "
+                         "('ci-standard[:seed]') or a spec like "
+                         "'seed=7;store.merge@2;diskcache.read%%0.05:corrupt' "
+                         "(default: $REPRO_FAULT_PLAN if set)")
 
     sub.add_parser("workloads", help="list workload ids")
     return parser
@@ -213,6 +225,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ]
     frameworks = sorted({spec.framework for spec in specs})
 
+    from repro.testing import faults
+    from repro.utils.retry import RetryPolicy
+
     try:
         policy = EvictionPolicy(
             mode=args.evict,
@@ -221,12 +236,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             pinned=frozenset(args.pin),
             sweep_interval_s=args.sweep_interval,
         )
+        retry = RetryPolicy()
+        if args.max_attempts is not None:
+            retry = RetryPolicy(max_attempts=args.max_attempts)
         config = engine_config(
             args,
             verify_admissions=args.verify,
             workers=args.workers,
             batch_max=args.batch_max,
             eviction=policy,
+            retry=retry,
+        )
+        plan = (
+            faults.parse_plan(args.fault_plan) if args.fault_plan
+            else faults.plan_from_env()
         )
     except ConfigurationError as err:
         print(str(err), file=sys.stderr)
@@ -238,26 +261,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
         title=f"Serving admissions: {'+'.join(frameworks)} @ scale "
         f"{args.scale}",
     )
-    with DebloatEngine(config) as engine:
-        server = engine.server()
-        tickets = [server.submit(spec) for spec in specs]
-        for ticket in tickets:
-            res = ticket.result()
-            # Row values come from the AdmissionResult, pinned to that
-            # admission's epoch - a live snapshot here could already
-            # include later admissions when --workers > 1.
-            table.add_row(
-                res.workload_id,
-                f"{ticket.latency_s * 1e3:,.0f}",
-                f"{res.new_kernels:,}",
-                f"{len(res.recompacted)}",
-                f"{len(res.untouched)}",
-                fmt_mb(res.union_file_size_after),
-                "cache" if res.detection_cached else "run",
-            )
-        swept = engine.sweep().swept if policy.enabled else []
-        stats = engine.stats()
-        snapshot = engine.snapshot()
+    failed: list[tuple[str, AdmissionError]] = []
+    with faults.fault_plan(plan) if plan is not None else nullcontext():
+        with DebloatEngine(config) as engine:
+            server = engine.server()
+            tickets = [server.submit(spec) for spec in specs]
+            for spec, ticket in zip(specs, tickets):
+                try:
+                    res = ticket.result()
+                except AdmissionError as err:
+                    failed.append((spec.workload_id, err))
+                    continue
+                # Row values come from the AdmissionResult, pinned to that
+                # admission's epoch - a live snapshot here could already
+                # include later admissions when --workers > 1.
+                table.add_row(
+                    res.workload_id,
+                    f"{ticket.latency_s * 1e3:,.0f}",
+                    f"{res.new_kernels:,}",
+                    f"{len(res.recompacted)}",
+                    f"{len(res.untouched)}",
+                    fmt_mb(res.union_file_size_after),
+                    "cache" if res.detection_cached else "run",
+                )
+            swept = engine.sweep().swept if policy.enabled else []
+            stats = engine.stats()
+            snapshot = engine.snapshot()
+            health = engine.health()
     print(table.render())
     print()
     for name in snapshot.frameworks:
@@ -277,6 +307,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{stats['untouched_served']} library servings skipped "
         f"re-compaction, {stats['usage_cache_hits']} detections from cache"
     )
+    print(
+        f"health: {health['state']} - {stats['retries']} retried "
+        f"admission attempt(s), {len(failed)} failed, "
+        f"{stats['sweeps_failed']} failed sweep(s), "
+        f"{health['fanout_degraded']} degraded fan-out(s), "
+        f"{health['quarantined_entries']} quarantined cache entries"
+    )
+    for workload_id, err in failed:
+        print(f"  FAILED {workload_id}: {err}", file=sys.stderr)
     if policy.enabled:
         print(
             f"eviction policy {policy.mode}: final sweep evicted "
@@ -291,7 +330,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 if swept else ""
             )
         )
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_workloads(_: argparse.Namespace) -> int:

@@ -1,0 +1,125 @@
+"""Retry with exponential backoff, deterministic jitter, and deadlines.
+
+The serving tier treats :class:`~repro.errors.TransientError` (which
+includes every injected :class:`~repro.errors.FaultError`) and OS-level
+errors as retryable; usage errors, verification failures, and other typed
+request problems are permanent and surface immediately.
+
+Jitter is deterministic: the per-attempt backoff is perturbed by a draw
+from an :class:`~repro.utils.rng.RngStream` seeded on ``(token, attempt)``
+- so two runs of the same arrival sequence under the same
+:class:`~repro.testing.faults.FaultPlan` retry on an identical schedule,
+while distinct workloads still decorrelate (no thundering herd of
+synchronized retries).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError, TransientError
+from repro.utils.rng import RngStream
+
+#: Exception types retried by default (plus whatever a caller adds).
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (TransientError, OSError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, how spaced, and for how long to retry.
+
+    * ``max_attempts`` - total tries including the first (1 = no retry);
+    * ``base_backoff_s`` / ``backoff_multiplier`` / ``max_backoff_s`` -
+      exponential backoff schedule between attempts;
+    * ``jitter`` - fraction of the backoff randomized around the nominal
+      value (``0.5`` means +-25%), drawn deterministically per
+      ``(token, attempt)``;
+    * ``attempt_timeout_s`` - a failing attempt that ran longer than this
+      is not retried (the failure was not "fast-transient");
+    * ``deadline_s`` - overall wall budget across all attempts and
+      backoffs; exceeded = no further attempts.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.02
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.5
+    attempt_timeout_s: float | None = None
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ConfigurationError("jitter must be in [0, 1]")
+        for name in ("attempt_timeout_s", "deadline_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    def backoff_s(self, attempt: int, token: object = "") -> float:
+        """Sleep before attempt ``attempt + 1`` (deterministic jitter).
+
+        ``attempt`` is 1-based (the attempt that just failed).  The jitter
+        draw is a pure function of ``(token, attempt)``, independent of
+        call order.
+        """
+        nominal = min(
+            self.base_backoff_s * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        if not self.jitter or not nominal:
+            return nominal
+        u = float(RngStream("retry-jitter", token, attempt).uniform())
+        return nominal * (1.0 + self.jitter * (u - 0.5))
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        token: object = "",
+        retryable: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ):
+        """Run ``fn`` under this policy; returns its value or re-raises.
+
+        Non-retryable exceptions propagate immediately.  Retryable ones
+        re-raise once the attempt budget, the per-attempt timeout rule, or
+        the overall deadline is exhausted - callers wrap that into their
+        own typed error (e.g. :class:`~repro.errors.AdmissionError`).
+        ``on_retry(attempt, exc)`` observes each scheduled retry.
+        """
+        start = clock()
+        attempt = 0
+        while True:
+            attempt += 1
+            attempt_start = clock()
+            try:
+                return fn()
+            except retryable as exc:
+                now = clock()
+                if attempt >= self.max_attempts:
+                    raise
+                if (
+                    self.attempt_timeout_s is not None
+                    and now - attempt_start > self.attempt_timeout_s
+                ):
+                    raise
+                pause = self.backoff_s(attempt, token)
+                if (
+                    self.deadline_s is not None
+                    and now - start + pause > self.deadline_s
+                ):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if pause:
+                    sleep(pause)

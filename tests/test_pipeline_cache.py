@@ -56,6 +56,7 @@ class TestCacheBehaviour:
             "disk_hits": 0,
             "disk_misses": 1,
             "disk_errors": 0,
+            "disk_quarantined": 0,
         }
 
     def test_scale_is_part_of_the_key(self, cache):
