@@ -168,6 +168,117 @@ def test_federation_matches_single_framework_stores():
         engine.close()
 
 
+def run_http(
+    specs: list[WorkloadSpec],
+    clients: int = 8,
+    queue_bound: int = 64,
+    coalesce_window_s: float = 0.005,
+    shed_backoff_s: float = 0.05,
+):
+    """Drive a live HTTP front-end with concurrent clients.
+
+    Returns (per-arrival seconds, shed count, the pytorch shard store).
+    Shed requests (503) honor the backpressure contract and retry after
+    a back-off, so every arrival eventually commits; latency is wall
+    time from first attempt to the 200, sheds included.
+    """
+    import http.client
+    import threading
+
+    from repro.api import DebloatEngine, EngineConfig, HttpConfig
+    from repro.serving.http import BackgroundHttpServer
+
+    config = EngineConfig(
+        scale=TEST_SCALE, options=OPTIONS, use_cache=False,
+        workers=2, batch_max=8,
+        http=HttpConfig(
+            port=0, queue_bound=queue_bound,
+            coalesce_window_s=coalesce_window_s,
+        ),
+    )
+    engine = DebloatEngine(config)
+    latencies = [0.0] * len(specs)
+    sheds = [0]
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    with BackgroundHttpServer(engine, config.http) as bg:
+
+        def client(worker: int) -> None:
+            barrier.wait()
+            for idx in range(worker, len(specs), clients):
+                payload = json.dumps(
+                    {"workload_id": specs[idx].workload_id}
+                )
+                start = time.perf_counter()
+                while True:
+                    conn = http.client.HTTPConnection(
+                        "127.0.0.1", bg.port, timeout=600
+                    )
+                    try:
+                        conn.request("POST", "/v1/admit", payload)
+                        resp = conn.getresponse()
+                        body = resp.read()
+                        status = resp.status
+                    finally:
+                        conn.close()
+                    if status == 503:
+                        with lock:
+                            sheds[0] += 1
+                        time.sleep(shed_backoff_s)
+                        continue
+                    assert status == 200, (status, body[:200])
+                    break
+                latencies[idx] = time.perf_counter() - start
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        store = engine.federation.shard("pytorch").store
+    return latencies, sheds[0], store
+
+
+def percentile_ms(latencies: list[float], q: float) -> float:
+    """Nearest-rank percentile, reported in milliseconds."""
+    ordered = sorted(latencies)
+    idx = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return round(ordered[idx] * 1e3, 1)
+
+
+def test_http_matches_inprocess():
+    """Acceptance: >= 8 concurrent HTTP clients end in a store
+    byte-identical to in-process admission of the same arrivals."""
+    specs = serving_specs()
+    framework = get_framework("pytorch", scale=TEST_SCALE)
+    latencies, _, store = run_http(specs, clients=8)
+    assert all(lat > 0 for lat in latencies)
+    _, inprocess = run_incremental(specs, framework)
+    over_http = store.debloated_libraries()
+    expected = inprocess.debloated_libraries()
+    assert sorted(over_http) == sorted(expected)
+    for soname, d in over_http.items():
+        assert d.lib.data == expected[soname].lib.data, soname
+        assert d.removed_cpu_ranges == expected[soname].removed_cpu_ranges
+        assert d.removed_gpu_ranges == expected[soname].removed_gpu_ranges
+    assert store.generation == inprocess.generation
+
+
+def test_http_constrained_queue_sheds_not_hangs():
+    """A queue bound far below the client count must shed (503) and still
+    commit every arrival via client retry - never buffer without bound."""
+    specs = serving_specs()
+    latencies, sheds, store = run_http(
+        specs, clients=8, queue_bound=2, coalesce_window_s=0.0
+    )
+    assert all(lat > 0 for lat in latencies)
+    assert store.snapshot().generation == len(specs)
+
+
 def test_bench_saturated_admission(benchmark):
     """pytest-benchmark hook: admission into a saturated union.
 
@@ -194,6 +305,10 @@ def main() -> None:
     fed, engine = run_federation(fed_specs)
     fed_stats = engine.stats()
     engine.close()
+    http_lat, http_shed, _ = run_http(specs, clients=8)
+    burst_lat, burst_shed, _ = run_http(
+        specs, clients=8, queue_bound=2, coalesce_window_s=0.0
+    )
     baseline = {
         "scale": TEST_SCALE,
         "workloads": [s.workload_id for s in specs],
@@ -211,6 +326,28 @@ def main() -> None:
             "shards": fed_stats["shards"],
             "recompactions": fed_stats["recompactions"],
             "untouched_served": fed_stats["untouched_served"],
+        },
+        "http": {
+            "clients": 8,
+            "requests": len(specs),
+            "queue_bound": 64,
+            "p50_ms": percentile_ms(http_lat, 0.50),
+            "p95_ms": percentile_ms(http_lat, 0.95),
+            "p99_ms": percentile_ms(http_lat, 0.99),
+            "shed_rate": round(
+                http_shed / (http_shed + len(specs)), 3
+            ),
+            # Queue bound far below the client count: backpressure must
+            # shed instead of buffering; clients retry until committed.
+            "constrained_burst": {
+                "queue_bound": 2,
+                "p50_ms": percentile_ms(burst_lat, 0.50),
+                "p95_ms": percentile_ms(burst_lat, 0.95),
+                "p99_ms": percentile_ms(burst_lat, 0.99),
+                "shed_rate": round(
+                    burst_shed / (burst_shed + len(specs)), 3
+                ),
+            },
         },
     }
     BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")

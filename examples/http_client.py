@@ -1,0 +1,113 @@
+"""Drive the HTTP/JSON serving tier: admit, health, metrics, snapshot.
+
+Boots the asyncio front-end in-process on an ephemeral port (the same
+server ``negativa-ml serve --http :8000`` runs standalone), then acts as
+a client against it with nothing but the standard library: concurrent
+admissions through the coalescing window, a health probe, and the
+Prometheus metrics scrape.  Shed responses (503 + ``Retry-After``) are
+retried, demonstrating the backpressure contract from the client side.
+
+Run:  python examples/http_client.py
+"""
+
+import http.client
+import json
+import threading
+import time
+
+from repro.api import DebloatEngine, EngineConfig, HttpConfig
+from repro.serving.http import BackgroundHttpServer
+
+SCALE = 0.05
+
+WORKLOADS = [
+    "pytorch/train/mobilenetv2",
+    "pytorch/inference/mobilenetv2",
+    "pytorch/train/transformer",
+    "pytorch/inference/transformer",
+]
+
+
+def call(port: int, method: str, path: str, payload: dict | None = None):
+    """One HTTP exchange -> (status, headers, parsed-or-raw body)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=600)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body)
+        resp = conn.getresponse()
+        raw = resp.read()
+        headers = {k.lower(): v for k, v in resp.getheaders()}
+        if headers.get("content-type", "").startswith("application/json"):
+            return resp.status, headers, json.loads(raw)
+        return resp.status, headers, raw.decode()
+    finally:
+        conn.close()
+
+
+def admit(port: int, workload_id: str, results: list) -> None:
+    """POST /v1/admit, honoring 503 + Retry-After shed responses."""
+    while True:
+        status, headers, body = call(
+            port, "POST", "/v1/admit", {"workload_id": workload_id}
+        )
+        if status == 503:
+            time.sleep(float(headers.get("retry-after", "1")))
+            continue
+        assert status == 200, (status, body)
+        results.append(body)
+        return
+
+
+def main() -> None:
+    config = EngineConfig(
+        scale=SCALE,
+        workers=2,
+        batch_max=8,
+        http=HttpConfig(port=0, coalesce_window_s=0.01, queue_bound=16),
+    )
+    engine = DebloatEngine(config)
+    with BackgroundHttpServer(engine, config.http) as bg:
+        print(f"serving on http://{bg.host}:{bg.port}\n")
+
+        results: list[dict] = []
+        threads = [
+            threading.Thread(target=admit, args=(bg.port, wid, results))
+            for wid in WORKLOADS
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        print(f"{'Workload':34} {'Gen':>3} {'New kernels':>11} "
+              f"{'Latency ms':>10} {'Source':>6}")
+        for res in sorted(results, key=lambda r: r["generation"]):
+            print(f"{res['workload_id']:34} {res['generation']:>3} "
+                  f"{res['new_kernels']:>11,} "
+                  f"{res['latency_s'] * 1e3:>10,.0f} "
+                  f"{res['cache_source']:>6}")
+
+        status, _, health = call(bg.port, "GET", "/healthz")
+        print(f"\n/healthz -> {status}: state={health['state']}, "
+              f"served={health['served']}, in_flight={health['in_flight']}")
+
+        _, _, snap = call(bg.port, "GET", "/v1/snapshot")
+        shard = snap["shards"]["pytorch"]
+        print(f"/v1/snapshot -> generation {shard['generation']}, "
+              f"{shard['libraries']} libraries, "
+              f"{shard['file_reduction_pct']}% file reduction")
+
+        _, _, metrics = call(bg.port, "GET", "/metrics")
+        print("\nselected /metrics lines:")
+        for line in metrics.splitlines():
+            if line.startswith((
+                "negativa_admissions_",
+                "negativa_coalesce",
+                "negativa_admission_latency_seconds_count",
+            )):
+                print(f"  {line}")
+    print("\ndrained cleanly")
+
+
+if __name__ == "__main__":
+    main()

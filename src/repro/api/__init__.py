@@ -26,6 +26,7 @@ from repro.api.config import (
     DegradedModes,
     EngineConfig,
     EvictionPolicy,
+    HttpConfig,
 )
 from repro.api.engine import DebloatEngine, default_engine
 from repro.api.federation import (
@@ -55,6 +56,7 @@ __all__ = [
     "EvictionPolicy",
     "FederationShard",
     "FederationSnapshot",
+    "HttpConfig",
     "InspectRequest",
     "ShardSnapshot",
     "StoreFederation",

@@ -112,6 +112,60 @@ class EvictionPolicy:
 
 
 @dataclass(frozen=True)
+class HttpConfig:
+    """Knobs for the asyncio HTTP/JSON front-end (:mod:`repro.serving.http`).
+
+    The backpressure contract lives here: ``queue_bound`` caps how many
+    admissions may sit behind HTTP at once - the gate sheds beyond it
+    with ``503`` + ``Retry-After: retry_after_s`` instead of buffering
+    without limit - and ``request_deadline_s`` bounds how long any one
+    request may wait before it resolves to ``504``.  ``coalesce_window_s``
+    / ``coalesce_max`` shape the request-coalescing window that drains
+    concurrent admits into one ``admit_many`` batch.
+    """
+
+    #: Bind address; port 0 picks an ephemeral port (tests, CI).
+    host: str = "127.0.0.1"
+    port: int = 8000
+    #: Max admissions in flight behind HTTP before load-shedding.
+    queue_bound: int = 64
+    #: Seconds the pump waits for more concurrent admits to coalesce
+    #: (0 disables coalescing).
+    coalesce_window_s: float = 0.005
+    #: Cap on admissions per coalesced batch.
+    coalesce_max: int = 16
+    #: Default per-request deadline; ``deadline_s`` in a body overrides.
+    request_deadline_s: float = 30.0
+    #: Suggested client back-off carried in 503 ``Retry-After``.
+    retry_after_s: int = 1
+    max_body_bytes: int = 1 << 20
+    #: Ring size of the in-memory structured audit trail.
+    audit_log_size: int = 1024
+    #: Grace for in-flight responses to flush during drain.
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ConfigurationError(f"port out of range: {self.port}")
+        if self.queue_bound < 1:
+            raise ConfigurationError("queue_bound must be >= 1")
+        if self.coalesce_window_s < 0:
+            raise ConfigurationError("coalesce_window_s must be >= 0")
+        if self.coalesce_max < 1:
+            raise ConfigurationError("coalesce_max must be >= 1")
+        if self.request_deadline_s <= 0:
+            raise ConfigurationError("request_deadline_s must be positive")
+        if self.retry_after_s < 0:
+            raise ConfigurationError("retry_after_s must be >= 0")
+        if self.max_body_bytes < 1:
+            raise ConfigurationError("max_body_bytes must be >= 1")
+        if self.audit_log_size < 1:
+            raise ConfigurationError("audit_log_size must be >= 1")
+        if self.drain_timeout_s <= 0:
+            raise ConfigurationError("drain_timeout_s must be positive")
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Everything a :class:`~repro.api.engine.DebloatEngine` needs.
 
@@ -125,7 +179,8 @@ class EngineConfig:
       ``cache_dir`` (explicit disk-tier overrides applied on ``open()``;
       ``None`` leaves the process-wide settings alone);
     * **serving** - admission ``workers`` and ``batch_max`` for the queue
-      server, ``verify_admissions``, and the ``eviction`` policy;
+      server, ``verify_admissions``, the ``eviction`` policy, and the
+      ``http`` front-end knobs (:class:`HttpConfig`);
     * **fault tolerance** - the worker ``retry`` policy
       (:class:`~repro.utils.retry.RetryPolicy`) and the
       :class:`DegradedModes` knobs.
@@ -143,6 +198,7 @@ class EngineConfig:
     eviction: EvictionPolicy = field(default_factory=EvictionPolicy)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     degraded_modes: DegradedModes = field(default_factory=DegradedModes)
+    http: HttpConfig = field(default_factory=HttpConfig)
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

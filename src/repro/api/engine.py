@@ -145,6 +145,20 @@ class DebloatEngine:
             )
         return self._server
 
+    def http_server(self):
+        """An HTTP/JSON front-end over this engine (not yet started).
+
+        Configured from ``config.http``; call ``await start()`` on it (or
+        wrap it in :class:`~repro.serving.http.BackgroundHttpServer`) -
+        ``start()`` opens the engine, so this works on an un-opened one.
+        Imported lazily so engines that never serve HTTP pay nothing.
+        """
+        if self._closed:
+            raise UsageError("engine is closed; construct a new one")
+        from repro.serving.http import DebloatHttpServer
+
+        return DebloatHttpServer(self, self.config.http)
+
     # -- single-workload pipeline ---------------------------------------------
 
     def debloat(self, request: DebloatRequest) -> EngineResult:

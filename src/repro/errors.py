@@ -191,6 +191,15 @@ class AdmissionError(ReproError):
         self.__cause__ = cause
 
 
+class ProtocolError(UsageError):
+    """A wire request (HTTP/JSON) is malformed or violates the schema.
+
+    Raised by :mod:`repro.serving.protocol` while decoding request bodies
+    - unknown workload ids, wrong field types, unparseable JSON.  The
+    HTTP tier maps it to a 400 response; nothing was admitted.
+    """
+
+
 class ServerClosedError(UsageError):
     """The serving queue is closed: the request was rejected or abandoned.
 

@@ -6,9 +6,12 @@ new workloads by delta: only libraries whose union actually grew are
 re-located/re-compacted.  The server
 (:class:`~repro.serving.server.DebloatServer`) fronts a store with a
 request queue and a worker pool so detections overlap while union merges
-stay serialized.
+stay serialized.  The HTTP tier (:class:`~repro.serving.http.DebloatHttpServer`
+over the wire schemas in :mod:`repro.serving.protocol`) exposes admission,
+health, and metrics over asyncio HTTP/1.1 with bounded-queue backpressure.
 """
 
+from repro.serving.http import BackgroundHttpServer, DebloatHttpServer
 from repro.serving.server import AdmissionTicket, DebloatServer
 from repro.serving.store import (
     AdmissionResult,
@@ -22,6 +25,8 @@ from repro.utils.retry import RetryPolicy
 __all__ = [
     "AdmissionResult",
     "AdmissionTicket",
+    "BackgroundHttpServer",
+    "DebloatHttpServer",
     "DebloatServer",
     "DebloatStore",
     "EvictionResult",

@@ -1,0 +1,403 @@
+"""Wire schemas and metrics for the HTTP/JSON serving tier.
+
+This module is the *protocol* half of the asyncio front-end in
+:mod:`repro.serving.http`: pure functions that decode request JSON into
+typed pipeline objects (:class:`~repro.workloads.spec.WorkloadSpec`) and
+encode pipeline results (:class:`~repro.serving.store.AdmissionResult`,
+federation snapshots, health reports) back into JSON-safe payloads, plus
+the Prometheus-text metrics registry the ``/metrics`` endpoint renders.
+It knows nothing about sockets or HTTP framing - the split keeps the wire
+contract testable without a running server, and keeps the server free of
+schema details (thin routes over services).
+
+Decode errors raise :class:`~repro.errors.ProtocolError` (a
+:class:`~repro.errors.UsageError`), which the HTTP tier maps to a 400 -
+a malformed request never reaches the admission queue.
+
+Admit request schema (``POST /v1/admit``)::
+
+    {"workload_id": "pytorch/train/mobilenetv2",   # required, Table-1 id
+     "batch_size": 8,          # optional overrides building a variant
+     "epochs": 2,
+     "world_size": 1,
+     "device": "t4",
+     "loading_mode": "eager" | "lazy",
+     "deadline_s": 5.0}        # optional per-request deadline
+
+Batch schema (``POST /v1/admit_batch``)::
+
+    {"workloads": [<admit object>, ...], "deadline_s": 30.0}
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.cuda.driver import LoadingMode
+from repro.errors import ProtocolError
+from repro.serving.store import AdmissionResult, EvictionResult
+from repro.workloads.spec import WorkloadSpec, workload_by_id
+
+#: Spec fields an admit request may override (building a ``variant`` of
+#: the catalog workload); maps JSON field -> WorkloadSpec field.
+_VARIANT_FIELDS = {
+    "batch_size": "batch_size",
+    "epochs": "epochs",
+    "world_size": "world_size",
+    "device": "device_name",
+    "loading_mode": "loading_mode",
+}
+
+_INT_FIELDS = {"batch_size", "epochs", "world_size"}
+
+
+def decode_json(body: bytes) -> dict:
+    """Parse a request body into a JSON object (dict) or raise 400."""
+    if not body:
+        raise ProtocolError("request body is empty; expected a JSON object")
+    try:
+        payload = json.loads(body)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def _deadline_of(payload: dict) -> float | None:
+    deadline = payload.get("deadline_s")
+    if deadline is None:
+        return None
+    if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+        raise ProtocolError("deadline_s must be a number")
+    if deadline <= 0:
+        raise ProtocolError("deadline_s must be positive")
+    return float(deadline)
+
+
+def parse_admit(payload: dict) -> tuple[WorkloadSpec, float | None]:
+    """One admit object -> (spec, per-request deadline override)."""
+    workload_id = payload.get("workload_id")
+    if not isinstance(workload_id, str) or not workload_id:
+        raise ProtocolError("admit request needs a string workload_id")
+    try:
+        spec = workload_by_id(workload_id)
+    except Exception as exc:
+        raise ProtocolError(str(exc)) from exc
+    overrides: dict[str, object] = {}
+    for wire_name, spec_name in _VARIANT_FIELDS.items():
+        if wire_name not in payload:
+            continue
+        value = payload[wire_name]
+        if wire_name in _INT_FIELDS:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ProtocolError(f"{wire_name} must be an integer")
+            if value < 1:
+                raise ProtocolError(f"{wire_name} must be >= 1")
+        elif wire_name == "loading_mode":
+            try:
+                value = LoadingMode(value)
+            except ValueError:
+                raise ProtocolError(
+                    f"loading_mode must be one of "
+                    f"{[m.value for m in LoadingMode]}, got {value!r}"
+                ) from None
+        elif not isinstance(value, str):
+            raise ProtocolError(f"{wire_name} must be a string")
+        overrides[spec_name] = value
+    if overrides:
+        try:
+            spec = spec.variant(**overrides)
+        except Exception as exc:
+            raise ProtocolError(str(exc)) from exc
+    return spec, _deadline_of(payload)
+
+
+def parse_admit_batch(
+    payload: dict,
+) -> tuple[list[WorkloadSpec], float | None]:
+    """A batch request -> (specs in order, shared deadline override)."""
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise ProtocolError(
+            "admit_batch needs a non-empty 'workloads' array"
+        )
+    specs = []
+    for pos, entry in enumerate(workloads):
+        if not isinstance(entry, dict):
+            raise ProtocolError(f"workloads[{pos}] must be an object")
+        if "deadline_s" in entry:
+            raise ProtocolError(
+                "per-workload deadline_s is not supported in a batch; "
+                "set it at the batch top level"
+            )
+        spec, _ = parse_admit(entry)
+        specs.append(spec)
+    return specs, _deadline_of(payload)
+
+
+def parse_evict(payload: dict) -> tuple[str, str | None]:
+    """An evict request -> (workload_id, optional framework)."""
+    workload_id = payload.get("workload_id")
+    if not isinstance(workload_id, str) or not workload_id:
+        raise ProtocolError("evict request needs a string workload_id")
+    framework = payload.get("framework")
+    if framework is not None and not isinstance(framework, str):
+        raise ProtocolError("framework must be a string")
+    return workload_id, framework
+
+
+# -- response encoding --------------------------------------------------------
+
+
+def admission_to_payload(
+    result: AdmissionResult,
+    latency_s: float | None = None,
+    queue_wait_s: float | None = None,
+) -> dict:
+    """One admission outcome as the ``/v1/admit`` response body."""
+    out = {
+        "workload_id": result.workload_id,
+        "generation": result.generation,
+        "new_kernels": result.new_kernels,
+        "new_functions": result.new_functions,
+        "recompacted": list(result.recompacted),
+        "untouched": list(result.untouched),
+        "added_libraries": list(result.added_libraries),
+        "union_file_size": result.union_file_size,
+        "union_file_size_after": result.union_file_size_after,
+        "detection_run_s": result.detection_run_s,
+        "locate_compact_s": result.locate_compact_s,
+        "cache_source": "cache" if result.detection_cached else "run",
+        "duplicate": result.duplicate,
+    }
+    if result.verification is not None:
+        out["verification_ok"] = result.verification.ok
+    if latency_s is not None:
+        out["latency_s"] = round(latency_s, 6)
+    if queue_wait_s is not None:
+        out["queue_wait_s"] = round(queue_wait_s, 6)
+    return out
+
+
+def eviction_to_payload(result: EvictionResult) -> dict:
+    return {
+        "workload_id": result.workload_id,
+        "generation": result.generation,
+        "removed_admissions": result.removed_admissions,
+        "recompacted": list(result.recompacted),
+        "dropped_libraries": list(result.dropped_libraries),
+    }
+
+
+def snapshot_to_payload(snapshot) -> dict:
+    """A :class:`~repro.api.federation.FederationSnapshot` as JSON."""
+    shards = {}
+    for name in snapshot.frameworks:
+        shard = snapshot.shards[name]
+        store = shard.store
+        shards[name] = {
+            "state": shard.state,
+            "fingerprint": shard.fingerprint,
+            "generation": store.generation,
+            "workload_ids": list(store.workload_ids),
+            "pinned": list(shard.pinned),
+            "libraries": len(store.reductions),
+            "union_kernels": store.union_kernels,
+            "union_functions": store.union_functions,
+            "total_file_size": store.total_file_size,
+            "total_file_size_after": store.total_file_size_after,
+            "file_reduction_pct": round(store.file_reduction_pct, 2),
+        }
+    return {
+        "frameworks": list(snapshot.frameworks),
+        "workloads": snapshot.workload_count,
+        "total_file_size": snapshot.total_file_size,
+        "total_file_size_after": snapshot.total_file_size_after,
+        "shards": shards,
+    }
+
+
+def health_is_ok(health: dict) -> bool:
+    """Whether a health report should answer ``/healthz`` with 200.
+
+    Healthy means the server itself reports ``ok`` *and* its target
+    (federation / store) does: a shard mid-recovery or degraded flips
+    the endpoint to 503 so load balancers stop routing to this replica
+    until admissions commit again.
+    """
+    if health.get("state") != "ok":
+        return False
+    target = health.get("target")
+    if isinstance(target, dict) and target.get("state") != "ok":
+        return False
+    return True
+
+
+# -- /metrics -----------------------------------------------------------------
+
+#: Upper bounds (seconds) of the admission-latency histogram buckets.
+#: Spans cache-served duplicates (~1 ms) through cold multi-library
+#: compactions at paper scale (tens of seconds).
+LATENCY_BUCKETS_S = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+@dataclass
+class LatencyHistogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    buckets_s: tuple[float, ...] = LATENCY_BUCKETS_S
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+    sum_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * len(self.buckets_s)
+
+    def observe(self, seconds: float) -> None:
+        idx = bisect.bisect_left(self.buckets_s, seconds)
+        if idx < len(self.counts):
+            self.counts[idx] += 1
+        self.total += 1
+        self.sum_s += seconds
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(le, cumulative count) pairs, excluding the +Inf bucket."""
+        out, running = [], 0
+        for le, count in zip(self.buckets_s, self.counts):
+            running += count
+            out.append((le, running))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (bucket upper bound), for reporting."""
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        running = 0
+        for le, count in zip(self.buckets_s, self.counts):
+            running += count
+            if running >= rank:
+                return le
+        return self.buckets_s[-1]
+
+
+class MetricsRegistry:
+    """Counters + histograms behind ``GET /metrics``.
+
+    Mutations happen on the event loop *and* from executor callbacks, so
+    a lock keeps increments and the rendered text consistent.  Rendering
+    is plain Prometheus text exposition format, no client library.
+    """
+
+    def __init__(self, namespace: str = "negativa") -> None:
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        #: (metric, labels tuple) -> count
+        self._counters: dict[tuple[str, tuple[tuple[str, str], ...]], int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._help: dict[str, str] = {}
+
+    def describe(self, metric: str, help_text: str) -> None:
+        self._help.setdefault(metric, help_text)
+
+    def inc(self, metric: str, amount: int = 1, **labels: str) -> None:
+        key = (metric, tuple(sorted(labels.items())))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
+
+    def observe(self, metric: str, seconds: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(metric)
+            if hist is None:
+                hist = self._histograms[metric] = LatencyHistogram()
+            hist.observe(seconds)
+
+    def histogram(self, metric: str) -> LatencyHistogram:
+        with self._lock:
+            hist = self._histograms.get(metric)
+            if hist is None:
+                hist = self._histograms[metric] = LatencyHistogram()
+            return hist
+
+    def counter_total(self, metric: str) -> int:
+        with self._lock:
+            return sum(
+                count for (name, _), count in self._counters.items()
+                if name == metric
+            )
+
+    def render(self, gauges: dict[str, int | float] | None = None) -> str:
+        """The full ``/metrics`` text body.
+
+        ``gauges`` carries point-in-time values sampled by the caller
+        (queue depths, store counters) - they are rendered as gauge
+        metrics alongside the registry's own counters and histograms.
+        """
+        ns = self.namespace
+        lines: list[str] = []
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {
+                name: (
+                    list(hist.counts), hist.total, hist.sum_s,
+                    hist.buckets_s,
+                )
+                for name, hist in self._histograms.items()
+            }
+            help_text = dict(self._help)
+        by_metric: dict[str, list] = {}
+        for (metric, labels), count in sorted(counters.items()):
+            by_metric.setdefault(metric, []).append((labels, count))
+        for metric, rows in by_metric.items():
+            full = f"{ns}_{metric}"
+            if metric in help_text:
+                lines.append(f"# HELP {full} {help_text[metric]}")
+            lines.append(f"# TYPE {full} counter")
+            for labels, count in rows:
+                lines.append(f"{full}{_label_text(labels)} {count}")
+        for name, value in sorted((gauges or {}).items()):
+            full = f"{ns}_{name}"
+            if name in help_text:
+                lines.append(f"# HELP {full} {help_text[name]}")
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {value}")
+        for metric, (counts, total, sum_s, buckets) in sorted(
+            histograms.items()
+        ):
+            full = f"{ns}_{metric}"
+            if metric in help_text:
+                lines.append(f"# HELP {full} {help_text[metric]}")
+            lines.append(f"# TYPE {full} histogram")
+            running = 0
+            for le, count in zip(buckets, counts):
+                running += count
+                lines.append(
+                    f'{full}_bucket{{le="{_fmt_le(le)}"}} {running}'
+                )
+            lines.append(f'{full}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{full}_sum {sum_s:.6f}")
+            lines.append(f"{full}_count {total}")
+        return "\n".join(lines) + "\n"
+
+
+def _label_text(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _fmt_le(le: float) -> str:
+    text = f"{le:.10f}".rstrip("0")
+    return text + "0" if text.endswith(".") else text

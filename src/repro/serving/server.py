@@ -56,6 +56,7 @@ class AdmissionTicket:
     _lock: threading.Lock = field(default_factory=threading.Lock)
     _result: AdmissionResult | None = None
     _error: BaseException | None = None
+    _error_tb: object = None
     #: Wall-clock seconds from submit to completion (queueing included).
     latency_s: float | None = None
 
@@ -68,6 +69,9 @@ class AdmissionTicket:
         Raises :class:`~repro.errors.TicketTimeoutError` (a
         :class:`TimeoutError` subclass) when ``timeout`` expires first;
         the ticket stays valid and a later call can still succeed.
+        Failures re-raise as a fresh per-call copy: raising the one
+        stored exception object would let every waiter's propagation
+        frames pile onto the shared ``__traceback__``.
         """
         if not self._done.wait(timeout):
             raise TicketTimeoutError(
@@ -75,9 +79,26 @@ class AdmissionTicket:
                 f"after {timeout}s"
             )
         if self._error is not None:
-            raise self._error
+            raise self._error_copy()
         assert self._result is not None
         return self._result
+
+    def _error_copy(self) -> BaseException:
+        """A same-type clone of the stored error, carrying the worker's
+        traceback but owning its own ``__traceback__`` slot."""
+        err = self._error
+        assert err is not None
+        try:
+            clone = type(err).__new__(type(err))
+            clone.args = err.args
+            clone.__dict__.update(err.__dict__)
+        except Exception:
+            # Exotic exception type (custom __new__); fall back to the
+            # shared object rather than mask the real failure.
+            return err
+        clone.__cause__ = err.__cause__
+        clone.__suppress_context__ = err.__suppress_context__
+        return clone.with_traceback(self._error_tb)
 
     def _resolve(
         self,
@@ -96,6 +117,12 @@ class AdmissionTicket:
             self.latency_s = time.perf_counter() - started
             self._result = result
             self._error = error
+            # Captured once: waiters re-raise clones, so the worker's
+            # traceback chain stays pristine no matter how many callers
+            # (or threads) observe the failure.
+            self._error_tb = (
+                error.__traceback__ if error is not None else None
+            )
             self._done.set()
             return True
 
@@ -138,6 +165,7 @@ class DebloatServer:
         # the served/failed counters are bumped from N worker threads.
         self._state_lock = threading.Lock()
         self._closed = False
+        self._submitted = 0
         self._served = 0
         self._failed = 0
         self._retries = 0
@@ -176,6 +204,7 @@ class DebloatServer:
                 raise ServerClosedError("server is closed")
             ticket = AdmissionTicket(spec)
             started = time.perf_counter()
+            self._submitted += 1
             self._pending[id(ticket)] = (ticket, started)
             self._queue.put((ticket, started))
         return ticket
@@ -199,18 +228,33 @@ class DebloatServer:
         return self.store.snapshot()
 
     def stats(self) -> dict[str, int]:
-        return {
-            **self.store.stats(),
-            "workers": len(self._threads),
-            "pending": self._queue.qsize(),
-            "served": self._served,
-            "failed": self._failed,
-            "retries": self._retries,
-            "batches_merged": self._batches_merged,
-            "sweeps_run": self._sweeps_run,
-            "sweeps_evicted": self._sweeps_evicted,
-            "sweeps_failed": self._sweeps_failed,
-        }
+        """One *consistent* snapshot of the server counters.
+
+        All server-side fields are read under ``_state_lock`` - workers
+        bump them concurrently, and an unlocked read could see e.g. a
+        ``served`` that already counts a ticket still present in
+        ``in_flight`` (a torn view where served + failed + in_flight
+        exceeds the submissions).  Two queue-depth fields with distinct
+        meanings: ``queued`` counts tickets no worker has dequeued yet,
+        ``in_flight`` counts every unresolved ticket (queued + being
+        admitted right now).
+        """
+        store_stats = self.store.stats()
+        with self._state_lock:
+            return {
+                **store_stats,
+                "workers": len(self._threads),
+                "queued": self._queue.qsize(),
+                "in_flight": len(self._pending),
+                "submitted": self._submitted,
+                "served": self._served,
+                "failed": self._failed,
+                "retries": self._retries,
+                "batches_merged": self._batches_merged,
+                "sweeps_run": self._sweeps_run,
+                "sweeps_evicted": self._sweeps_evicted,
+                "sweeps_failed": self._sweeps_failed,
+            }
 
     def health(self) -> dict:
         """Liveness + fault counters for the server and its target.
@@ -223,7 +267,8 @@ class DebloatServer:
         """
         with self._state_lock:
             closed = self._closed
-            pending = len(self._pending)
+            queued = self._queue.qsize()
+            in_flight = len(self._pending)
             served, failed, retries = self._served, self._failed, self._retries
             sweeps_run = self._sweeps_run
             sweeps_failed = self._sweeps_failed
@@ -238,7 +283,8 @@ class DebloatServer:
             "state": state,
             "workers": len(self._threads),
             "workers_alive": alive,
-            "pending": pending,
+            "queued": queued,
+            "in_flight": in_flight,
             "served": served,
             "failed": failed,
             "retries": retries,

@@ -130,6 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="retry each admission up to N times on "
                          "transient faults with exponential backoff "
                          "(default: 3)")
+    p_serve.add_argument("--http", default=None, metavar="HOST:PORT",
+                         help="serve the asyncio HTTP/JSON front-end "
+                         "instead of admitting a workload list (':8000' "
+                         "binds loopback, ':0' picks an ephemeral port); "
+                         "runs until SIGTERM/SIGINT, then drains")
+    p_serve.add_argument("--http-queue-bound", type=int, default=64,
+                         metavar="N",
+                         help="max admissions in flight behind HTTP before "
+                         "load-shedding with 503 + Retry-After")
+    p_serve.add_argument("--coalesce-window-ms", type=float, default=5.0,
+                         metavar="MS",
+                         help="window for coalescing concurrent admits "
+                         "into one admit_many batch (0 = no coalescing)")
+    p_serve.add_argument("--request-deadline-s", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="default per-request deadline; expiry "
+                         "answers 504 (body deadline_s overrides)")
     p_serve.add_argument("--fault-plan", default=None, metavar="PLAN",
                          help="activate a deterministic fault-injection "
                          "plan while serving: a named plan "
@@ -239,14 +256,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
         retry = RetryPolicy()
         if args.max_attempts is not None:
             retry = RetryPolicy(max_attempts=args.max_attempts)
-        config = engine_config(
-            args,
+        serving: dict = dict(
             verify_admissions=args.verify,
             workers=args.workers,
             batch_max=args.batch_max,
             eviction=policy,
             retry=retry,
         )
+        if args.http is not None:
+            from repro.api import HttpConfig
+            from repro.serving.http import parse_http_address
+
+            host, port = parse_http_address(args.http)
+            http = HttpConfig(
+                host=host,
+                port=port,
+                queue_bound=args.http_queue_bound,
+                coalesce_window_s=args.coalesce_window_ms / 1000.0,
+                request_deadline_s=args.request_deadline_s,
+            )
+            serving["http"] = http
+            # Coalesced admits only merge if a worker may drain them as
+            # one batch; lift batch_max to the window cap.
+            serving["batch_max"] = max(args.batch_max, http.coalesce_max)
+        config = engine_config(args, **serving)
         plan = (
             faults.parse_plan(args.fault_plan) if args.fault_plan
             else faults.plan_from_env()
@@ -254,6 +287,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except ConfigurationError as err:
         print(str(err), file=sys.stderr)
         return 1
+
+    if args.http is not None:
+        return _serve_http(config, plan)
 
     table = Table(
         ["Workload", "Latency ms", "New kernels", "Libs redone",
@@ -331,6 +367,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         )
     return 1 if failed else 0
+
+
+def _serve_http(config: EngineConfig, plan) -> int:
+    """``serve --http``: run the asyncio front-end until SIGTERM/SIGINT.
+
+    Prints the bound address on stdout (flushed) so harnesses that start
+    the server on an ephemeral port (``--http :0``) can parse it.
+    """
+    import asyncio
+
+    from repro.testing import faults
+
+    engine = DebloatEngine(config)
+    server = engine.http_server()
+
+    def announce(host: str, port: int) -> None:
+        print(f"serving HTTP on http://{host}:{port}", flush=True)
+
+    with faults.fault_plan(plan) if plan is not None else nullcontext():
+        asyncio.run(server.serve_forever(announce=announce))
+    stats = server.metrics
+    print(
+        f"drained cleanly: {stats.counter_total('admissions_served_total')} "
+        f"admissions served, "
+        f"{stats.counter_total('admissions_shed_total')} shed, "
+        f"{stats.counter_total('admissions_deadline_total')} past "
+        f"deadline, {len(server.audit)} requests audited"
+    )
+    return 0
 
 
 def cmd_workloads(_: argparse.Namespace) -> int:

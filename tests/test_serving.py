@@ -564,3 +564,141 @@ class TestServerQueueDraining:
     def test_batch_max_validation(self, pytorch):
         with pytest.raises(UsageError):
             DebloatServer(DebloatStore(pytorch, OPTS), batch_max=0)
+
+
+class TestTicketErrorIsolation:
+    """result() re-raises a per-call copy: concurrent waiters must never
+    pollute each other's (or the stored) tracebacks."""
+
+    @staticmethod
+    def _failed_ticket() -> "AdmissionTicket":
+        from repro.errors import AdmissionError
+        from repro.serving import AdmissionTicket
+
+        ticket = AdmissionTicket(workload_by_id(SPEC_IDS[0]))
+        try:
+            raise AdmissionError(SPEC_IDS[0], 2, ValueError("boom"))
+        except AdmissionError as err:
+            ticket._resolve(0.0, None, err)
+        return ticket
+
+    def test_waiters_get_independent_exception_objects(self):
+        import time
+        import traceback
+
+        ticket = self._failed_ticket()
+        stored = ticket._error
+        assert stored is not None
+        stored_depth = len(traceback.extract_tb(stored.__traceback__))
+
+        n = 16
+        caught: list[BaseException] = [None] * n  # type: ignore[list-item]
+        barrier = threading.Barrier(n)
+
+        def wait(i: int) -> None:
+            barrier.wait()
+            try:
+                ticket.result(5)
+            except Exception as exc:  # noqa: BLE001
+                caught[i] = exc
+
+        threads = [
+            threading.Thread(target=wait, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(exc is not None for exc in caught)
+        # Independent objects: no waiter saw the stored exception itself
+        # or another waiter's copy.
+        assert len({id(exc) for exc in caught}) == n
+        assert all(exc is not stored for exc in caught)
+        # The worker-side traceback is preserved on every copy, and each
+        # copy owns its propagation frames: the shared tail stays the
+        # worker's frames only, no matter how many waiters re-raised.
+        for exc in caught:
+            frames = traceback.extract_tb(exc.__traceback__)
+            assert len(frames) == stored_depth + 2  # result() + wait()
+            assert frames[-1].name == "_failed_ticket"
+        assert (
+            len(traceback.extract_tb(stored.__traceback__)) == stored_depth
+        )
+        # Typed payload survives the copy.
+        first = caught[0]
+        assert first.workload_id == SPEC_IDS[0]
+        assert first.attempts == 2
+        assert isinstance(first.__cause__, ValueError)
+
+    def test_sequential_reraises_stay_clean(self):
+        import traceback
+
+        ticket = self._failed_ticket()
+        depths = []
+        for _ in range(3):
+            try:
+                ticket.result(5)
+            except Exception as exc:  # noqa: BLE001
+                depths.append(len(traceback.extract_tb(exc.__traceback__)))
+        # Without the per-call copy each re-raise used to grow the shared
+        # traceback by its own propagation frames.
+        assert depths[0] == depths[1] == depths[2]
+
+
+class TestStatsConsistency:
+    """stats() takes the state lock: no torn served/failed/in_flight views."""
+
+    def test_concurrent_stats_never_tear(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        snapshots: list[dict] = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            while not stop.is_set():
+                snapshots.append(server.stats())
+
+        with DebloatServer(store, workers=2, batch_max=4) as server:
+            readers = [
+                threading.Thread(target=hammer) for _ in range(2)
+            ]
+            for t in readers:
+                t.start()
+            tickets = []
+            for _ in range(4):
+                for spec in specs():
+                    tickets.append(server.submit(spec))
+            for t in tickets:
+                t.result(120)
+            stop.set()
+            for t in readers:
+                t.join()
+            final = server.stats()
+
+        submitted = len(tickets)
+        assert final["submitted"] == submitted
+        assert final["served"] == submitted
+        assert final["failed"] == 0
+        assert final["in_flight"] == 0
+        assert final["queued"] == 0
+        for snap in snapshots:
+            # One consistent view: every submission is queued, being
+            # admitted, or counted exactly once - never double-counted.
+            assert snap["served"] + snap["failed"] <= snap["submitted"]
+            assert (
+                snap["served"] + snap["failed"] + snap["in_flight"]
+                <= snap["submitted"]
+            )
+            assert snap["queued"] <= snap["in_flight"]
+            assert snap["submitted"] <= submitted
+
+    def test_stats_and_health_agree_on_queue_fields(self, pytorch):
+        store = DebloatStore(pytorch, OPTS)
+        with DebloatServer(store, workers=1) as server:
+            server.admit_all(specs()[:1])
+            stats = server.stats()
+            health = server.health()
+        for view in (stats, health):
+            assert "pending" not in view
+            assert view["queued"] == 0
+            assert view["in_flight"] == 0
