@@ -183,7 +183,13 @@ class EngineConfig:
       ``http`` front-end knobs (:class:`HttpConfig`);
     * **fault tolerance** - the worker ``retry`` policy
       (:class:`~repro.utils.retry.RetryPolicy`) and the
-      :class:`DegradedModes` knobs.
+      :class:`DegradedModes` knobs;
+    * **federation** - ``remote_shards`` (run framework stores in that
+      many worker processes, consistent-hash routed by build
+      fingerprint; 0 = everything in-process) and ``snapshot_dir`` (root
+      for warm store snapshots: workers auto-export under
+      ``<dir>/workers/<name>`` and recover from there after a crash;
+      engine-level export/import defaults to ``<dir>/federation``).
     """
 
     scale: float = DEFAULT_SCALE
@@ -199,6 +205,8 @@ class EngineConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     degraded_modes: DegradedModes = field(default_factory=DegradedModes)
     http: HttpConfig = field(default_factory=HttpConfig)
+    remote_shards: int = 0
+    snapshot_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -207,4 +215,6 @@ class EngineConfig:
             raise ConfigurationError("workers must be >= 1")
         if self.batch_max < 1:
             raise ConfigurationError("batch_max must be >= 1")
+        if self.remote_shards < 0:
+            raise ConfigurationError("remote_shards must be >= 0")
         object.__setattr__(self, "archs", tuple(self.archs))

@@ -60,6 +60,7 @@ class DebloatEngine:
         self._clock = clock
         self._federation: StoreFederation | None = None
         self._server: DebloatServer | None = None
+        self._remote_pool = None
         self._opened = False
         self._closed = False
 
@@ -96,8 +97,28 @@ class DebloatEngine:
         from repro.core.debloat import configure_fanout
 
         configure_fanout(self.config.degraded_modes.fanout_thread_fallback)
+        if self.config.remote_shards > 0:
+            import os
+
+            from repro.serving.remote import RemoteShardPool
+
+            snapshot_root = (
+                os.path.join(self.config.snapshot_dir, "workers")
+                if self.config.snapshot_dir is not None
+                else None
+            )
+            self._remote_pool = RemoteShardPool(
+                self.config.remote_shards,
+                scale=self.config.scale,
+                archs=tuple(self.config.archs),
+                use_cache=self.config.use_cache,
+                snapshot_root=snapshot_root,
+            )
         self._federation = StoreFederation(
-            self.config, clock=self._clock, cache=self._cache
+            self.config,
+            clock=self._clock,
+            cache=self._cache,
+            remote_pool=self._remote_pool,
         )
         self._opened = True
         return self
@@ -109,6 +130,8 @@ class DebloatEngine:
         self._closed = True
         if self._server is not None:
             self._server.close()
+        if self._remote_pool is not None:
+            self._remote_pool.shutdown()
 
     def __enter__(self) -> "DebloatEngine":
         return self.open()
@@ -276,6 +299,44 @@ class DebloatEngine:
     def snapshot(self) -> FederationSnapshot:
         return self.federation.snapshot()
 
+    # -- warm snapshots -------------------------------------------------------
+
+    def _snapshot_directory(self, directory: str | None) -> str:
+        if directory is not None:
+            return directory
+        if self.config.snapshot_dir is None:
+            raise UsageError(
+                "no snapshot directory: pass one explicitly or set "
+                "EngineConfig.snapshot_dir"
+            )
+        import os
+
+        return os.path.join(self.config.snapshot_dir, "federation")
+
+    def export_snapshot(self, directory: str | None = None) -> EngineResult:
+        """Write every shard's warm store image (see serving.snapshot)."""
+        self._ensure_open()
+        directory = self._snapshot_directory(directory)
+        start = time.perf_counter()
+        manifest = self.federation.export_snapshot(directory)
+        return EngineResult(
+            kind="snapshot_export",
+            value={"directory": directory, "manifest": manifest},
+            wall_s=time.perf_counter() - start,
+        )
+
+    def import_snapshot(self, directory: str | None = None) -> EngineResult:
+        """Warm the federation from a snapshot - zero workload runs."""
+        self._ensure_open()
+        directory = self._snapshot_directory(directory)
+        start = time.perf_counter()
+        generations = self.federation.import_snapshot(directory)
+        return EngineResult(
+            kind="snapshot_import",
+            value={"directory": directory, "generations": generations},
+            wall_s=time.perf_counter() - start,
+        )
+
     def stats(self) -> dict[str, int]:
         """Federation counters, plus the server's when one is running."""
         self._ensure_open()
@@ -306,6 +367,8 @@ class DebloatEngine:
         out["quarantined_entries"] = self.cache.stats().get(
             "disk_quarantined", 0
         )
+        if self._remote_pool is not None:
+            out["remote"] = self._remote_pool.health()
         return out
 
     # -- inspection -----------------------------------------------------------

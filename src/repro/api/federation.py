@@ -23,6 +23,21 @@ The federation exposes the same ``admit``/``admit_many``/``snapshot``/
 ``stats`` surface as a single store, so the queue-draining
 :class:`~repro.serving.server.DebloatServer` fronts either interchangeably
 (and batches spanning frameworks split per shard).
+
+With a :class:`~repro.serving.remote.RemoteShardPool` attached, catalog
+shards leave the process: each framework's build fingerprint is
+consistent-hashed onto a worker (:class:`~repro.serving.remote.HashRing`),
+and the shard's ``store`` becomes a
+:class:`~repro.serving.remote.RemoteStoreClient` - same duck-typed
+surface, so routing, eviction, recovery tracking, and the server stack
+are unchanged.  Hand-built (non-catalog) shards registered through
+:meth:`ensure_shard` have no fingerprint to route by and always stay
+local, which is how local and remote shards coexist in one federation.
+:meth:`export_snapshot` / :meth:`import_snapshot` move whole federations
+through the versioned on-disk image format
+(:mod:`repro.serving.snapshot`): a fresh replica imports every shard's
+committed epoch - local or remote - byte-identically, with zero workload
+runs.
 """
 
 from __future__ import annotations
@@ -35,13 +50,14 @@ from typing import Callable, Mapping
 
 from repro.api.config import EngineConfig
 from repro.core.debloat import MultiWorkloadReport
-from repro.errors import UsageError
+from repro.errors import TransientError, UsageError
 from repro.frameworks.catalog import (
     build_key_for,
     framework_build_fingerprint,
     get_framework,
 )
 from repro.frameworks.spec import Framework
+from repro.serving import snapshot as snapshots
 from repro.serving.store import (
     AdmissionResult,
     DebloatStore,
@@ -106,6 +122,18 @@ class FederationSnapshot:
         return sum(len(s.store.workload_ids) for s in self.shards.values())
 
 
+#: The committed-nothing epoch a freshly routed remote shard reports
+#: until its first admission (or snapshot import) lands.
+_EMPTY_STORE_SNAPSHOT = StoreSnapshot(
+    generation=0,
+    workload_ids=(),
+    libraries=MappingProxyType({}),
+    union_kernels=0,
+    union_functions=0,
+    reductions=(),
+)
+
+
 class FederationShard:
     """One framework's store plus the federation's per-shard traffic state."""
 
@@ -114,6 +142,8 @@ class FederationShard:
     ) -> None:
         self.framework = framework
         self.name = framework.name
+        #: True when ``store`` is a RemoteStoreClient in a worker process.
+        self.remote = False
         # Fingerprint of the build this shard ACTUALLY serves: derived
         # from the instance's own catalog generation key, never from the
         # engine config (ensure_shard may host a build - e.g. a
@@ -142,6 +172,33 @@ class FederationShard:
         #: The last successfully committed epoch; served for reads while
         #: the shard is mid-recovery (``degraded_modes.serve_last_good_reads``).
         self.last_good: StoreSnapshot = self.store.snapshot()
+
+    @classmethod
+    def for_remote(
+        cls, name: str, fingerprint: str | None, client
+    ) -> "FederationShard":
+        """A shard fronting a worker-process store through ``client``.
+
+        Constructed without generating the framework in this process -
+        the fingerprint comes from the catalog's build key alone, and the
+        worker generates (or snapshot-imports) the actual build.
+        """
+        shard = cls.__new__(cls)
+        shard.framework = None
+        shard.name = name
+        shard.remote = True
+        shard.fingerprint = fingerprint
+        shard.store = client
+        shard.last_served = {}
+        shard.pinned = set()
+        shard.state = "ok"
+        shard.consecutive_failures = 0
+        shard.retries = 0
+        shard.last_error = None
+        # No remote round-trip at registration: the worker spawns lazily
+        # on the first admission, and note_success refreshes last_good.
+        shard.last_good = _EMPTY_STORE_SNAPSHOT
+        return shard
 
     def touch(self, workload_id: str, now: float, pinned: bool) -> None:
         self.last_served[workload_id] = now
@@ -179,6 +236,7 @@ class StoreFederation:
         config: EngineConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
         cache=None,
+        remote_pool=None,
     ) -> None:
         self.config = config or EngineConfig()
         self.policy = self.config.eviction
@@ -186,6 +244,9 @@ class StoreFederation:
         #: Pipeline-cache override threaded into every shard's store
         #: (None = the process-wide cache, resolved dynamically).
         self._cache = cache
+        #: A :class:`~repro.serving.remote.RemoteShardPool`; when set,
+        #: catalog shards are consistent-hash routed onto its workers.
+        self._remote_pool = remote_pool
         #: Guards shard creation and traffic bookkeeping; the expensive
         #: work (detection, delta compaction) runs under each store's own
         #: admission lock, never under this one.
@@ -216,11 +277,35 @@ class StoreFederation:
             return shard
 
     def shard(self, framework_name: str) -> FederationShard:
-        """The shard serving ``framework_name``, built from the catalog."""
+        """The shard serving ``framework_name``, built from the catalog.
+
+        With a remote pool attached the shard's build fingerprint (a
+        pure catalog computation - nothing is generated here) routes it
+        onto a worker through the consistent-hash ring; without one the
+        framework is generated locally as before.
+        """
         with self._lock:
             existing = self._shards.get(framework_name)
             if existing is not None:
                 return existing
+        if self._remote_pool is not None:
+            fingerprint = framework_build_fingerprint(
+                framework_name,
+                self.config.scale,
+                tuple(self.config.archs),
+            )
+            client = self._remote_pool.client_for(
+                framework_name, fingerprint
+            )
+            with self._lock:
+                existing = self._shards.get(framework_name)
+                if existing is not None:
+                    return existing
+                shard = FederationShard.for_remote(
+                    framework_name, fingerprint, client
+                )
+                self._shards[framework_name] = shard
+                return shard
         # Framework generation can be expensive; do it outside the lock.
         framework = get_framework(
             framework_name,
@@ -237,6 +322,27 @@ class StoreFederation:
             shard = FederationShard(framework, self.config, self._cache)
             self._shards[framework_name] = shard
             return shard
+
+    def route_for(self, framework_name: str) -> str:
+        """Where ``framework_name`` is (or would be) hosted.
+
+        ``"local"`` without a remote pool (and for already-registered
+        local shards); otherwise the pool worker its build fingerprint
+        hashes onto.  Pure computation - nothing is spawned or built.
+        """
+        with self._lock:
+            existing = self._shards.get(framework_name)
+            if existing is not None and not existing.remote:
+                return "local"
+        if self._remote_pool is None:
+            return "local"
+        return self._remote_pool.node_for(
+            framework_build_fingerprint(
+                framework_name,
+                self.config.scale,
+                tuple(self.config.archs),
+            )
+        )
 
     def frameworks(self) -> tuple[str, ...]:
         with self._lock:
@@ -477,21 +583,44 @@ class StoreFederation:
             )
 
     def health(self) -> dict:
-        """Per-shard recovery state, retry/rollback counters, last errors."""
+        """Per-shard recovery state, retry/rollback counters, last errors.
+
+        Health must never raise and never block on a dead worker: a remote
+        shard whose worker cannot answer reports its last-good epoch (and
+        the error) instead of propagating the transport failure.
+        """
         with self._lock:
-            rows = {
-                name: {
-                    "state": shard.state,
-                    "generation": shard.store.generation,
-                    "workloads": len(
-                        shard.store.snapshot().workload_ids
+            shards = dict(self._shards)
+        rows = {}
+        for name, shard in shards.items():
+            try:
+                snap = shard.store.snapshot()
+                rollbacks = shard.store.stats().get("rollbacks", 0)
+            except (TransientError, OSError) as exc:
+                snap = shard.last_good
+                rollbacks = 0
+                rows[name] = {
+                    "state": "recovering",
+                    "route": (
+                        shard.store.worker if shard.remote else "local"
                     ),
+                    "generation": snap.generation,
+                    "workloads": len(snap.workload_ids),
                     "consecutive_failures": shard.consecutive_failures,
                     "retries": shard.retries,
-                    "rollbacks": shard.store.stats().get("rollbacks", 0),
-                    "last_error": shard.last_error,
+                    "rollbacks": rollbacks,
+                    "last_error": f"{type(exc).__name__}: {exc}",
                 }
-                for name, shard in self._shards.items()
+                continue
+            rows[name] = {
+                "state": shard.state,
+                "route": shard.store.worker if shard.remote else "local",
+                "generation": snap.generation,
+                "workloads": len(snap.workload_ids),
+                "consecutive_failures": shard.consecutive_failures,
+                "retries": shard.retries,
+                "rollbacks": rollbacks,
+                "last_error": shard.last_error,
             }
         states = {row["state"] for row in rows.values()}
         if "recovering" in states:
@@ -512,6 +641,49 @@ class StoreFederation:
                 f"{sorted(self._shards)}"
             )
         return shard.store.report()
+
+    # -- snapshots ------------------------------------------------------------
+
+    def export_snapshot(self, directory: str) -> dict:
+        """Write every shard's committed store image under ``directory``.
+
+        Local and remote shards export uniformly: each store serialises
+        its full committed epoch (usage unions, per-library decisions,
+        kernel-usage indexes, debloated extents) and
+        :func:`~repro.serving.snapshot.write_snapshot` lays them down
+        crash-safely with a manifest.  Returns the manifest.
+        """
+        with self._lock:
+            shards = dict(self._shards)
+        payloads = {
+            name: shard.store.export_state()
+            for name, shard in sorted(shards.items())
+        }
+        return snapshots.write_snapshot(directory, payloads)
+
+    def import_snapshot(self, directory: str) -> dict[str, int]:
+        """Warm every shard from the snapshot at ``directory``.
+
+        Creates (or routes, with a remote pool) a shard per imaged
+        framework and installs its store image verbatim - **zero**
+        workload runs.  Imported workloads enter the eviction clock as
+        freshly served.  Returns ``{framework: generation}``.
+        """
+        payloads = snapshots.load_snapshot(directory)
+        generations: dict[str, int] = {}
+        now = self._clock()
+        for name in sorted(payloads):
+            shard = self.shard(name)
+            shard.store.import_state(payloads[name])
+            snap = shard.store.snapshot()
+            with self._lock:
+                for workload_id in snap.workload_ids:
+                    shard.touch(workload_id, now, False)
+                shard.state = "ok"
+                shard.consecutive_failures = 0
+                shard.last_good = snap
+            generations[name] = snap.generation
+        return generations
 
     def stats(self) -> dict[str, int]:
         """Federation-wide counters (per-shard stores summed)."""

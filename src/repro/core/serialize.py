@@ -376,12 +376,90 @@ def value_loads(data: bytes, kind: str) -> Any:
     return payload["value"]
 
 
-#: Public aliases: the cached-value tier persists bare RunMetrics too, and
-#: the process-sharded locate/compact fan-out ships LocateResults.
+#: Public aliases: the cached-value tier persists bare RunMetrics too, the
+#: process-sharded locate/compact fan-out ships LocateResults, and the
+#: store-image / remote-shard payloads reuse the per-object pieces.
 metrics_to_payload = _metrics_to_payload
 metrics_from_payload = _metrics_from_payload
 locate_to_payload = _locate_to_payload
 locate_from_payload = _locate_from_payload
+library_to_payload = _library_to_payload
+library_from_payload = _library_from_payload
+verification_to_payload = _verification_to_payload
+verification_from_payload = _verification_from_payload
+
+
+# ---------------------------------------------------------------------------
+# workload-spec payloads: rebuildable identity, not pickled objects
+# ---------------------------------------------------------------------------
+
+
+def spec_to_payload(spec) -> dict[str, Any]:
+    """Wire form of a :class:`~repro.workloads.spec.WorkloadSpec`.
+
+    Ships the *identity* (model/dataset names plus the scalar knobs), not
+    the nested spec objects: the receiving side rebuilds through the model
+    and dataset registries, so a payload round-trip yields a spec that is
+    ``==`` to the original (frozen dataclasses over registry-interned
+    parts) and hits the same usage-cache keys.
+    """
+    return {
+        "framework": spec.framework,
+        "operation": spec.operation,
+        "model": spec.model.name,
+        "dataset": spec.dataset.name,
+        "batch_size": spec.batch_size,
+        "epochs": spec.epochs,
+        "device_name": spec.device_name,
+        "world_size": spec.world_size,
+        "loading_mode": spec.loading_mode.value,
+    }
+
+
+def spec_from_payload(p: dict[str, Any]):
+    from repro.cuda.driver import LoadingMode
+    from repro.workloads.datasets import get_dataset
+    from repro.workloads.models import get_model
+    from repro.workloads.spec import WorkloadSpec
+
+    return WorkloadSpec(
+        framework=p["framework"],
+        operation=p["operation"],
+        model=get_model(p["model"]),
+        dataset=get_dataset(p["dataset"]),
+        batch_size=int(p["batch_size"]),
+        epochs=int(p["epochs"]),
+        device_name=p["device_name"],
+        world_size=int(p["world_size"]),
+        loading_mode=LoadingMode(p["loading_mode"]),
+    )
+
+
+def multi_report_to_payload(report) -> dict[str, Any]:
+    """Wire form of a :class:`~repro.core.debloat.MultiWorkloadReport`."""
+    return {
+        "workload_ids": list(report.workload_ids),
+        "libraries": [_library_to_payload(lib) for lib in report.libraries],
+        "verifications": [
+            _verification_to_payload(v) for v in report.verifications
+        ],
+        "marginal_new_kernels": [
+            int(n) for n in report.marginal_new_kernels
+        ],
+    }
+
+
+def multi_report_from_payload(p: dict[str, Any]):
+    from repro.core.debloat import MultiWorkloadReport
+
+    return MultiWorkloadReport(
+        workload_ids=list(p["workload_ids"]),
+        libraries=[_library_from_payload(lib) for lib in p["libraries"]],
+        verifications=[
+            _verification_from_payload(v) for v in p["verifications"]
+        ],
+        marginal_new_kernels=[int(n) for n in p["marginal_new_kernels"]],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -486,6 +564,83 @@ def debloated_from_payload(p: dict[str, Any], original):
         removed_elements=int(p["removed_elements"]),
         removed_functions=int(p["removed_functions"]),
     )
+
+
+# ---------------------------------------------------------------------------
+# store images: a whole DebloatStore epoch as one payload
+# ---------------------------------------------------------------------------
+
+#: Payload kind of a full :class:`~repro.serving.store.DebloatStore` image
+#: (usage unions, per-library decisions, kernel-usage indexes, debloated
+#: library extents + bytes) - what snapshot export/import and the remote
+#: shard push/pull protocol ship.
+STORE_KIND = "debloat_store_image"
+
+
+def store_to_payload(store) -> dict[str, Any]:
+    """One consistent image of a store's committed epoch.
+
+    Thin delegation to :meth:`~repro.serving.store.DebloatStore.export_state`
+    (which captures under the admission lock); lives here so the wire
+    format has one home alongside the other payload kinds.
+    """
+    return store.export_state()
+
+
+def store_from_payload(
+    payload: dict[str, Any],
+    options=None,
+    use_cache: bool = False,
+    cache=None,
+):
+    """Rebuild a warm :class:`DebloatStore` from a store image.
+
+    Regenerates the framework build the image names from the catalog
+    (deterministic generation, *not* a workload run) and imports the
+    image into a fresh store.  Raises
+    :class:`~repro.errors.SnapshotSchemaError` on version skew and
+    :class:`~repro.errors.SnapshotError` for an image without a catalog
+    build key (hand-built frameworks must import via
+    :meth:`DebloatStore.import_state` on a caller-constructed store).
+    """
+    from repro.errors import SnapshotError
+    from repro.frameworks.catalog import get_framework
+    from repro.serving.store import DebloatStore
+
+    _check_store_payload(payload)
+    build = payload.get("build")
+    if build is None:
+        raise SnapshotError(
+            f"store image for {payload.get('framework')!r} has no catalog "
+            f"build key; import it into an explicitly constructed store"
+        )
+    framework = get_framework(
+        build["name"],
+        scale=float(build["scale"]),
+        archs=tuple(int(a) for a in build["archs"]),
+    )
+    store = DebloatStore(
+        framework, options, use_cache=use_cache, cache=cache
+    )
+    store.import_state(payload)
+    return store
+
+
+def _check_store_payload(payload: dict[str, Any]) -> None:
+    """Schema/kind gate shared by every store-image reader."""
+    from repro.errors import SnapshotError, SnapshotSchemaError
+
+    if not isinstance(payload, dict):
+        raise SnapshotError("store image payload is not a mapping")
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise SnapshotSchemaError(
+            f"store image schema {schema!r} != supported {SCHEMA_VERSION}"
+        )
+    if payload.get("kind") != STORE_KIND:
+        raise SnapshotError(
+            f"payload kind {payload.get('kind')!r} is not a store image"
+        )
 
 
 def payload_loads(data: bytes) -> dict[str, Any]:

@@ -169,6 +169,23 @@ class FaultError(TransientError):
         self.kind = kind
 
 
+class RemoteShardError(TransientError):
+    """A remote shard process died or its connection dropped mid-call.
+
+    Raised by :class:`~repro.serving.remote.RemoteShardProcess` whenever
+    the length-prefixed transport fails - the worker was SIGKILLed, its
+    pipe closed, a frame was truncated, or an injected ``remote.send`` /
+    ``remote.recv`` fault fired.  Subclasses :class:`TransientError`
+    because the supervisor restarts the worker (re-importing its last
+    exported snapshot), so the retry policy re-drives the call instead of
+    surfacing a raw ``OSError`` to the caller.
+    """
+
+    def __init__(self, shard: str, message: str):
+        super().__init__(f"remote shard {shard!r}: {message}")
+        self.shard = shard
+
+
 class AdmissionError(ReproError):
     """An admission failed permanently after exhausting its retry budget.
 
@@ -239,3 +256,23 @@ class CacheDecodeError(CacheError):
 
 class CacheSchemaError(CacheDecodeError):
     """A serialized report uses a different (older/newer) schema version."""
+
+
+# ---------------------------------------------------------------------------
+# Snapshot (store image) errors
+# ---------------------------------------------------------------------------
+
+
+class SnapshotError(ReproError):
+    """A store snapshot image on disk is unusable.
+
+    Unlike :class:`CacheError` (where the fallback is silent
+    recomputation), a snapshot is an explicit import request: a missing
+    manifest, a digest mismatch, or a corrupt shard container surfaces to
+    the caller - except during crash recovery, where the supervisor falls
+    back to a cold ledger replay.
+    """
+
+
+class SnapshotSchemaError(SnapshotError):
+    """A snapshot image was written under a different schema version."""

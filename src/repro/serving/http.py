@@ -404,6 +404,7 @@ class DebloatHttpServer:
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
             ("GET", "/v1/snapshot"): self._handle_snapshot,
+            ("POST", "/v1/snapshot/export"): self._handle_snapshot_export,
             ("POST", "/v1/admit"): self._handle_admit,
             ("POST", "/v1/admit_batch"): self._handle_admit_batch,
             ("POST", "/v1/evict"): self._handle_evict,
@@ -467,6 +468,42 @@ class DebloatHttpServer:
         snapshot = await loop.run_in_executor(None, self.engine.snapshot)
         return _Response(
             200, _json_body(protocol.snapshot_to_payload(snapshot))
+        )
+
+    async def _handle_snapshot_export(
+        self, request: _HttpRequest
+    ) -> _Response:
+        """Write a warm store snapshot to disk; body: ``{"directory"?}``.
+
+        Without a directory the engine's configured
+        ``snapshot_dir/federation`` is used (400 when neither is set).
+        """
+        body = protocol.decode_json(request.body) if request.body else {}
+        if not isinstance(body, dict):
+            raise ProtocolError("snapshot export body must be an object")
+        directory = body.get("directory")
+        if directory is not None and not isinstance(directory, str):
+            raise ProtocolError("directory must be a string")
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            None, lambda: self.engine.export_snapshot(directory)
+        )
+        payload = {
+            "directory": result.value["directory"],
+            "shards": [
+                {
+                    "framework": entry["framework"],
+                    "file": entry["file"],
+                    "generation": entry["generation"],
+                    "bytes": entry["bytes"],
+                }
+                for entry in result.value["manifest"]["shards"]
+            ],
+            "wall_s": round(result.wall_s, 6),
+        }
+        return _Response(
+            200, _json_body(payload),
+            audit={"directory": result.value["directory"]},
         )
 
     async def _handle_evict(self, request: _HttpRequest) -> _Response:

@@ -1,0 +1,825 @@
+"""Remote shard processes: DebloatStores behind a length-prefixed protocol.
+
+One process can only hold so many debloated framework builds; this module
+lets a :class:`~repro.api.federation.StoreFederation` push store shards
+into **worker processes**.  Each worker (``python -m repro.serving.remote``)
+hosts one :class:`~repro.serving.store.DebloatStore` per framework/build
+fingerprint and speaks a minimal request/response protocol over its
+stdin/stdout pipes: 4-byte little-endian length prefix + one RDBC container
+(:func:`~repro.core.serialize.value_dumps`) per frame, so every message
+inherits the container's magic/version/CRC checking and ships NumPy
+payloads (usage unions, library extents) without copies through JSON.
+
+Parent-side layers, bottom up:
+
+* :class:`RemoteShardProcess` - one spawned worker + the framed transport.
+  Any transport failure (dead process, truncated frame, injected
+  ``remote.send``/``remote.recv`` fault) marks the process broken and
+  raises :class:`~repro.errors.RemoteShardError` - a
+  :class:`~repro.errors.TransientError`, so the serving tier's retry
+  policy re-drives the call instead of surfacing a raw ``OSError``.
+* :class:`RemoteShardSupervisor` - owns one worker slot: lazy spawn
+  (``shard.spawn`` fault site), crash detection, and **warm restart**: a
+  replacement worker imports the shard's last exported snapshot on boot
+  (zero workload runs), then the supervisor replays the
+  committed-but-unexported tail of its parent-side admission ledger.
+  Workers auto-export after every committed mutation, so that tail is at
+  most the admission that was in flight when the worker died - and
+  re-admission is idempotent, so the retried call converges on a store
+  byte-identical to a crash-free run.
+* :class:`RemoteStoreClient` - the duck-typed ``DebloatStore`` surface
+  (``admit`` / ``admit_many`` / ``evict`` / ``snapshot`` / ``report`` /
+  ``stats`` / ``export_state`` / ``import_state``) for one framework on
+  one supervisor, so :class:`~repro.api.federation.FederationShard` fronts
+  a local store and a remote worker interchangeably.
+* :class:`RemoteShardPool` - N supervisors plus the :class:`HashRing`
+  that consistently routes framework-build fingerprints onto them.
+
+Workers deliberately do **not** activate ``REPRO_FAULT_PLAN``: the
+instrumented boundary is the parent side (send/recv/spawn/snapshot.read),
+and keeping workers fault-free makes injected-fault runs deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import signal
+import struct
+import subprocess
+import sys
+import threading
+from types import MappingProxyType
+
+from repro.core import serialize
+from repro.errors import (
+    CacheDecodeError,
+    FaultError,
+    RemoteShardError,
+    ReproError,
+    SnapshotError,
+    TransientError,
+    UsageError,
+)
+from repro.serving.store import (
+    AdmissionResult,
+    EvictionResult,
+    StoreSnapshot,
+)
+from repro.testing import faults
+
+#: Frame payload kinds (the RDBC container's ``kind`` field, checked on
+#: both ends so a desynchronized stream fails loudly).
+REMOTE_REQUEST_KIND = "remote_shard_request"
+REMOTE_RESPONSE_KIND = "remote_shard_response"
+
+_LEN = struct.Struct("<I")
+
+#: Sanity bound on a single frame (a full paper-scale store image is far
+#: below this; anything larger means a desynchronized stream).
+MAX_FRAME_BYTES = 1 << 30
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+
+def write_frame(stream, payload: dict, kind: str) -> None:
+    """Serialize ``payload`` as one length-prefixed RDBC frame."""
+    blob = serialize.value_dumps(payload, kind)
+    stream.write(_LEN.pack(len(blob)) + blob)
+    stream.flush()
+
+
+def read_frame(stream, kind: str) -> dict:
+    """Read one frame; raises ``EOFError`` on a closed/truncated stream."""
+    header = _read_exact(stream, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise CacheDecodeError(
+            f"remote frame claims {length} bytes (stream desynchronized)"
+        )
+    return serialize.value_loads(_read_exact(stream, length), kind)
+
+
+def _read_exact(stream, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise EOFError(
+                f"remote stream closed with {remaining} of {n} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# result payloads (scalars; the heavyweight pieces live in serialize.py)
+# ---------------------------------------------------------------------------
+
+
+def admission_to_payload(result: AdmissionResult) -> dict:
+    return {
+        "workload_id": result.workload_id,
+        "generation": result.generation,
+        "new_kernels": result.new_kernels,
+        "new_functions": result.new_functions,
+        "recompacted": list(result.recompacted),
+        "untouched": list(result.untouched),
+        "added_libraries": list(result.added_libraries),
+        "union_file_size": result.union_file_size,
+        "union_file_size_after": result.union_file_size_after,
+        "detection_run_s": result.detection_run_s,
+        "locate_compact_s": result.locate_compact_s,
+        "detection_cached": result.detection_cached,
+        "duplicate": result.duplicate,
+        "verification": serialize.verification_to_payload(
+            result.verification
+        ),
+    }
+
+
+def admission_from_payload(p: dict) -> AdmissionResult:
+    return AdmissionResult(
+        workload_id=p["workload_id"],
+        generation=int(p["generation"]),
+        new_kernels=int(p["new_kernels"]),
+        new_functions=int(p["new_functions"]),
+        recompacted=tuple(p["recompacted"]),
+        untouched=tuple(p["untouched"]),
+        added_libraries=tuple(p["added_libraries"]),
+        union_file_size=int(p["union_file_size"]),
+        union_file_size_after=int(p["union_file_size_after"]),
+        detection_run_s=float(p["detection_run_s"]),
+        locate_compact_s=float(p["locate_compact_s"]),
+        detection_cached=bool(p["detection_cached"]),
+        duplicate=bool(p["duplicate"]),
+        verification=serialize.verification_from_payload(p["verification"]),
+    )
+
+
+def eviction_to_payload(result: EvictionResult) -> dict:
+    return {
+        "workload_id": result.workload_id,
+        "generation": result.generation,
+        "removed_admissions": result.removed_admissions,
+        "recompacted": list(result.recompacted),
+        "dropped_libraries": list(result.dropped_libraries),
+    }
+
+
+def eviction_from_payload(p: dict) -> EvictionResult:
+    return EvictionResult(
+        workload_id=p["workload_id"],
+        generation=int(p["generation"]),
+        removed_admissions=int(p["removed_admissions"]),
+        recompacted=tuple(p["recompacted"]),
+        dropped_libraries=tuple(p["dropped_libraries"]),
+    )
+
+
+def store_snapshot_to_payload(snap: StoreSnapshot) -> dict:
+    """A snapshot *summary*: counts and reductions, not library bytes.
+
+    Serving reads (``/v1/snapshot``, health aggregation, eviction
+    accounting) only consume the summary; library bytes cross the
+    boundary through store images (pull/push), never per read.
+    """
+    return {
+        "generation": snap.generation,
+        "workload_ids": list(snap.workload_ids),
+        "union_kernels": snap.union_kernels,
+        "union_functions": snap.union_functions,
+        "reductions": [
+            serialize.library_to_payload(r) for r in snap.reductions
+        ],
+    }
+
+
+def store_snapshot_from_payload(p: dict) -> StoreSnapshot:
+    return StoreSnapshot(
+        generation=int(p["generation"]),
+        workload_ids=tuple(p["workload_ids"]),
+        libraries=MappingProxyType({}),
+        union_kernels=int(p["union_kernels"]),
+        union_functions=int(p["union_functions"]),
+        reductions=tuple(
+            serialize.library_from_payload(r) for r in p["reductions"]
+        ),
+    )
+
+
+_EMPTY_SNAPSHOT = StoreSnapshot(
+    generation=0,
+    workload_ids=(),
+    libraries=MappingProxyType({}),
+    union_kernels=0,
+    union_functions=0,
+    reductions=(),
+)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+class ShardWorker:
+    """The in-worker service: one store per framework, plus auto-export."""
+
+    def __init__(self, config: dict) -> None:
+        self.name = config.get("name", "shard")
+        self.scale = float(config["scale"])
+        self.archs = tuple(int(a) for a in config["archs"])
+        self.use_cache = bool(config.get("use_cache", True))
+        self.snapshot_dir = config.get("snapshot_dir")
+        self._stores: dict[str, object] = {}
+
+    def store(self, framework_name: str):
+        from repro.frameworks.catalog import get_framework
+        from repro.serving.store import DebloatStore
+
+        store = self._stores.get(framework_name)
+        if store is None:
+            framework = get_framework(
+                framework_name, scale=self.scale, archs=self.archs
+            )
+            store = DebloatStore(framework, use_cache=self.use_cache)
+            self._stores[framework_name] = store
+        return store
+
+    def restore(self) -> None:
+        """Warm boot: import the last exported snapshot, if one exists.
+
+        A missing or unusable snapshot means a cold start - the
+        supervisor's ledger replay covers the difference - so every
+        failure here is swallowed after a note to stderr.
+        """
+        from repro.serving import snapshot as snapshot_mod
+
+        if not self.snapshot_dir or not snapshot_mod.snapshot_exists(
+            self.snapshot_dir
+        ):
+            return
+        try:
+            for name, payload in snapshot_mod.load_snapshot(
+                self.snapshot_dir
+            ).items():
+                self.store(name).import_state(payload)
+        except (SnapshotError, ReproError, OSError) as exc:
+            self._stores.clear()
+            print(
+                f"[{self.name}] snapshot restore failed, starting cold: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+
+    def export(self) -> dict | None:
+        """Write every store's current epoch to the snapshot directory."""
+        from repro.serving import snapshot as snapshot_mod
+
+        if not self.snapshot_dir:
+            return None
+        return snapshot_mod.write_snapshot(
+            self.snapshot_dir,
+            {
+                name: store.export_state()
+                for name, store in self._stores.items()
+            },
+        )
+
+    # -- request dispatch -----------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise UsageError(f"unknown remote op {op!r}")
+        return handler(request)
+
+    def _mutated(self) -> None:
+        self.export()
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"pid": os.getpid(), "frameworks": sorted(self._stores)}
+
+    def _op_admit(self, request: dict) -> dict:
+        store = self.store(request["framework"])
+        spec = serialize.spec_from_payload(request["spec"])
+        result = store.admit(spec, verify=bool(request.get("verify")))
+        self._mutated()
+        return {"result": admission_to_payload(result)}
+
+    def _op_admit_many(self, request: dict) -> dict:
+        store = self.store(request["framework"])
+        specs = [
+            serialize.spec_from_payload(p) for p in request["specs"]
+        ]
+        results = store.admit_many(specs, verify=bool(request.get("verify")))
+        self._mutated()
+        return {"results": [admission_to_payload(r) for r in results]}
+
+    def _op_evict(self, request: dict) -> dict:
+        store = self.store(request["framework"])
+        result = store.evict(request["workload_id"])
+        self._mutated()
+        return {"result": eviction_to_payload(result)}
+
+    def _op_reset(self, request: dict) -> dict:
+        self.store(request["framework"]).reset()
+        self._mutated()
+        return {}
+
+    def _op_snapshot(self, request: dict) -> dict:
+        store = self._stores.get(request["framework"])
+        snap = store.snapshot() if store is not None else _EMPTY_SNAPSHOT
+        return {"snapshot": store_snapshot_to_payload(snap)}
+
+    def _op_stats(self, request: dict) -> dict:
+        store = self._stores.get(request["framework"])
+        return {"stats": dict(store.stats()) if store is not None else {}}
+
+    def _op_admitted(self, request: dict) -> dict:
+        store = self._stores.get(request["framework"])
+        specs = store.admitted_specs() if store is not None else ()
+        return {"specs": [serialize.spec_to_payload(s) for s in specs]}
+
+    def _op_report(self, request: dict) -> dict:
+        store = self.store(request["framework"])
+        report = store.report(
+            verify=request.get("verify"), strict=request.get("strict")
+        )
+        return {"report": serialize.multi_report_to_payload(report)}
+
+    def _op_pull_state(self, request: dict) -> dict:
+        return {"state": self.store(request["framework"]).export_state()}
+
+    def _op_push_state(self, request: dict) -> dict:
+        self.store(request["framework"]).import_state(request["state"])
+        self._mutated()
+        return {}
+
+    def _op_export_snapshot(self, request: dict) -> dict:
+        return {"manifest": self.export()}
+
+
+def serve(worker: ShardWorker, inp, out) -> None:
+    """The worker main loop: read a frame, dispatch, answer, repeat."""
+    while True:
+        try:
+            request = read_frame(inp, REMOTE_REQUEST_KIND)
+        except EOFError:
+            return  # parent closed the pipe: clean shutdown
+        if request.get("op") == "shutdown":
+            write_frame(out, {"ok": True, "value": {}}, REMOTE_RESPONSE_KIND)
+            return
+        try:
+            value = worker.handle(request)
+            response = {"ok": True, "value": value}
+        except Exception as exc:  # ship the failure, keep serving
+            error = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "transient": isinstance(exc, (TransientError, OSError)),
+            }
+            if isinstance(exc, FaultError):
+                error.update(
+                    site=exc.site, ordinal=exc.ordinal, kind=exc.kind
+                )
+            response = {"ok": False, "error": error}
+        write_frame(out, response, REMOTE_RESPONSE_KIND)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2 or argv[0] != "--config":
+        print("usage: python -m repro.serving.remote --config JSON",
+              file=sys.stderr)
+        return 2
+    config = json.loads(argv[1])
+    # The protocol owns fd 0/1; stray prints must not corrupt frames.
+    inp = os.fdopen(os.dup(0), "rb", buffering=0)
+    out = os.fdopen(os.dup(1), "wb", buffering=0)
+    sys.stdout = sys.stderr
+    worker = ShardWorker(config)
+    worker.restore()
+    serve(worker, inp, out)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parent side: process, supervisor, client, ring, pool
+# ---------------------------------------------------------------------------
+
+
+class RemoteShardProcess:
+    """One spawned worker plus the framed transport to it.
+
+    ``call`` serializes concurrent users behind a lock (the worker
+    processes one request at a time anyway).  Any transport failure
+    marks the process ``broken`` - the stream may be desynchronized, so
+    the only safe recovery is a supervisor restart - and surfaces as
+    :class:`RemoteShardError`.
+    """
+
+    def __init__(self, name: str, config: dict) -> None:
+        self.name = name
+        self.broken = False
+        self._lock = threading.Lock()
+        faults.check("shard.spawn")
+        self._proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serving.remote",
+                "--config",
+                json.dumps(config),
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+        )
+        self.pid = self._proc.pid
+
+    @property
+    def alive(self) -> bool:
+        return not self.broken and self._proc.poll() is None
+
+    def call(self, op: str, **args) -> dict:
+        request = {"op": op, **args}
+        with self._lock:
+            if not self.alive:
+                raise RemoteShardError(
+                    self.name, "worker process is not running"
+                )
+            try:
+                faults.check("remote.send")
+                write_frame(self._proc.stdin, request, REMOTE_REQUEST_KIND)
+                faults.check("remote.recv")
+                response = read_frame(
+                    self._proc.stdout, REMOTE_RESPONSE_KIND
+                )
+            except Exception as exc:
+                # Dead worker, truncated frame, or an injected
+                # send/recv fault: either way the stream can no longer
+                # be trusted - poison the process so the supervisor
+                # restarts it, and raise the retryable error.
+                self.broken = True
+                raise RemoteShardError(
+                    self.name, f"{type(exc).__name__}: {exc}"
+                ) from exc
+        if not response.get("ok"):
+            _raise_remote_error(self.name, response.get("error") or {})
+        return response.get("value") or {}
+
+    def kill(self) -> None:
+        """SIGKILL the worker (crash simulation / hard teardown)."""
+        if self._proc.poll() is None:
+            try:
+                os.kill(self.pid, signal.SIGKILL)
+            except OSError:
+                pass
+        self._proc.wait()
+        self._close_pipes()
+
+    def shutdown(self) -> None:
+        """Graceful stop; falls back to kill on any transport trouble."""
+        try:
+            self.call("shutdown")
+        except ReproError:
+            pass
+        try:
+            self._proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            self.kill()
+            return
+        self._close_pipes()
+
+    def _close_pipes(self) -> None:
+        for stream in (self._proc.stdin, self._proc.stdout):
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+
+def _raise_remote_error(shard: str, error: dict):
+    """Re-raise a worker-side failure with its original type when possible."""
+    from repro import errors as errors_mod
+
+    name = error.get("type", "Exception")
+    message = error.get("message", "")
+    if name == "FaultError":
+        raise FaultError(
+            error.get("site", "remote"),
+            int(error.get("ordinal", 0)),
+            error.get("kind", "fault"),
+        )
+    cls = getattr(errors_mod, name, None)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, ReproError)
+        and cls is not RemoteShardError
+    ):
+        try:
+            raise cls(message)
+        except TypeError:
+            pass  # multi-argument constructor: fall through to the wrappers
+    if error.get("transient"):
+        raise RemoteShardError(shard, f"{name}: {message}")
+    raise UsageError(f"remote shard {shard!r}: {name}: {message}")
+
+
+class HashRing:
+    """Consistent hashing of build fingerprints onto worker names.
+
+    Virtual nodes keyed by :func:`~repro.core.serialize.stable_digest`
+    make the mapping deterministic across processes and balanced across
+    workers; adding or removing one worker only remaps the keys on its
+    arcs, which is what lets a grown pool keep most shards warm.
+    """
+
+    def __init__(self, nodes, replicas: int = 64) -> None:
+        if not nodes:
+            raise UsageError("hash ring needs at least one node")
+        points = sorted(
+            (serialize.stable_digest("hash-ring", node, i), node)
+            for node in nodes
+            for i in range(replicas)
+        )
+        self._digests = [digest for digest, _ in points]
+        self._nodes = [node for _, node in points]
+
+    def node_for(self, key: str) -> str:
+        digest = serialize.stable_digest("hash-ring-key", key)
+        idx = bisect.bisect_right(self._digests, digest) % len(self._nodes)
+        return self._nodes[idx]
+
+
+class RemoteShardSupervisor:
+    """One worker slot: lazy spawn, crash detection, warm restart."""
+
+    def __init__(self, name: str, config: dict) -> None:
+        self.name = name
+        self._config = dict(config, name=name)
+        self._lock = threading.RLock()
+        self._proc: RemoteShardProcess | None = None
+        self.restarts = 0
+        #: framework -> the admission sequence this shard has committed,
+        #: mirrored parent-side so a restart can replay the tail that
+        #: missed the worker's last snapshot export.
+        self._ledgers: dict[str, list] = {}
+
+    @property
+    def snapshot_dir(self) -> str | None:
+        return self._config.get("snapshot_dir")
+
+    @property
+    def alive(self) -> bool:
+        proc = self._proc
+        return proc is not None and proc.alive
+
+    @property
+    def pid(self) -> int | None:
+        proc = self._proc
+        return proc.pid if proc is not None else None
+
+    def process(self) -> RemoteShardProcess:
+        """The live worker, spawning (and warm-restoring) as needed."""
+        with self._lock:
+            if self._proc is not None and not self._proc.alive:
+                self._proc.kill()
+                self._proc = None
+                self.restarts += 1
+            if self._proc is None:
+                # The worker imports its own snapshot on boot; the
+                # parent then replays whatever the snapshot missed.
+                self._proc = RemoteShardProcess(self.name, self._config)
+                try:
+                    self._replay_locked(self._proc)
+                except BaseException:
+                    self._proc.broken = True
+                    raise
+            return self._proc
+
+    def call(self, op: str, **args) -> dict:
+        return self.process().call(op, **args)
+
+    def _replay_locked(self, proc: RemoteShardProcess) -> None:
+        """Re-admit the ledger tail a fresh worker's snapshot lacks.
+
+        Usage is served from the warm pipeline cache the worker
+        inherits, so replay costs no workload runs either; and because
+        admission order and content are replayed exactly, the recovered
+        store is byte-identical to one that never crashed.
+        """
+        for framework, ledger in self._ledgers.items():
+            if not ledger:
+                continue
+            wanted = [serialize.spec_to_payload(s) for s in ledger]
+            have = proc.call("admitted", framework=framework)["specs"]
+            if have == wanted:
+                continue
+            if have == wanted[: len(have)]:
+                missing = ledger[len(have):]
+            else:  # diverged image (stale/foreign snapshot): rebuild
+                proc.call("reset", framework=framework)
+                missing = ledger
+            proc.call(
+                "admit_many",
+                framework=framework,
+                specs=[serialize.spec_to_payload(s) for s in missing],
+                verify=False,
+            )
+
+    # -- ledger bookkeeping (called by the client after committed ops) -------
+
+    def record_admissions(self, framework: str, specs) -> None:
+        with self._lock:
+            self._ledgers.setdefault(framework, []).extend(specs)
+
+    def record_eviction(self, framework: str, workload_id: str) -> None:
+        with self._lock:
+            ledger = self._ledgers.get(framework, [])
+            self._ledgers[framework] = [
+                s for s in ledger if s.workload_id != workload_id
+            ]
+
+    def record_state(self, framework: str, specs) -> None:
+        with self._lock:
+            self._ledgers[framework] = list(specs)
+
+    def kill(self) -> None:
+        """SIGKILL the worker if running (tests / fault drills)."""
+        with self._lock:
+            if self._proc is not None:
+                self._proc.kill()
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._proc is not None:
+                self._proc.shutdown()
+                self._proc = None
+
+
+class RemoteStoreClient:
+    """The ``DebloatStore`` duck-type for one framework on one supervisor."""
+
+    def __init__(self, supervisor: RemoteShardSupervisor,
+                 framework_name: str) -> None:
+        self._sup = supervisor
+        self.framework_name = framework_name
+        self.last_error: str | None = None
+
+    @property
+    def worker(self) -> str:
+        return self._sup.name
+
+    def _call(self, op: str, **args) -> dict:
+        try:
+            return self._sup.call(op, framework=self.framework_name, **args)
+        except ReproError as exc:
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            raise
+
+    def admit(self, spec, verify: bool = False) -> AdmissionResult:
+        value = self._call(
+            "admit", spec=serialize.spec_to_payload(spec), verify=verify
+        )
+        self._sup.record_admissions(self.framework_name, [spec])
+        return admission_from_payload(value["result"])
+
+    def admit_many(self, specs, verify: bool = False):
+        value = self._call(
+            "admit_many",
+            specs=[serialize.spec_to_payload(s) for s in specs],
+            verify=verify,
+        )
+        self._sup.record_admissions(self.framework_name, list(specs))
+        return [admission_from_payload(p) for p in value["results"]]
+
+    def evict(self, workload_id: str) -> EvictionResult:
+        value = self._call("evict", workload_id=workload_id)
+        self._sup.record_eviction(self.framework_name, workload_id)
+        return eviction_from_payload(value["result"])
+
+    def reset(self) -> None:
+        self._call("reset")
+        self._sup.record_state(self.framework_name, [])
+
+    def snapshot(self) -> StoreSnapshot:
+        return store_snapshot_from_payload(self._call("snapshot")["snapshot"])
+
+    @property
+    def generation(self) -> int:
+        return self.snapshot().generation
+
+    def stats(self) -> dict:
+        return self._call("stats")["stats"]
+
+    def report(self, verify=None, strict=None):
+        value = self._call("report", verify=verify, strict=strict)
+        return serialize.multi_report_from_payload(value["report"])
+
+    def export_state(self) -> dict:
+        """Pull the worker's committed store image (snapshot export)."""
+        return self._call("pull_state")["state"]
+
+    def import_state(self, payload: dict) -> None:
+        """Push a store image into the worker (snapshot import)."""
+        serialize._check_store_payload(payload)
+        self._call("push_state", state=payload)
+        self._sup.record_state(
+            self.framework_name,
+            [
+                serialize.spec_from_payload(p)
+                for p in payload.get("admissions", [])
+            ],
+        )
+
+
+class RemoteShardPool:
+    """N remote shard workers plus the consistent-hash routing over them."""
+
+    def __init__(
+        self,
+        count: int,
+        *,
+        scale: float,
+        archs,
+        use_cache: bool = True,
+        snapshot_root: str | None = None,
+    ) -> None:
+        if count < 1:
+            raise UsageError("remote shard pool needs at least one worker")
+        self.snapshot_root = snapshot_root
+        self.supervisors: dict[str, RemoteShardSupervisor] = {}
+        for i in range(count):
+            name = f"shard-{i}"
+            self.supervisors[name] = RemoteShardSupervisor(
+                name,
+                {
+                    "scale": scale,
+                    "archs": list(archs),
+                    "use_cache": use_cache,
+                    "snapshot_dir": (
+                        os.path.join(snapshot_root, name)
+                        if snapshot_root
+                        else None
+                    ),
+                },
+            )
+        self._ring = HashRing(sorted(self.supervisors))
+        self._clients: dict[str, RemoteStoreClient] = {}
+        self._lock = threading.Lock()
+
+    def node_for(self, fingerprint: str) -> str:
+        return self._ring.node_for(fingerprint)
+
+    def client_for(
+        self, framework_name: str, fingerprint: str
+    ) -> RemoteStoreClient:
+        with self._lock:
+            client = self._clients.get(framework_name)
+            if client is None:
+                supervisor = self.supervisors[self.node_for(fingerprint)]
+                client = RemoteStoreClient(supervisor, framework_name)
+                self._clients[framework_name] = client
+            return client
+
+    def supervisor_for(self, framework_name: str) -> RemoteShardSupervisor:
+        client = self._clients.get(framework_name)
+        if client is None:
+            raise UsageError(
+                f"no remote client for {framework_name!r} yet"
+            )
+        return client._sup
+
+    def health(self) -> dict:
+        rows = {
+            name: {
+                "alive": sup.alive,
+                "pid": sup.pid,
+                "restarts": sup.restarts,
+                "snapshot_dir": sup.snapshot_dir,
+            }
+            for name, sup in self.supervisors.items()
+        }
+        return {
+            "workers": len(self.supervisors),
+            "alive": sum(1 for row in rows.values() if row["alive"]),
+            "restarts": sum(row["restarts"] for row in rows.values()),
+            "shards": rows,
+        }
+
+    def shutdown(self) -> None:
+        for sup in self.supervisors.values():
+            sup.shutdown()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Versioned on-disk snapshots: a federation's store images in a directory.
+
+Snapshot export is how a replica (or a crashed remote shard) comes up warm
+with **zero** workload runs: every shard's committed epoch is written as
+one RDBC container (:data:`~repro.core.serialize.STORE_KIND`, CRC-checked
+by the container itself) next to a ``MANIFEST.json`` that records the
+snapshot schema, each shard's framework/fingerprint/generation, and a
+process-stable digest of each container's bytes.  Import verifies the
+digest before decoding, so a torn or tampered file surfaces as
+:class:`~repro.errors.SnapshotError` rather than a half-imported store.
+
+Write ordering makes export crash-safe without locks: shard containers are
+written first (each through a same-directory temp file + ``os.replace``),
+the manifest last, also atomically.  A reader therefore either sees the
+previous complete snapshot or the new one - never a manifest pointing at
+missing or partial files.  Readers call the ``snapshot.read`` fault site,
+so the fault harness can rehearse corrupt/missing snapshots
+deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from repro.core.serialize import (
+    SCHEMA_VERSION,
+    _check_store_payload,
+    payload_dumps,
+    payload_loads,
+    stable_digest,
+)
+from repro.errors import (
+    CacheDecodeError,
+    CacheSchemaError,
+    SnapshotError,
+    SnapshotSchemaError,
+)
+from repro.testing import faults
+
+#: Bump on any change to the manifest layout or file naming.
+SNAPSHOT_SCHEMA = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+def shard_filename(framework: str) -> str:
+    return f"shard--{framework}.rdbc"
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+def write_snapshot(
+    directory: str, payloads: Mapping[str, dict]
+) -> dict:
+    """Write one store image per framework + the manifest; returns it.
+
+    ``payloads`` maps framework name -> a store-image payload tree
+    (:meth:`~repro.serving.store.DebloatStore.export_state` output).
+    Re-exporting an unchanged federation rewrites byte-identical files.
+    """
+    os.makedirs(directory, exist_ok=True)
+    shards = []
+    for framework in sorted(payloads):
+        payload = payloads[framework]
+        _check_store_payload(payload)
+        blob = payload_dumps(payload)
+        filename = shard_filename(framework)
+        _atomic_write(os.path.join(directory, filename), blob)
+        shards.append(
+            {
+                "framework": framework,
+                "fingerprint": payload.get("fingerprint"),
+                "generation": int(payload.get("generation", 0)),
+                "file": filename,
+                "bytes": len(blob),
+                "digest": stable_digest(blob),
+            }
+        )
+    manifest = {
+        "schema": SNAPSHOT_SCHEMA,
+        "container_schema": SCHEMA_VERSION,
+        "shards": shards,
+    }
+    _atomic_write(
+        os.path.join(directory, MANIFEST_NAME),
+        json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+    )
+    return manifest
+
+
+def snapshot_exists(directory: str) -> bool:
+    return os.path.isfile(os.path.join(directory, MANIFEST_NAME))
+
+
+def read_manifest(directory: str) -> dict:
+    """The snapshot's manifest; every failure is a :class:`SnapshotError`."""
+    faults.check("snapshot.read")
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path, "rb") as fh:
+            manifest = json.loads(fh.read().decode("utf-8"))
+    except OSError as exc:
+        raise SnapshotError(f"no snapshot manifest at {path}: {exc}") from exc
+    except ValueError as exc:
+        raise SnapshotError(f"snapshot manifest is not JSON: {exc}") from exc
+    schema = manifest.get("schema") if isinstance(manifest, dict) else None
+    if schema != SNAPSHOT_SCHEMA:
+        raise SnapshotSchemaError(
+            f"snapshot schema {schema!r} != supported {SNAPSHOT_SCHEMA}"
+        )
+    if manifest.get("container_schema") != SCHEMA_VERSION:
+        raise SnapshotSchemaError(
+            f"snapshot containers use schema "
+            f"{manifest.get('container_schema')!r} != supported "
+            f"{SCHEMA_VERSION}"
+        )
+    if not isinstance(manifest.get("shards"), list):
+        raise SnapshotError("snapshot manifest has no shard list")
+    return manifest
+
+
+def read_shard_payload(directory: str, entry: dict) -> dict:
+    """One manifest entry's store image, digest-verified then decoded."""
+    faults.check("snapshot.read")
+    path = os.path.join(directory, entry["file"])
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as exc:
+        raise SnapshotError(
+            f"snapshot shard file {path} unreadable: {exc}"
+        ) from exc
+    if stable_digest(blob) != entry.get("digest"):
+        raise SnapshotError(
+            f"snapshot shard {entry['file']} digest mismatch (torn write "
+            f"or tampering)"
+        )
+    try:
+        payload = payload_loads(blob)
+    except CacheSchemaError as exc:
+        raise SnapshotSchemaError(str(exc)) from exc
+    except CacheDecodeError as exc:
+        raise SnapshotError(
+            f"snapshot shard {entry['file']} is corrupt: {exc}"
+        ) from exc
+    _check_store_payload(payload)
+    if payload.get("framework") != entry.get("framework"):
+        raise SnapshotError(
+            f"snapshot shard {entry['file']} holds "
+            f"{payload.get('framework')!r}, manifest says "
+            f"{entry.get('framework')!r}"
+        )
+    return payload
+
+
+def load_snapshot(directory: str) -> dict[str, dict]:
+    """Every shard image in the snapshot, keyed by framework name."""
+    manifest = read_manifest(directory)
+    return {
+        entry["framework"]: read_shard_payload(directory, entry)
+        for entry in manifest["shards"]
+    }

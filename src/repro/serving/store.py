@@ -847,6 +847,16 @@ class DebloatStore:
         """The current library map (a copy; entries are immutable)."""
         return dict(self._snapshot.libraries)
 
+    def admitted_specs(self) -> tuple[WorkloadSpec, ...]:
+        """The admission ledger in admission order (duplicates included).
+
+        The remote-shard supervisor diffs this against its parent-side
+        replay ledger after a crash restart, to re-admit exactly the
+        committed-but-unexported tail.
+        """
+        with self._admission_lock:
+            return tuple(self._admitted)
+
     def _publish_snapshot(self) -> None:
         reductions: tuple[LibraryReduction, ...] = ()
         if self._admitted:
@@ -913,6 +923,215 @@ class DebloatStore:
             verifications=verifications,
             marginal_new_kernels=marginal,
         )
+
+    # -- snapshot export / import ---------------------------------------------
+
+    def export_state(self) -> dict:
+        """One consistent image of the committed epoch (a payload tree).
+
+        Captured under the admission lock, so the image describes exactly
+        one generation: usage unions, the admission ledger with per-spec
+        recorded usage, per-library locate decisions, the debloated
+        libraries' extents + compacted bytes, the cached kernel-usage
+        indexes, and the transactional counters.  The tree is
+        ``payload_dumps``-ready (kind
+        :data:`~repro.core.serialize.STORE_KIND`); equal epochs export
+        byte-identical containers.
+        """
+        from repro.core import serialize
+        from repro.core.kindex import cached_index, index_to_payload
+        from repro.frameworks.catalog import (
+            build_key_for,
+            framework_build_fingerprint,
+        )
+        from repro.serving.usage import usage_to_payload
+
+        with self._admission_lock:
+            build_key = build_key_for(self.framework)
+            kindexes = {}
+            for soname in sorted(self._debloated):
+                index = cached_index(self.framework.libraries[soname])
+                if index is not None:
+                    kindexes[soname] = index_to_payload(index)
+            return {
+                "schema": serialize.SCHEMA_VERSION,
+                "kind": serialize.STORE_KIND,
+                "framework": self.framework.name,
+                "build": (
+                    None
+                    if build_key is None
+                    else {
+                        "name": build_key[0],
+                        "scale": build_key[1],
+                        "archs": list(build_key[2]),
+                    }
+                ),
+                "fingerprint": (
+                    framework_build_fingerprint(*build_key)
+                    if build_key is not None
+                    else None
+                ),
+                "generation": self._generation,
+                "arch": self._arch,
+                "features": sorted(self._features),
+                "union_kernels": {
+                    soname: sorted(names)
+                    for soname, names in sorted(self._union_kernels.items())
+                },
+                "union_functions": {
+                    soname: np.asarray(idx, dtype=np.int64)
+                    for soname, idx in sorted(self._union_functions.items())
+                },
+                "admissions": [
+                    serialize.spec_to_payload(s) for s in self._admitted
+                ],
+                "usage": [
+                    {
+                        "spec": serialize.spec_to_payload(spec),
+                        "usage": usage_to_payload(usage),
+                    }
+                    for spec, usage in self._usage.items()
+                ],
+                "marginal_kernels": [
+                    int(n) for n in self._marginal_kernels
+                ],
+                "locates": {
+                    soname: serialize.locate_to_payload(res)
+                    for soname, res in sorted(self._locates.items())
+                },
+                "debloated": {
+                    soname: serialize.debloated_to_payload(d)
+                    for soname, d in sorted(self._debloated.items())
+                },
+                "kindexes": kindexes,
+                "counters": {
+                    name: getattr(self, name)
+                    for name in self._TXN_COUNTERS
+                },
+            }
+
+    def import_state(self, payload: dict) -> None:
+        """Replace this store's state with an exported image, wholesale.
+
+        The image must describe the same framework build (name always;
+        fingerprint too when both sides have one) - the debloated bytes
+        are reattached to *this* instance's original libraries, which is
+        only sound against an identical build.  Decoding happens entirely
+        before the transactional install, so a malformed image raises
+        :class:`~repro.errors.SnapshotError` (schema skew:
+        :class:`~repro.errors.SnapshotSchemaError`) with the store
+        untouched.  Importing runs **zero** workloads: usage, decisions,
+        and library bytes all come from the image, and the shipped
+        kernel-usage indexes are re-attached so even the one-time fatbin
+        walk is skipped.
+        """
+        from repro.core import serialize
+        from repro.core.kindex import (
+            cached_index,
+            index_from_payload,
+            index_matches_library,
+            remember_index,
+        )
+        from repro.errors import SnapshotError
+        from repro.frameworks.catalog import (
+            build_key_for,
+            framework_build_fingerprint,
+        )
+        from repro.serving.usage import usage_from_payload
+
+        serialize._check_store_payload(payload)
+        if payload.get("framework") != self.framework.name:
+            raise SnapshotError(
+                f"store image is for {payload.get('framework')!r}, this "
+                f"store serves {self.framework.name!r}"
+            )
+        build_key = build_key_for(self.framework)
+        ours = (
+            framework_build_fingerprint(*build_key)
+            if build_key is not None
+            else None
+        )
+        theirs = payload.get("fingerprint")
+        if ours is not None and theirs is not None and ours != theirs:
+            raise SnapshotError(
+                f"store image fingerprint {theirs} != this build's {ours}"
+            )
+        try:
+            arch = payload["arch"]
+            features = frozenset(payload["features"])
+            union_kernels = {
+                soname: set(names)
+                for soname, names in payload["union_kernels"].items()
+            }
+            union_functions = {
+                soname: np.asarray(idx, dtype=np.int64)
+                for soname, idx in payload["union_functions"].items()
+            }
+            admitted = [
+                serialize.spec_from_payload(p)
+                for p in payload["admissions"]
+            ]
+            usage = {
+                serialize.spec_from_payload(entry["spec"]):
+                    usage_from_payload(entry["usage"])
+                for entry in payload["usage"]
+            }
+            marginal = [int(n) for n in payload["marginal_kernels"]]
+            locates = {
+                soname: serialize.locate_from_payload(p)
+                for soname, p in payload["locates"].items()
+            }
+            debloated: dict[str, DebloatedLibrary] = {}
+            for soname, p in payload["debloated"].items():
+                original = self.framework.libraries.get(soname)
+                if original is None:
+                    raise SnapshotError(
+                        f"store image holds {soname!r}, which this build "
+                        f"does not provide"
+                    )
+                debloated[soname] = serialize.debloated_from_payload(
+                    p, original
+                )
+            indexes = {
+                soname: index_from_payload(p)
+                for soname, p in payload.get("kindexes", {}).items()
+            }
+            generation = int(payload["generation"])
+            counters = {
+                name: int(value)
+                for name, value in payload.get("counters", {}).items()
+                if name in self._TXN_COUNTERS
+            }
+        except SnapshotError:
+            raise
+        except Exception as exc:
+            raise SnapshotError(
+                f"malformed store image: {exc}"
+            ) from exc
+
+        for soname, index in indexes.items():
+            lib = self.framework.libraries.get(soname)
+            if (
+                lib is not None
+                and cached_index(lib) is None
+                and index_matches_library(index, lib)
+            ):
+                remember_index(lib, index)
+
+        with self._admission_lock:
+            with self._txn():
+                self._arch = None if arch is None else int(arch)
+                self._features = features
+                self._union_kernels = union_kernels
+                self._union_functions = union_functions
+                self._admitted = admitted
+                self._usage = usage
+                self._marginal_kernels = marginal
+                self._locates = locates
+                self._debloated = debloated
+                self._generation = generation
+                for name in self._TXN_COUNTERS:
+                    setattr(self, name, counters.get(name, 0))
 
     # -- eviction / reset -----------------------------------------------------
 

@@ -24,6 +24,14 @@ Sites instrumented today:
                            entry: quarantined + recomputed)
 ``diskcache.write``        disk-tier entry persist (an ``OSError``)
 ``sweeper.tick``           the background sweeper's periodic sweep
+``remote.send``            parent side, before writing a request frame to a
+                           remote shard worker (a dropped connection)
+``remote.recv``            parent side, before reading the worker's response
+                           frame (worker died mid-request)
+``shard.spawn``            remote shard supervisor, before forking a worker
+                           process (spawn failure / restart storm)
+``snapshot.read``          snapshot manifest/shard-image read (a torn or
+                           corrupt on-disk snapshot)
 =========================  ====================================================
 
 Plans are **opt-in**: nothing fires unless a plan is activated, either
@@ -247,6 +255,13 @@ CI_STANDARD_SEED = 20250808
 #: entry, and one sweeper exception.  Every admission driven against it
 #: must succeed after retry, and the end-state store must be
 #: byte-identical to a fault-free run of the same arrivals.
+#:
+#: The remote-federation rules (``remote.*`` / ``shard.spawn`` /
+#: ``snapshot.read``) only fire when those sites exist - i.e. under
+#: ``remote_shards > 0`` or an explicit snapshot import - so the plan
+#: stays byte-compatible for in-process runs: a dropped request frame, a
+#: dropped response frame, one failed worker spawn (the supervisor's next
+#: call retries it), and one corrupt snapshot read.
 CI_STANDARD_PLAN = (
     FaultRule("worker.pre_merge", ordinals=(1,)),
     FaultRule("store.merge", ordinals=(2,)),
@@ -254,6 +269,10 @@ CI_STANDARD_PLAN = (
     FaultRule("locate.shard", ordinals=(1,), kind="broken_pool"),
     FaultRule("diskcache.read", ordinals=(1,), kind="corrupt"),
     FaultRule("sweeper.tick", ordinals=(1,)),
+    FaultRule("remote.send", ordinals=(2,)),
+    FaultRule("remote.recv", ordinals=(4,)),
+    FaultRule("shard.spawn", ordinals=(2,)),
+    FaultRule("snapshot.read", ordinals=(3,), kind="corrupt"),
 )
 
 _NAMED_PLANS: dict[str, tuple[tuple[FaultRule, ...], int]] = {

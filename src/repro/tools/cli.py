@@ -10,7 +10,11 @@ Subcommands:
   several frameworks) through a worker pool into per-framework
   :class:`~repro.serving.store.DebloatStore` shards, delta-compacting only
   the libraries each admission actually grew, with optional traffic-driven
-  TTL/LRU/pinned eviction;
+  TTL/LRU/pinned eviction; ``--remote-shards N`` moves the stores into N
+  worker processes routed by build fingerprint;
+* ``snapshot export|import`` - write a federation's warm store images to
+  a directory / bring a fresh process up warm from one, with zero
+  workload runs;
 * ``workloads`` - list the available workload ids.
 
 Every subcommand is a thin adapter over the :class:`repro.api.DebloatEngine`
@@ -153,6 +157,41 @@ def build_parser() -> argparse.ArgumentParser:
                          "('ci-standard[:seed]') or a spec like "
                          "'seed=7;store.merge@2;diskcache.read%%0.05:corrupt' "
                          "(default: $REPRO_FAULT_PLAN if set)")
+    p_serve.add_argument("--remote-shards", type=int, default=0, metavar="N",
+                         help="run the framework stores in N worker "
+                         "processes, consistent-hash routed by build "
+                         "fingerprint (0 = everything in-process)")
+    p_serve.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                         help="root for warm store snapshots: remote "
+                         "workers auto-export and crash-recover under "
+                         "DIR/workers; POST /v1/snapshot/export defaults "
+                         "to DIR/federation")
+
+    p_snapshot = sub.add_parser(
+        "snapshot",
+        help="export or import a federation's warm store snapshot",
+    )
+    snap_sub = p_snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    p_export = snap_sub.add_parser(
+        "export",
+        help="admit workloads, then write their warm store images",
+    )
+    p_export.add_argument("directory")
+    p_export.add_argument(
+        "--workloads", nargs="*", default=[], metavar="WORKLOAD_ID",
+        help="workload ids to admit before exporting (default: every "
+        "catalog workload of --framework)")
+    p_export.add_argument("--framework", default="pytorch",
+                          choices=FRAMEWORK_NAMES,
+                          help="framework whose catalog workloads to "
+                          "export when no ids are given")
+    p_import = snap_sub.add_parser(
+        "import",
+        help="warm a fresh federation from a snapshot (zero workload runs)",
+    )
+    p_import.add_argument("directory")
 
     sub.add_parser("workloads", help="list workload ids")
     return parser
@@ -262,6 +301,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             batch_max=args.batch_max,
             eviction=policy,
             retry=retry,
+            remote_shards=args.remote_shards,
+            snapshot_dir=args.snapshot_dir,
         )
         if args.http is not None:
             from repro.api import HttpConfig
@@ -398,6 +439,55 @@ def _serve_http(config: EngineConfig, plan) -> int:
     return 0
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.errors import SnapshotError
+
+    if args.snapshot_command == "export":
+        if args.workloads:
+            specs = [workload_by_id(wid) for wid in args.workloads]
+        else:
+            specs = [
+                spec for spec in TABLE1_WORKLOADS
+                if spec.framework == args.framework
+            ]
+        with DebloatEngine(engine_config(args)) as engine:
+            for spec in specs:
+                engine.admit(AdmitRequest(spec=spec))
+            result = engine.export_snapshot(args.directory)
+        for entry in result.value["manifest"]["shards"]:
+            print(
+                f"{entry['framework']}: generation {entry['generation']}, "
+                f"{entry['bytes']:,} bytes -> {entry['file']}"
+            )
+        print(
+            f"exported {len(result.value['manifest']['shards'])} shard(s) "
+            f"to {result.value['directory']}"
+        )
+        return 0
+
+    with DebloatEngine(engine_config(args)) as engine:
+        try:
+            result = engine.import_snapshot(args.directory)
+        except SnapshotError as err:
+            print(str(err), file=sys.stderr)
+            return 1
+        snapshot = engine.snapshot()
+    for name, generation in sorted(result.value["generations"].items()):
+        snap = snapshot.shards[name].store
+        print(
+            f"{name}: generation {generation}, "
+            f"{len(snap.workload_ids)} workload(s), "
+            f"{len(snap.reductions)} libraries, "
+            f"{fmt_mb(snap.total_file_size)} MB -> "
+            f"{fmt_mb(snap.total_file_size_after)} MB"
+        )
+    print(
+        f"imported {len(result.value['generations'])} shard(s) from "
+        f"{result.value['directory']} with zero workload runs"
+    )
+    return 0
+
+
 def cmd_workloads(_: argparse.Namespace) -> int:
     for spec in TABLE1_WORKLOADS:
         print(spec.workload_id)
@@ -410,6 +500,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": cmd_inspect,
         "debloat": cmd_debloat,
         "serve": cmd_serve,
+        "snapshot": cmd_snapshot,
         "workloads": cmd_workloads,
     }
     return handlers[args.command](args)

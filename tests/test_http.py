@@ -159,6 +159,38 @@ class TestRoutes:
         assert body["workload_id"] == PT_IDS[0]
         assert "pytorch" in body["evicted"]
 
+    def test_snapshot_export(self, served, tmp_path):
+        request(
+            served.port, "POST", "/v1/admit", {"workload_id": PT_IDS[0]}
+        )
+        directory = str(tmp_path / "snap")
+        status, _, body = request(
+            served.port, "POST", "/v1/snapshot/export",
+            {"directory": directory},
+        )
+        assert status == 200
+        assert body["directory"] == directory
+        assert body["wall_s"] >= 0
+        (entry,) = body["shards"]
+        assert entry["framework"] == "pytorch"
+        assert entry["generation"] >= 1
+        shard_path = tmp_path / "snap" / entry["file"]
+        assert shard_path.stat().st_size == entry["bytes"] > 0
+        assert (tmp_path / "snap" / "MANIFEST.json").exists()
+
+        # No directory in the body and no configured snapshot_dir: 400.
+        status, _, body = request(
+            served.port, "POST", "/v1/snapshot/export", {}
+        )
+        assert status == 400
+        assert body["type"] == "UsageError"
+
+        status, _, body = request(
+            served.port, "POST", "/v1/snapshot/export", {"directory": 7}
+        )
+        assert status == 400
+        assert body["type"] == "ProtocolError"
+
     def test_protocol_errors_are_400(self, served):
         cases = [
             ("POST", "/v1/admit", {"workload_id": "no/such/workload"}),
