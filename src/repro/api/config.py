@@ -38,6 +38,91 @@ from repro.utils.retry import RetryPolicy
 #: Modes :class:`EvictionPolicy` accepts.
 EVICTION_MODES = ("none", "ttl", "lru", "pinned")
 
+#: WAL fsync policies :class:`DurabilityConfig` accepts (strictest first).
+WAL_FSYNC_POLICIES = ("always", "batch", "off")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Crash-consistent durability: WAL, auto-recovery, checkpointing.
+
+    With ``enabled``, every committed admission/eviction/reset appends to
+    a per-shard write-ahead log (:mod:`repro.serving.wal`) and
+    ``DebloatEngine.open()`` recovers the committed state automatically:
+    newest checkpoint snapshot first, then the WAL tail replayed through
+    the zero-run cached-usage path.  ``fsync`` picks the durability/
+    latency trade-off (``always`` per append, ``batch`` every
+    ``fsync_batch_n`` appends, ``off`` = flush only - survives process
+    death, not power loss).  ``checkpoint_interval_s`` runs a background
+    export-then-truncate checkpointer bounding WAL replay time.
+    """
+
+    enabled: bool = False
+    #: Root for WAL + checkpoint files; None = ``<snapshot_dir>/durability``.
+    directory: str | None = None
+    fsync: str = "batch"
+    #: ``batch`` policy: appends between physical syncs.
+    fsync_batch_n: int = 8
+    #: Period of the background checkpointer (None = manual only).
+    checkpoint_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.fsync not in WAL_FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"wal fsync policy must be one of {WAL_FSYNC_POLICIES}, "
+                f"got {self.fsync!r}"
+            )
+        if self.fsync_batch_n < 1:
+            raise ConfigurationError("fsync_batch_n must be >= 1")
+        if (
+            self.checkpoint_interval_s is not None
+            and self.checkpoint_interval_s <= 0
+        ):
+            raise ConfigurationError(
+                "checkpoint_interval_s must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class LivenessConfig:
+    """Remote-shard liveness: deadlines, heartbeats, circuit breaking.
+
+    ``op_deadline_s`` bounds every send+recv against a worker process (a
+    wedged worker surfaces as :class:`~repro.errors.RemoteShardError`
+    instead of blocking forever).  ``heartbeat_interval_s`` runs a
+    supervisor thread probing each worker's ``ping`` op.
+    ``breaker_threshold`` consecutive transport failures open a per-worker
+    circuit breaker: calls fast-fail for ``breaker_cooldown_s``, then one
+    half-open probe either closes the breaker or re-opens it - so a hung
+    worker degrades its shard to ``recovering`` (last-good snapshot
+    reads) instead of stalling every caller.
+    """
+
+    #: Per-operation send+recv deadline (None = wait forever).
+    op_deadline_s: float | None = 30.0
+    #: Period of the supervisor heartbeat probes (None = no heartbeats).
+    heartbeat_interval_s: float | None = None
+    #: Consecutive transport failures before the breaker opens
+    #: (None = breaker disabled).
+    breaker_threshold: int | None = 3
+    #: Seconds an open breaker fast-fails before a half-open probe.
+    breaker_cooldown_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.op_deadline_s is not None and self.op_deadline_s <= 0:
+            raise ConfigurationError("op_deadline_s must be positive")
+        if (
+            self.heartbeat_interval_s is not None
+            and self.heartbeat_interval_s <= 0
+        ):
+            raise ConfigurationError(
+                "heartbeat_interval_s must be positive"
+            )
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ConfigurationError("breaker_cooldown_s must be positive")
+
 
 @dataclass(frozen=True)
 class DegradedModes:
@@ -189,7 +274,13 @@ class EngineConfig:
       fingerprint; 0 = everything in-process) and ``snapshot_dir`` (root
       for warm store snapshots: workers auto-export under
       ``<dir>/workers/<name>`` and recover from there after a crash;
-      engine-level export/import defaults to ``<dir>/federation``).
+      engine-level export/import defaults to ``<dir>/federation``);
+    * **durability / liveness** - ``durability``
+      (:class:`DurabilityConfig`: per-shard write-ahead log with
+      automatic crash recovery on ``open()`` and background
+      checkpointing) and ``liveness`` (:class:`LivenessConfig`:
+      per-operation deadlines, heartbeat probes, and a per-worker
+      circuit breaker for the remote-shard pool).
     """
 
     scale: float = DEFAULT_SCALE
@@ -207,6 +298,8 @@ class EngineConfig:
     http: HttpConfig = field(default_factory=HttpConfig)
     remote_shards: int = 0
     snapshot_dir: str | None = None
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+    liveness: LivenessConfig = field(default_factory=LivenessConfig)
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -217,4 +310,13 @@ class EngineConfig:
             raise ConfigurationError("batch_max must be >= 1")
         if self.remote_shards < 0:
             raise ConfigurationError("remote_shards must be >= 0")
+        if (
+            self.durability.enabled
+            and self.durability.directory is None
+            and self.snapshot_dir is None
+        ):
+            raise ConfigurationError(
+                "durability needs a directory: set durability.directory "
+                "or snapshot_dir"
+            )
         object.__setattr__(self, "archs", tuple(self.archs))

@@ -61,6 +61,7 @@ class DebloatEngine:
         self._federation: StoreFederation | None = None
         self._server: DebloatServer | None = None
         self._remote_pool = None
+        self._durability = None
         self._opened = False
         self._closed = False
 
@@ -107,19 +108,47 @@ class DebloatEngine:
                 if self.config.snapshot_dir is not None
                 else None
             )
+            liveness = self.config.liveness
             self._remote_pool = RemoteShardPool(
                 self.config.remote_shards,
                 scale=self.config.scale,
                 archs=tuple(self.config.archs),
                 use_cache=self.config.use_cache,
                 snapshot_root=snapshot_root,
+                op_deadline_s=liveness.op_deadline_s,
+                breaker_threshold=liveness.breaker_threshold,
+                breaker_cooldown_s=liveness.breaker_cooldown_s,
+                heartbeat_interval_s=liveness.heartbeat_interval_s,
+            )
+        if self.config.durability.enabled:
+            import os
+
+            from repro.serving.wal import DurabilityController
+
+            root = self.config.durability.directory
+            if root is None:
+                root = os.path.join(
+                    self.config.snapshot_dir, "durability"
+                )
+            self._durability = DurabilityController(
+                root,
+                fsync=self.config.durability.fsync,
+                fsync_batch_n=self.config.durability.fsync_batch_n,
             )
         self._federation = StoreFederation(
             self.config,
             clock=self._clock,
             cache=self._cache,
             remote_pool=self._remote_pool,
+            durability=self._durability,
         )
+        if self._durability is not None:
+            self._durability.recover(self._federation)
+            if self.config.durability.checkpoint_interval_s is not None:
+                self._durability.start_checkpointer(
+                    self._federation,
+                    self.config.durability.checkpoint_interval_s,
+                )
         self._opened = True
         return self
 
@@ -132,6 +161,10 @@ class DebloatEngine:
             self._server.close()
         if self._remote_pool is not None:
             self._remote_pool.shutdown()
+        if self._durability is not None:
+            # Stops the checkpointer and syncs every WAL: a clean close
+            # leaves nothing in the batch-fsync window.
+            self._durability.close()
 
     def __enter__(self) -> "DebloatEngine":
         return self.open()
@@ -337,12 +370,43 @@ class DebloatEngine:
             wall_s=time.perf_counter() - start,
         )
 
+    def checkpoint(self) -> EngineResult:
+        """Snapshot every durable shard, then truncate its WAL, once, now.
+
+        Requires ``config.durability.enabled``; the background
+        checkpointer (``durability.checkpoint_interval_s``) runs exactly
+        this on a cadence.
+        """
+        self._ensure_open()
+        if self._durability is None:
+            raise UsageError(
+                "checkpoint requires EngineConfig.durability.enabled"
+            )
+        start = time.perf_counter()
+        result = self._durability.checkpoint(self.federation)
+        return EngineResult(
+            kind="checkpoint",
+            value=result,
+            wall_s=time.perf_counter() - start,
+        )
+
+    @property
+    def recovery(self) -> dict | None:
+        """The last ``open()``'s durability recovery report (or None)."""
+        if self._durability is None:
+            return None
+        return self._durability.recovery_report
+
     def stats(self) -> dict[str, int]:
         """Federation counters, plus the server's when one is running."""
         self._ensure_open()
         if self._server is not None:
-            return self._server.stats()
-        return self.federation.stats()
+            out = self._server.stats()
+        else:
+            out = self.federation.stats()
+        if self._durability is not None:
+            out = {**out, **self._durability.stats()}
+        return out
 
     def health(self) -> dict:
         """One aggregated health report across every serving layer.
@@ -369,6 +433,8 @@ class DebloatEngine:
         )
         if self._remote_pool is not None:
             out["remote"] = self._remote_pool.health()
+        if self._durability is not None:
+            out["durability"] = self._durability.health()
         return out
 
     # -- inspection -----------------------------------------------------------

@@ -237,6 +237,7 @@ class StoreFederation:
         clock: Callable[[], float] = time.monotonic,
         cache=None,
         remote_pool=None,
+        durability=None,
     ) -> None:
         self.config = config or EngineConfig()
         self.policy = self.config.eviction
@@ -247,6 +248,10 @@ class StoreFederation:
         #: A :class:`~repro.serving.remote.RemoteShardPool`; when set,
         #: catalog shards are consistent-hash routed onto its workers.
         self._remote_pool = remote_pool
+        #: A :class:`~repro.serving.wal.DurabilityController`; when set,
+        #: every locally created shard gets its write-ahead log attached
+        #: so committed mutations are journaled from the first admission.
+        self._durability = durability
         #: Guards shard creation and traffic bookkeeping; the expensive
         #: work (detection, delta compaction) runs under each store's own
         #: admission lock, never under this one.
@@ -269,6 +274,8 @@ class StoreFederation:
             if shard is None:
                 shard = FederationShard(framework, self.config, self._cache)
                 self._shards[framework.name] = shard
+                if self._durability is not None:
+                    self._durability.attach(shard)
             elif shard.framework is not framework:
                 raise UsageError(
                     f"federation already hosts a different "
@@ -321,7 +328,34 @@ class StoreFederation:
                 return existing
             shard = FederationShard(framework, self.config, self._cache)
             self._shards[framework_name] = shard
+            if self._durability is not None:
+                self._durability.attach(shard)
             return shard
+
+    def local_shards(self) -> list[FederationShard]:
+        """Every registered in-process shard (checkpointing walks these)."""
+        with self._lock:
+            return [s for s in self._shards.values() if not s.remote]
+
+    def warm_shard(self, framework_name: str) -> int:
+        """Refresh traffic/recovery bookkeeping after an out-of-band install.
+
+        Durability recovery installs store state directly (snapshot
+        import + WAL replay); this brings the federation's view in line:
+        recovered workloads enter the eviction clock as freshly served,
+        the shard reads as ``ok``, and ``last_good`` is the recovered
+        epoch.  Returns the shard's generation.
+        """
+        with self._lock:
+            shard = self._shards[framework_name]
+            snap = shard.store.snapshot()
+            now = self._clock()
+            for workload_id in snap.workload_ids:
+                shard.touch(workload_id, now, False)
+            shard.state = "ok"
+            shard.consecutive_failures = 0
+            shard.last_good = snap
+            return snap.generation
 
     def route_for(self, framework_name: str) -> str:
         """Where ``framework_name`` is (or would be) hosted.

@@ -276,3 +276,29 @@ class SnapshotError(ReproError):
 
 class SnapshotSchemaError(SnapshotError):
     """A snapshot image was written under a different schema version."""
+
+
+# ---------------------------------------------------------------------------
+# Write-ahead log (durability) errors
+# ---------------------------------------------------------------------------
+
+
+class WalError(ReproError):
+    """A write-ahead log operation failed.
+
+    Raised for problems that are *not* recoverable by scanning: an append
+    to a closed log, an unknown operation kind in a record, or a replay
+    that diverged from the generation recorded at commit time.  Torn or
+    corrupt tails are **not** errors - recovery silently keeps the longest
+    valid prefix and quarantines the rest (see
+    :func:`repro.serving.wal.scan_wal`).
+    """
+
+
+class WalReplayError(WalError, TransientError):
+    """Replaying a WAL record failed to reproduce the committed state.
+
+    Subclasses :class:`TransientError` because the most common causes -
+    an injected ``wal.replay`` fault or a cold pipeline cache mid-flight -
+    can succeed on a fresh :meth:`~repro.api.engine.DebloatEngine.open`.
+    """

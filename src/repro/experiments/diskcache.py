@@ -43,6 +43,7 @@ from repro.core import serialize
 from repro.core.report import WorkloadDebloatReport
 from repro.errors import CacheError, FaultError
 from repro.testing import faults
+from repro.utils import atomicio
 
 #: Filename extension of serialized report containers.
 SUFFIX = ".rpdc"
@@ -256,15 +257,12 @@ class DiskReportCache:
                 self.errors += 1
 
     def _write_once(self, path: Path, data: bytes) -> None:
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        try:
-            faults.check("diskcache.write")
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_bytes(data)
-            os.replace(tmp, path)
-        except OSError:
-            self._remove(tmp)  # don't leak a half-written temp file
-            raise
+        # Durable tmp + fsync + rename + dir fsync (REPRO_NO_FSYNC skips
+        # the physical syncs): a cache entry observed on disk is complete
+        # and survives power loss, not just process death.
+        faults.check("diskcache.write")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomicio.atomic_write_bytes(str(path), data)
 
     # -- maintenance ----------------------------------------------------------
 

@@ -201,6 +201,20 @@ class DebloatHttpServer:
                    "submit-to-resolution admission latency")
         m.describe("admission_queue_wait_seconds",
                    "coalescing-window + submit wait ahead of admission")
+        m.describe("serving_wal_appended",
+                   "write-ahead log records appended since open")
+        m.describe("serving_wal_lag",
+                   "WAL records not yet folded into a checkpoint")
+        m.describe("serving_wal_failures",
+                   "WAL appends that failed after the store committed")
+        m.describe("serving_wal_quarantined_bytes",
+                   "torn WAL tail bytes quarantined during recovery")
+        m.describe("serving_wal_replayed",
+                   "WAL records replayed by the last recovery")
+        m.describe("serving_checkpoints_run",
+                   "durability checkpoints completed")
+        m.describe("serving_checkpoints_failed",
+                   "durability checkpoints aborted by an error")
 
     # -- lifecycle ------------------------------------------------------------
 

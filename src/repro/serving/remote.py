@@ -13,7 +13,10 @@ payloads (usage unions, library extents) without copies through JSON.
 Parent-side layers, bottom up:
 
 * :class:`RemoteShardProcess` - one spawned worker + the framed transport.
-  Any transport failure (dead process, truncated frame, injected
+  Every send/recv runs under a per-operation deadline (``select``-driven
+  non-blocking pipe I/O), so a worker that wedges mid-frame surfaces as a
+  timeout instead of blocking its caller forever.  Any transport failure
+  (dead process, truncated frame, deadline expiry, injected
   ``remote.send``/``remote.recv`` fault) marks the process broken and
   raises :class:`~repro.errors.RemoteShardError` - a
   :class:`~repro.errors.TransientError`, so the serving tier's retry
@@ -26,7 +29,15 @@ Parent-side layers, bottom up:
   Workers auto-export after every committed mutation, so that tail is at
   most the admission that was in flight when the worker died - and
   re-admission is idempotent, so the retried call converges on a store
-  byte-identical to a crash-free run.
+  byte-identical to a crash-free run.  The supervisor also runs the
+  liveness layer: :meth:`~RemoteShardSupervisor.heartbeat` probes the
+  worker's ``ping`` op (``remote.heartbeat`` fault site), and a
+  per-worker **circuit breaker** opens after a threshold of consecutive
+  transport failures - calls fast-fail with :class:`RemoteShardError`
+  for a cooldown, then one half-open probe either closes the breaker or
+  re-opens it.  Fast-fails are transient, so the federation degrades
+  the shard to ``recovering`` and serves last-good snapshots instead of
+  stalling on a hung worker.
 * :class:`RemoteStoreClient` - the duck-typed ``DebloatStore`` surface
   (``admit`` / ``admit_many`` / ``evict`` / ``snapshot`` / ``report`` /
   ``stats`` / ``export_state`` / ``import_state``) for one framework on
@@ -45,11 +56,13 @@ from __future__ import annotations
 import bisect
 import json
 import os
+import select
 import signal
 import struct
 import subprocess
 import sys
 import threading
+import time
 from types import MappingProxyType
 
 from repro.core import serialize
@@ -417,21 +430,50 @@ def main(argv: list[str] | None = None) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _wait_fd(fd: int, writable: bool, deadline: float | None) -> None:
+    """Block until ``fd`` is ready (or raise ``TimeoutError`` at deadline)."""
+    while True:
+        timeout = None
+        if deadline is not None:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise TimeoutError("per-operation deadline exceeded")
+        rlist, wlist, _ = select.select(
+            [] if writable else [fd],
+            [fd] if writable else [],
+            [],
+            timeout,
+        )
+        if rlist or wlist:
+            return
+
+
 class RemoteShardProcess:
     """One spawned worker plus the framed transport to it.
 
     ``call`` serializes concurrent users behind a lock (the worker
-    processes one request at a time anyway).  Any transport failure
-    marks the process ``broken`` - the stream may be desynchronized, so
-    the only safe recovery is a supervisor restart - and surfaces as
-    :class:`RemoteShardError`.
+    processes one request at a time anyway).  The pipes run non-blocking
+    with ``select``-paced I/O, so ``op_deadline_s`` bounds every
+    send+recv: a wedged worker raises instead of hanging its caller.
+    Any transport failure marks the process ``broken`` - the stream may
+    be desynchronized, so the only safe recovery is a supervisor
+    restart - and surfaces as :class:`RemoteShardError`.
     """
 
-    def __init__(self, name: str, config: dict) -> None:
+    def __init__(
+        self,
+        name: str,
+        config: dict,
+        op_deadline_s: float | None = None,
+    ) -> None:
         self.name = name
         self.broken = False
+        self.op_deadline_s = op_deadline_s
         self._lock = threading.Lock()
         faults.check("shard.spawn")
+        # bufsize=0: the pipes stay raw file objects, so the select-based
+        # deadline loops below see every byte the OS sees (a Python-side
+        # buffer would make readiness lie).
         self._proc = subprocess.Popen(
             [
                 sys.executable,
@@ -442,32 +484,45 @@ class RemoteShardProcess:
             ],
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
+            bufsize=0,
         )
+        os.set_blocking(self._proc.stdin.fileno(), False)
+        os.set_blocking(self._proc.stdout.fileno(), False)
         self.pid = self._proc.pid
 
     @property
     def alive(self) -> bool:
         return not self.broken and self._proc.poll() is None
 
-    def call(self, op: str, **args) -> dict:
+    def call(
+        self, op: str, _deadline_s: float | None = None, **args
+    ) -> dict:
         request = {"op": op, **args}
+        deadline_s = (
+            _deadline_s if _deadline_s is not None else self.op_deadline_s
+        )
         with self._lock:
             if not self.alive:
                 raise RemoteShardError(
                     self.name, "worker process is not running"
                 )
+            deadline = (
+                time.monotonic() + deadline_s
+                if deadline_s is not None
+                else None
+            )
             try:
                 faults.check("remote.send")
-                write_frame(self._proc.stdin, request, REMOTE_REQUEST_KIND)
+                self._send_frame(request, REMOTE_REQUEST_KIND, deadline)
                 faults.check("remote.recv")
-                response = read_frame(
-                    self._proc.stdout, REMOTE_RESPONSE_KIND
+                response = self._recv_frame(
+                    REMOTE_RESPONSE_KIND, deadline
                 )
             except Exception as exc:
-                # Dead worker, truncated frame, or an injected
-                # send/recv fault: either way the stream can no longer
-                # be trusted - poison the process so the supervisor
-                # restarts it, and raise the retryable error.
+                # Dead worker, truncated frame, expired deadline, or an
+                # injected send/recv fault: either way the stream can no
+                # longer be trusted - poison the process so the
+                # supervisor restarts it, and raise the retryable error.
                 self.broken = True
                 raise RemoteShardError(
                     self.name, f"{type(exc).__name__}: {exc}"
@@ -475,6 +530,51 @@ class RemoteShardProcess:
         if not response.get("ok"):
             _raise_remote_error(self.name, response.get("error") or {})
         return response.get("value") or {}
+
+    def _send_frame(
+        self, payload: dict, kind: str, deadline: float | None
+    ) -> None:
+        blob = serialize.value_dumps(payload, kind)
+        fd = self._proc.stdin.fileno()
+        view = memoryview(_LEN.pack(len(blob)) + blob)
+        while view:
+            _wait_fd(fd, True, deadline)
+            try:
+                written = os.write(fd, view)
+            except BlockingIOError:
+                continue
+            view = view[written:]
+
+    def _recv_frame(self, kind: str, deadline: float | None) -> dict:
+        header = self._read_exact(_LEN.size, deadline)
+        (length,) = _LEN.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise CacheDecodeError(
+                f"remote frame claims {length} bytes "
+                f"(stream desynchronized)"
+            )
+        return serialize.value_loads(
+            self._read_exact(length, deadline), kind
+        )
+
+    def _read_exact(self, n: int, deadline: float | None) -> bytes:
+        fd = self._proc.stdout.fileno()
+        chunks = []
+        remaining = n
+        while remaining:
+            _wait_fd(fd, False, deadline)
+            try:
+                chunk = os.read(fd, remaining)
+            except BlockingIOError:
+                continue
+            if not chunk:
+                raise EOFError(
+                    f"remote stream closed with {remaining} of {n} "
+                    f"bytes unread"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
     def kill(self) -> None:
         """SIGKILL the worker (crash simulation / hard teardown)."""
@@ -561,9 +661,28 @@ class HashRing:
 
 
 class RemoteShardSupervisor:
-    """One worker slot: lazy spawn, crash detection, warm restart."""
+    """One worker slot: lazy spawn, crash detection, warm restart.
 
-    def __init__(self, name: str, config: dict) -> None:
+    Also the liveness layer: per-op deadlines are threaded into the
+    spawned :class:`RemoteShardProcess`, :meth:`heartbeat` probes the
+    worker's ``ping`` op, and a circuit breaker trips after
+    ``breaker_threshold`` consecutive *transport* failures (worker-side
+    application errors ride a healthy transport and never count).  An
+    open breaker fast-fails calls with :class:`RemoteShardError` until
+    ``breaker_cooldown_s`` elapses, then goes half-open: the next call
+    is the probe - success closes the breaker, failure re-opens it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: dict,
+        *,
+        op_deadline_s: float | None = None,
+        breaker_threshold: int | None = None,
+        breaker_cooldown_s: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
         self.name = name
         self._config = dict(config, name=name)
         self._lock = threading.RLock()
@@ -573,6 +692,18 @@ class RemoteShardSupervisor:
         #: mirrored parent-side so a restart can replay the tail that
         #: missed the worker's last snapshot export.
         self._ledgers: dict[str, list] = {}
+        self.op_deadline_s = op_deadline_s
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_s
+        self._breaker_clock = clock
+        #: ``closed`` / ``open`` / ``half-open``.
+        self.breaker_state = "closed"
+        self.breaker_trips = 0
+        self._breaker_failures = 0
+        self._breaker_opened_at = 0.0
+        self.heartbeats = 0
+        self.heartbeat_failures = 0
+        self.last_heartbeat_error: str | None = None
 
     @property
     def snapshot_dir(self) -> str | None:
@@ -598,7 +729,11 @@ class RemoteShardSupervisor:
             if self._proc is None:
                 # The worker imports its own snapshot on boot; the
                 # parent then replays whatever the snapshot missed.
-                self._proc = RemoteShardProcess(self.name, self._config)
+                self._proc = RemoteShardProcess(
+                    self.name,
+                    self._config,
+                    op_deadline_s=self.op_deadline_s,
+                )
                 try:
                     self._replay_locked(self._proc)
                 except BaseException:
@@ -606,8 +741,96 @@ class RemoteShardSupervisor:
                     raise
             return self._proc
 
-    def call(self, op: str, **args) -> dict:
-        return self.process().call(op, **args)
+    def call(
+        self, op: str, _deadline_s: float | None = None, **args
+    ) -> dict:
+        self._breaker_admit()
+        try:
+            value = self.process().call(op, _deadline_s=_deadline_s, **args)
+        except RemoteShardError:
+            # Only transport-level failures feed the breaker: a
+            # worker-relayed transient rides a healthy (unbroken, alive)
+            # transport and is the retry policy's business.
+            proc = self._proc
+            if proc is None or proc.broken or not proc.alive:
+                self._breaker_failure()
+            raise
+        self._breaker_success()
+        return value
+
+    # -- circuit breaker ------------------------------------------------------
+
+    def _breaker_admit(self) -> None:
+        if self._breaker_threshold is None:
+            return
+        with self._lock:
+            if self.breaker_state != "open":
+                return
+            elapsed = self._breaker_clock() - self._breaker_opened_at
+            if elapsed < self._breaker_cooldown_s:
+                raise RemoteShardError(
+                    self.name,
+                    f"circuit breaker open "
+                    f"({self._breaker_failures} consecutive failures; "
+                    f"half-open probe in "
+                    f"{self._breaker_cooldown_s - elapsed:.2f}s)",
+                )
+            # Cooldown served: this caller becomes the half-open probe.
+            self.breaker_state = "half-open"
+
+    def _breaker_failure(self) -> None:
+        if self._breaker_threshold is None:
+            return
+        with self._lock:
+            self._breaker_failures += 1
+            if (
+                self.breaker_state == "half-open"
+                or self._breaker_failures >= self._breaker_threshold
+            ):
+                if self.breaker_state != "open":
+                    self.breaker_trips += 1
+                self.breaker_state = "open"
+                self._breaker_opened_at = self._breaker_clock()
+
+    def _breaker_success(self) -> None:
+        if self._breaker_threshold is None:
+            return
+        with self._lock:
+            self._breaker_failures = 0
+            self.breaker_state = "closed"
+
+    # -- heartbeat ------------------------------------------------------------
+
+    def heartbeat(self, deadline_s: float | None = None) -> dict:
+        """One liveness probe against a *running* worker (never spawns).
+
+        Routes through the worker's ``ping`` op under the usual per-op
+        deadline; an idle slot (no worker yet) reports ``idle`` without
+        spawning one.  Failures count toward the circuit breaker exactly
+        like a real call's transport failure, so a hung worker's breaker
+        opens even when no admission traffic is flowing.  Fault site
+        ``remote.heartbeat`` fires before the probe.
+        """
+        with self._lock:
+            proc = self._proc
+        if proc is None:
+            return {"state": "idle", "ok": True}
+        try:
+            faults.check("remote.heartbeat")
+            self._breaker_admit()
+            value = proc.call("ping", _deadline_s=deadline_s)
+        except (TransientError, OSError) as exc:
+            message = f"{type(exc).__name__}: {exc}"
+            with self._lock:
+                self.heartbeat_failures += 1
+                self.last_heartbeat_error = message
+            if proc.broken or not proc.alive:
+                self._breaker_failure()
+            return {"state": "failed", "ok": False, "error": message}
+        with self._lock:
+            self.heartbeats += 1
+        self._breaker_success()
+        return {"state": "ok", "ok": True, "pid": value.get("pid")}
 
     def _replay_locked(self, proc: RemoteShardProcess) -> None:
         """Re-admit the ledger tail a fresh worker's snapshot lacks.
@@ -753,6 +976,10 @@ class RemoteShardPool:
         archs,
         use_cache: bool = True,
         snapshot_root: str | None = None,
+        op_deadline_s: float | None = None,
+        breaker_threshold: int | None = None,
+        breaker_cooldown_s: float = 5.0,
+        heartbeat_interval_s: float | None = None,
     ) -> None:
         if count < 1:
             raise UsageError("remote shard pool needs at least one worker")
@@ -772,10 +999,17 @@ class RemoteShardPool:
                         else None
                     ),
                 },
+                op_deadline_s=op_deadline_s,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown_s=breaker_cooldown_s,
             )
         self._ring = HashRing(sorted(self.supervisors))
         self._clients: dict[str, RemoteStoreClient] = {}
         self._lock = threading.Lock()
+        self._hb_stop = threading.Event()
+        self._hb_thread: threading.Thread | None = None
+        if heartbeat_interval_s is not None:
+            self.start_heartbeats(heartbeat_interval_s)
 
     def node_for(self, fingerprint: str) -> str:
         return self._ring.node_for(fingerprint)
@@ -799,6 +1033,32 @@ class RemoteShardPool:
             )
         return client._sup
 
+    def start_heartbeats(self, interval_s: float) -> None:
+        """Probe every supervisor's worker on a cadence (daemon thread)."""
+        if self._hb_thread is not None:
+            return
+        self._hb_stop.clear()
+
+        def _loop() -> None:
+            while not self._hb_stop.wait(interval_s):
+                for sup in list(self.supervisors.values()):
+                    try:
+                        sup.heartbeat()
+                    except Exception:
+                        continue
+
+        self._hb_thread = threading.Thread(
+            target=_loop, name="repro-heartbeat", daemon=True
+        )
+        self._hb_thread.start()
+
+    def stop_heartbeats(self) -> None:
+        if self._hb_thread is None:
+            return
+        self._hb_stop.set()
+        self._hb_thread.join(timeout=5.0)
+        self._hb_thread = None
+
     def health(self) -> dict:
         rows = {
             name: {
@@ -806,6 +1066,10 @@ class RemoteShardPool:
                 "pid": sup.pid,
                 "restarts": sup.restarts,
                 "snapshot_dir": sup.snapshot_dir,
+                "breaker": sup.breaker_state,
+                "breaker_trips": sup.breaker_trips,
+                "heartbeats": sup.heartbeats,
+                "heartbeat_failures": sup.heartbeat_failures,
             }
             for name, sup in self.supervisors.items()
         }
@@ -813,10 +1077,14 @@ class RemoteShardPool:
             "workers": len(self.supervisors),
             "alive": sum(1 for row in rows.values() if row["alive"]),
             "restarts": sum(row["restarts"] for row in rows.values()),
+            "breakers_open": sum(
+                1 for row in rows.values() if row["breaker"] == "open"
+            ),
             "shards": rows,
         }
 
     def shutdown(self) -> None:
+        self.stop_heartbeats()
         for sup in self.supervisors.values():
             sup.shutdown()
 

@@ -10,12 +10,18 @@ digest before decoding, so a torn or tampered file surfaces as
 :class:`~repro.errors.SnapshotError` rather than a half-imported store.
 
 Write ordering makes export crash-safe without locks: shard containers are
-written first (each through a same-directory temp file + ``os.replace``),
-the manifest last, also atomically.  A reader therefore either sees the
-previous complete snapshot or the new one - never a manifest pointing at
-missing or partial files.  Readers call the ``snapshot.read`` fault site,
-so the fault harness can rehearse corrupt/missing snapshots
-deterministically.
+written first (each through the durable atomic-write helper - temp file,
+``fsync``, ``os.replace``, parent-directory ``fsync``), the manifest last,
+also atomically.  A reader therefore either sees the previous complete
+snapshot or the new one - never a manifest pointing at missing or partial
+files - and (with fsync enabled) what it sees survives power loss.
+Readers call the ``snapshot.read`` fault site, so the fault harness can
+rehearse corrupt/missing snapshots deterministically.
+
+When a shard has a write-ahead log (:mod:`repro.serving.wal`), its
+manifest entry also records the ``wal_seq`` watermark: the last WAL
+record reflected in the image.  Recovery replays only records past the
+watermark, which is what makes checkpoint-then-truncate crash-safe.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from repro.errors import (
     SnapshotSchemaError,
 )
 from repro.testing import faults
+from repro.utils.atomicio import atomic_write_bytes
 
 #: Bump on any change to the manifest layout or file naming.
 SNAPSHOT_SCHEMA = 1
@@ -50,20 +57,22 @@ def shard_filename(framework: str) -> str:
 
 
 def _atomic_write(path: str, data: bytes) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as fh:
-        fh.write(data)
-    os.replace(tmp, path)
+    atomic_write_bytes(path, data)
 
 
 def write_snapshot(
-    directory: str, payloads: Mapping[str, dict]
+    directory: str,
+    payloads: Mapping[str, dict],
+    wal_seqs: Mapping[str, int] | None = None,
 ) -> dict:
     """Write one store image per framework + the manifest; returns it.
 
     ``payloads`` maps framework name -> a store-image payload tree
     (:meth:`~repro.serving.store.DebloatStore.export_state` output).
     Re-exporting an unchanged federation rewrites byte-identical files.
+    ``wal_seqs`` optionally maps framework name -> the WAL watermark
+    reflected in the image, recorded as the shard entry's ``wal_seq``
+    (readers without a WAL ignore the extra key).
     """
     os.makedirs(directory, exist_ok=True)
     shards = []
@@ -73,16 +82,17 @@ def write_snapshot(
         blob = payload_dumps(payload)
         filename = shard_filename(framework)
         _atomic_write(os.path.join(directory, filename), blob)
-        shards.append(
-            {
-                "framework": framework,
-                "fingerprint": payload.get("fingerprint"),
-                "generation": int(payload.get("generation", 0)),
-                "file": filename,
-                "bytes": len(blob),
-                "digest": stable_digest(blob),
-            }
-        )
+        entry = {
+            "framework": framework,
+            "fingerprint": payload.get("fingerprint"),
+            "generation": int(payload.get("generation", 0)),
+            "file": filename,
+            "bytes": len(blob),
+            "digest": stable_digest(blob),
+        }
+        if wal_seqs is not None and framework in wal_seqs:
+            entry["wal_seq"] = int(wal_seqs[framework])
+        shards.append(entry)
     manifest = {
         "schema": SNAPSHOT_SCHEMA,
         "container_schema": SCHEMA_VERSION,

@@ -241,6 +241,13 @@ class DebloatStore:
         self._stat_rollback_recompactions = 0
         #: ``"ExcType: message"`` of the last rolled-back mutation, or None.
         self.last_error: str | None = None
+        #: Write-ahead log journaling committed mutations (durability off
+        #: until :meth:`attach_wal`); append failures degrade durability,
+        #: never the committed admission.
+        self._wal = None
+        self._stat_wal_failures = 0
+        #: ``"ExcType: message"`` of the last failed WAL append, or None.
+        self.last_wal_error: str | None = None
 
     # -- transactions ----------------------------------------------------------
 
@@ -361,6 +368,71 @@ class DebloatStore:
         if problems:
             raise StoreInvariantError("; ".join(problems))
 
+    # -- write-ahead logging ---------------------------------------------------
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.serving.wal.WriteAheadLog`, or None."""
+        return self._wal
+
+    def attach_wal(self, wal) -> None:
+        """Journal every committed mutation to ``wal`` from now on.
+
+        Taken under the admission lock so the first journaled record
+        cannot race an in-flight commit.  Recovery attaches the WAL only
+        *after* replaying it, so replayed mutations are never re-appended.
+        """
+        with self._admission_lock:
+            self._wal = wal
+
+    def _wal_append_locked(self, op: str, args: dict) -> None:
+        """Append one committed mutation record (admission lock held).
+
+        Runs *after* the transaction published its snapshot, so the
+        journal only ever describes committed state and record order
+        equals commit order.  An append failure (disk full, injected
+        ``wal.append`` fault) is counted and remembered but never undoes
+        the commit: durability degrades, serving does not.
+        """
+        if self._wal is None:
+            return
+        record = dict(args)
+        record["op"] = op
+        record["generation"] = self._generation
+        record["counters"] = {
+            name: getattr(self, name) for name in self._TXN_COUNTERS
+        }
+        try:
+            self._wal.append(record)
+        except Exception as exc:
+            self._stat_wal_failures += 1
+            self.last_wal_error = f"{type(exc).__name__}: {exc}"
+
+    def restore_counters(self, counters: dict) -> None:
+        """Install journaled transactional counters (WAL replay only).
+
+        Counters like ``usage_cache_hits`` are replay-variant (a replayed
+        admission hits the cache where the original computed), so recovery
+        installs the values recorded at the last committed mutation to
+        make the recovered image byte-identical to the pre-crash one.
+        """
+        with self._admission_lock:
+            for name in self._TXN_COUNTERS:
+                if name in counters:
+                    setattr(self, name, int(counters[name]))
+
+    def export_durable(self) -> tuple[dict, int]:
+        """``(export_state(), WAL watermark)`` as one atomic observation.
+
+        Both are captured under the admission lock, so the returned
+        sequence number is exactly the last record contributing to the
+        image - the checkpoint writer stores it as the shard's
+        ``wal_seq`` and recovery replays only records past it.
+        """
+        with self._admission_lock:
+            seq = self._wal.last_seq if self._wal is not None else 0
+            return self.export_state(), seq
+
     # -- admission ------------------------------------------------------------
 
     def admit(
@@ -443,6 +515,15 @@ class DebloatStore:
                 self._stat_recompactions += len(to_process)
                 self._stat_untouched_served += len(untouched)
 
+            from repro.core import serialize
+
+            self._wal_append_locked(
+                "admit",
+                {
+                    "spec": serialize.spec_to_payload(spec),
+                    "verify": bool(verify),
+                },
+            )
             snapshot_libs = self._debloated
             generation = self._generation
             union_file_size = self._snapshot.total_file_size
@@ -582,6 +663,17 @@ class DebloatStore:
                 for spec in specs:
                     _check_spec(self.framework.name, self._arch, spec)
             pending, cost_of = self._admit_many_locked(specs, captures)
+            from repro.core import serialize
+
+            self._wal_append_locked(
+                "admit_many",
+                {
+                    "specs": [
+                        serialize.spec_to_payload(s) for s in specs
+                    ],
+                    "verify": bool(verify),
+                },
+            )
             generation = self._generation
             union_file_size = self._snapshot.total_file_size
             union_file_size_after = self._snapshot.total_file_size_after
@@ -1132,6 +1224,10 @@ class DebloatStore:
                 self._generation = generation
                 for name in self._TXN_COUNTERS:
                     setattr(self, name, counters.get(name, 0))
+            # A wholesale install supersedes the journaled history: the
+            # imported image itself becomes the journal's new baseline, so
+            # a crash right after an import still recovers this state.
+            self._wal_append_locked("import", {"state": payload})
 
     # -- eviction / reset -----------------------------------------------------
 
@@ -1143,6 +1239,13 @@ class DebloatStore:
         are re-compacted, and libraries no remaining workload needs are
         dropped from the store.
         """
+        with self._admission_lock:
+            result = self._evict_locked(workload_id)
+            self._wal_append_locked("evict", {"workload_id": workload_id})
+            return result
+
+    def _evict_locked(self, workload_id: str) -> EvictionResult:
+        """The transactional body of :meth:`evict` (lock held; reentrant)."""
         with self._admission_lock:
             keep = [s for s in self._admitted if s.workload_id != workload_id]
             removed = len(self._admitted) - len(keep)
@@ -1260,12 +1363,13 @@ class DebloatStore:
                 self._debloated = {}
                 self._locates = {}
                 self._generation += 1
+            self._wal_append_locked("reset", {})
 
     # -- stats ----------------------------------------------------------------
 
     def stats(self) -> dict[str, int]:
         snap = self._snapshot
-        return {
+        out = {
             "generation": snap.generation,
             "admissions": self._stat_admissions,
             "duplicates": self._stat_duplicates,
@@ -1278,6 +1382,12 @@ class DebloatStore:
             "rollbacks": self._stat_rollbacks,
             "rollback_recompactions": self._stat_rollback_recompactions,
         }
+        wal = self._wal
+        if wal is not None:
+            out["wal_appended"] = wal.appended
+            out["wal_records"] = wal.records_on_disk
+            out["wal_failures"] = self._stat_wal_failures
+        return out
 
 
 def _fn_union_equal(a: np.ndarray | None, b: np.ndarray | None) -> bool:

@@ -32,6 +32,17 @@ Sites instrumented today:
                            process (spawn failure / restart storm)
 ``snapshot.read``          snapshot manifest/shard-image read (a torn or
                            corrupt on-disk snapshot)
+``wal.append``             write-ahead log, before the record frame is
+                           written (an admission committed but never logged)
+``wal.fsync``              write-ahead log, before the physical fsync (a
+                           power-loss window)
+``wal.replay``             durability recovery, before applying one WAL
+                           record to the store
+``checkpoint.truncate``    durability checkpoint, after the snapshot export
+                           but before the WAL truncation (the crash window
+                           the watermark exists for)
+``remote.heartbeat``       supervisor liveness probe, before pinging the
+                           worker
 =========================  ====================================================
 
 Plans are **opt-in**: nothing fires unless a plan is activated, either
@@ -47,7 +58,11 @@ or an inline rule spec::
 ``site@N1,N2`` fires on those 1-based invocation ordinals of the site;
 ``site%RATE`` fires each invocation with probability RATE drawn from a
 seeded per-rule stream; an optional ``:kind`` suffix picks the injected
-failure (``fault`` | ``broken_pool`` | ``corrupt`` | ``oserror``).
+failure (``fault`` | ``broken_pool`` | ``corrupt`` | ``oserror`` |
+``kill``).  ``kill`` is the crash-matrix kind: instead of raising, it
+sends ``SIGKILL`` to the current process at the fault site, simulating a
+hard crash with no chance to run cleanup - only meaningful in a child
+process driven via ``REPRO_FAULT_PLAN``.
 
 Determinism: each rule keeps its own invocation counter and (for rate
 rules) its own :class:`~repro.utils.rng.RngStream` seeded from
@@ -61,6 +76,7 @@ produced (exactly like a real flaky component).
 from __future__ import annotations
 
 import os
+import signal
 import threading
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -73,7 +89,7 @@ from repro.utils.rng import RngStream
 PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: Injected-failure kinds a rule may request.
-FAULT_KINDS = ("fault", "broken_pool", "corrupt", "oserror")
+FAULT_KINDS = ("fault", "broken_pool", "corrupt", "oserror", "kill")
 
 
 @dataclass(frozen=True)
@@ -173,6 +189,9 @@ class FaultPlan:
                         FiredFault(site, rule.site, ordinal, rule.kind)
                     )
             if fire:
+                if rule.kind == "kill":
+                    # Hard crash: no exception, no cleanup, no atexit.
+                    os.kill(os.getpid(), signal.SIGKILL)
                 raise _exception_for(rule.kind, site, ordinal)
 
     def stats(self) -> dict[str, int]:
@@ -262,6 +281,16 @@ CI_STANDARD_SEED = 20250808
 #: stays byte-compatible for in-process runs: a dropped request frame, a
 #: dropped response frame, one failed worker spawn (the supervisor's next
 #: call retries it), and one corrupt snapshot read.
+#:
+#: The durability rules (``wal.*`` / ``checkpoint.truncate`` /
+#: ``remote.heartbeat``) likewise only fire with durability or heartbeats
+#: enabled, and every one is absorbed where it fires: a failed WAL append
+#: or fsync is counted (``wal_failures``) without undoing the committed
+#: admission, a truncate fault leaves the checkpoint snapshot in place
+#: (the watermark makes the extra replay a no-op), and a heartbeat fault
+#: is one failed probe.  ``wal.replay`` is deliberately *not* in this
+#: plan: a replay fault aborts recovery rather than being tolerated, so
+#: it belongs to the explicit crash matrix, not the steady-state plan.
 CI_STANDARD_PLAN = (
     FaultRule("worker.pre_merge", ordinals=(1,)),
     FaultRule("store.merge", ordinals=(2,)),
@@ -273,6 +302,10 @@ CI_STANDARD_PLAN = (
     FaultRule("remote.recv", ordinals=(4,)),
     FaultRule("shard.spawn", ordinals=(2,)),
     FaultRule("snapshot.read", ordinals=(3,), kind="corrupt"),
+    FaultRule("wal.append", ordinals=(3,)),
+    FaultRule("wal.fsync", ordinals=(2,), kind="oserror"),
+    FaultRule("checkpoint.truncate", ordinals=(1,)),
+    FaultRule("remote.heartbeat", ordinals=(2,)),
 )
 
 _NAMED_PLANS: dict[str, tuple[tuple[FaultRule, ...], int]] = {

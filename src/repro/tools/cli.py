@@ -166,6 +166,39 @@ def build_parser() -> argparse.ArgumentParser:
                          "workers auto-export and crash-recover under "
                          "DIR/workers; POST /v1/snapshot/export defaults "
                          "to DIR/federation")
+    p_serve.add_argument("--durable", action="store_true",
+                         help="crash-consistent durability: journal every "
+                         "admission/eviction to a per-shard write-ahead "
+                         "log and auto-recover the store on startup")
+    p_serve.add_argument("--durability-dir", default=None, metavar="DIR",
+                         help="root for the WAL + checkpoint files "
+                         "(default: SNAPSHOT_DIR/durability; required "
+                         "with --durable if --snapshot-dir is unset)")
+    p_serve.add_argument("--wal-fsync", default="batch",
+                         choices=("always", "batch", "off"),
+                         help="WAL fsync policy: 'always' syncs every "
+                         "append, 'batch' every few appends plus on "
+                         "checkpoint, 'off' flushes without syncing "
+                         "(default: batch)")
+    p_serve.add_argument("--checkpoint-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="export a store snapshot and truncate the "
+                         "WAL every SECONDS in the background (default: "
+                         "checkpoint only on demand)")
+    p_serve.add_argument("--op-deadline-s", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="per-operation send/receive deadline for "
+                         "remote shard workers; a hung worker raises "
+                         "instead of blocking forever (default: 30)")
+    p_serve.add_argument("--heartbeat-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="probe every remote shard worker with a "
+                         "liveness ping every SECONDS (default: off)")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3,
+                         metavar="N",
+                         help="open a remote shard's circuit breaker "
+                         "after N consecutive transport failures "
+                         "(default: 3; 0 disables the breaker)")
 
     p_snapshot = sub.add_parser(
         "snapshot",
@@ -303,6 +336,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
             retry=retry,
             remote_shards=args.remote_shards,
             snapshot_dir=args.snapshot_dir,
+        )
+        if args.durable or args.durability_dir:
+            from repro.api.config import DurabilityConfig
+
+            serving["durability"] = DurabilityConfig(
+                enabled=True,
+                directory=args.durability_dir,
+                fsync=args.wal_fsync,
+                checkpoint_interval_s=args.checkpoint_interval,
+            )
+        from repro.api.config import LivenessConfig
+
+        serving["liveness"] = LivenessConfig(
+            op_deadline_s=args.op_deadline_s or None,
+            heartbeat_interval_s=args.heartbeat_interval,
+            breaker_threshold=args.breaker_threshold or None,
         )
         if args.http is not None:
             from repro.api import HttpConfig

@@ -1,0 +1,93 @@
+"""Crash-durable atomic file writes shared across the persistence tiers.
+
+``tmp + os.replace`` alone is only *rename*-atomic: after a power loss the
+file may exist with zero bytes because neither the data nor the directory
+entry was ever forced to stable storage.  :func:`atomic_write_bytes` closes
+that hole - it writes to a same-directory temp file, ``fsync``\\ s the file,
+renames it over the destination, then ``fsync``\\ s the parent directory so
+the rename itself is durable.  The snapshot writer
+(:mod:`repro.serving.snapshot`), the disk cache tier
+(:mod:`repro.experiments.diskcache`), and the WAL
+(:mod:`repro.serving.wal`) all route through here.
+
+Tests (and benchmarks that churn thousands of tiny files) can set
+``REPRO_NO_FSYNC=1`` to skip the physical syncs while keeping the
+tmp+rename atomicity; the escape hatch trades power-loss durability for
+speed, never crash consistency against process death.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "NO_FSYNC_ENV",
+    "fsync_enabled",
+    "fsync_file",
+    "fsync_dir",
+    "atomic_write_bytes",
+]
+
+#: Environment variable that disables physical ``os.fsync`` calls.
+NO_FSYNC_ENV = "REPRO_NO_FSYNC"
+
+
+def fsync_enabled() -> bool:
+    """Whether physical ``os.fsync`` calls are enabled (the default)."""
+    return os.environ.get(NO_FSYNC_ENV, "").strip() not in ("1", "true", "yes")
+
+
+def fsync_file(fd: int) -> None:
+    """``os.fsync`` a file descriptor unless ``REPRO_NO_FSYNC`` is set."""
+    if fsync_enabled():
+        os.fsync(fd)
+
+
+def fsync_dir(path: str) -> None:
+    """Force a directory's entries to stable storage (best effort).
+
+    A rename is only durable once the *parent directory* is synced.  Some
+    platforms refuse ``open(O_RDONLY)`` on directories; those errors are
+    swallowed because the write itself already succeeded.
+    """
+    if not fsync_enabled():
+        return
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Durably replace ``path`` with ``data``.
+
+    Writes a same-directory temp file (so ``os.replace`` never crosses a
+    filesystem boundary), syncs it, renames it into place, and syncs the
+    parent directory.  Readers never observe a partial file; after this
+    returns (with fsync enabled) the bytes survive power loss.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(
+        directory, f".{os.path.basename(path)}.tmp{os.getpid()}"
+    )
+    try:
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            fsync_file(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(directory)

@@ -1,0 +1,288 @@
+"""Tests for the write-ahead admissions log: framing, healing, fuzz.
+
+The WAL's one promise is that :func:`repro.serving.wal.scan_wal` recovers
+the longest valid record prefix from *any* byte string without raising -
+torn tails, bit flips, interleaved garbage, duplicate sequence numbers.
+The hypothesis suite hammers exactly that promise; the unit tests cover
+the log object's append/sync/truncate/heal lifecycle around it.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import serialize
+from repro.errors import FaultError, WalError
+from repro.serving.wal import (
+    MAX_RECORD_BYTES,
+    WAL_KIND,
+    WriteAheadLog,
+    scan_wal,
+)
+from repro.testing import faults
+from repro.utils import atomicio
+
+_LEN = struct.Struct("<I")
+
+
+def frame(record: dict) -> bytes:
+    blob = serialize.value_dumps(record, WAL_KIND)
+    return _LEN.pack(len(blob)) + blob
+
+
+def wal_bytes(n: int, start_seq: int = 1) -> bytes:
+    return b"".join(
+        frame({"op": "admit", "seq": start_seq + i, "payload": i})
+        for i in range(n)
+    )
+
+
+# -- scan_wal -----------------------------------------------------------------
+
+
+def test_scan_empty_and_clean():
+    assert scan_wal(b"").records == ()
+    data = wal_bytes(3)
+    scan = scan_wal(data)
+    assert [r["seq"] for r in scan.records] == [1, 2, 3]
+    assert scan.valid_length == len(data)
+    assert scan.torn_bytes == 0
+    assert scan.last_seq == 3
+
+
+def test_scan_stops_at_truncated_tail():
+    data = wal_bytes(3)
+    for cut in range(1, len(frame({"op": "admit", "seq": 3, "payload": 2}))):
+        scan = scan_wal(data[: len(data) - cut])
+        assert [r["seq"] for r in scan.records] == [1, 2]
+        assert scan.torn_bytes > 0
+
+
+def test_scan_stops_at_bit_flip():
+    data = bytearray(wal_bytes(3))
+    # Flip a byte inside the second record's container body (past its
+    # length prefix) - the CRC catches it, record 1 survives.
+    first_end = scan_wal(bytes(data)).frames[0][1]
+    data[first_end + _LEN.size + 8] ^= 0xFF
+    scan = scan_wal(bytes(data))
+    assert [r["seq"] for r in scan.records] == [1]
+
+
+def test_scan_rejects_zero_oversize_and_garbage_lengths():
+    good = wal_bytes(2)
+    assert len(scan_wal(good + _LEN.pack(0) + b"x").records) == 2
+    assert len(
+        scan_wal(good + _LEN.pack(MAX_RECORD_BYTES + 1)).records
+    ) == 2
+    assert len(scan_wal(good + b"\xff\xff").records) == 2
+
+
+def test_scan_rejects_duplicate_and_regressing_seq():
+    dup = wal_bytes(2) + frame({"op": "admit", "seq": 2, "payload": 9})
+    assert [r["seq"] for r in scan_wal(dup).records] == [1, 2]
+    back = wal_bytes(2) + frame({"op": "admit", "seq": 1, "payload": 9})
+    assert [r["seq"] for r in scan_wal(back).records] == [1, 2]
+
+
+def test_scan_rejects_bad_seq_types_and_shapes():
+    assert scan_wal(frame({"op": "admit", "seq": 0})).records == ()
+    assert scan_wal(frame({"op": "admit", "seq": True})).records == ()
+    assert scan_wal(frame({"op": "admit", "seq": "1"})).records == ()
+    blob = serialize.value_dumps(["not", "a", "dict"], WAL_KIND)
+    assert scan_wal(_LEN.pack(len(blob)) + blob).records == ()
+
+
+def test_scan_accepts_gapped_but_increasing_seq():
+    # truncate_through leaves a first record with seq > 1; scanning must
+    # accept any strictly increasing run, not only 1..N.
+    data = frame({"op": "admit", "seq": 5}) + frame({"op": "evict", "seq": 9})
+    assert [r["seq"] for r in scan_wal(data).records] == [5, 9]
+
+
+# -- hypothesis fuzz ----------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=5),
+    cut=st.integers(min_value=0, max_value=400),
+)
+def test_fuzz_truncation_recovers_prefix(n, cut):
+    data = wal_bytes(n)
+    scan = scan_wal(data[: max(0, len(data) - cut)])
+    expect = [r["seq"] for r in scan_wal(data).records]
+    got = [r["seq"] for r in scan.records]
+    assert got == expect[: len(got)]
+    assert got == list(range(1, len(got) + 1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5),
+    pos=st.integers(min_value=0, max_value=10_000),
+    flip=st.integers(min_value=1, max_value=255),
+)
+def test_fuzz_bit_flip_never_raises_and_yields_prefix(n, pos, flip):
+    data = bytearray(wal_bytes(n))
+    pos %= len(data)
+    data[pos] ^= flip
+    scan = scan_wal(bytes(data))  # must not raise
+    original = scan_wal(wal_bytes(n)).records
+    # Whatever survives is a prefix of the original records.
+    assert scan.records == original[: len(scan.records)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=4),
+    garbage=st.binary(max_size=64),
+    insert_at_record=st.integers(min_value=0, max_value=4),
+)
+def test_fuzz_interleaved_garbage_never_raises(n, garbage, insert_at_record):
+    clean = scan_wal(wal_bytes(n))
+    k = min(insert_at_record, len(clean.frames))
+    split = clean.frames[k - 1][1] if k else 0
+    data = wal_bytes(n)
+    mutated = data[:split] + garbage + data[split:]
+    scan = scan_wal(mutated)  # must not raise
+    assert scan.records == clean.records[: len(scan.records)]
+    assert len(scan.records) >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=512))
+def test_fuzz_arbitrary_bytes_never_raise(data):
+    scan = scan_wal(data)
+    assert scan.valid_length <= scan.total_length == len(data)
+
+
+# -- WriteAheadLog ------------------------------------------------------------
+
+
+def test_append_roundtrip_and_reopen(tmp_path):
+    path = str(tmp_path / "pytorch.wal")
+    wal = WriteAheadLog(path, fsync="off")
+    assert wal.append({"op": "admit", "payload": "a"}) == 1
+    assert wal.append({"op": "evict", "payload": "b"}) == 2
+    records = wal.records()
+    assert [r["seq"] for r in records] == [1, 2]
+    assert records[0]["payload"] == "a"
+    wal.close()
+
+    reopened = WriteAheadLog(path, fsync="off")
+    assert reopened.last_seq == 2
+    assert reopened.append({"op": "reset"}) == 3
+    reopened.close()
+
+
+def test_heal_quarantines_torn_tail(tmp_path):
+    path = str(tmp_path / "shard.wal")
+    wal = WriteAheadLog(path, fsync="off")
+    for i in range(3):
+        wal.append({"op": "admit", "payload": i})
+    wal.close()
+    with open(path, "ab") as fh:
+        fh.write(b"\x40\x00\x00\x00partial-frame-garbage")
+
+    healed = WriteAheadLog(path, fsync="off")
+    assert healed.last_seq == 3
+    assert healed.quarantined_bytes > 0
+    assert healed.quarantine_path is not None
+    assert os.path.exists(healed.quarantine_path)
+    # The live log is exactly the valid prefix again.
+    assert [r["seq"] for r in healed.records()] == [1, 2, 3]
+    healed.close()
+    # A second heal with another torn tail picks a fresh sidecar name.
+    with open(path, "ab") as fh:
+        fh.write(b"\x08\x00\x00\x00")
+    again = WriteAheadLog(path, fsync="off")
+    assert again.quarantine_path != healed.quarantine_path
+    again.close()
+
+
+def test_fsync_policies_sync_counts(tmp_path):
+    always = WriteAheadLog(str(tmp_path / "a.wal"), fsync="always")
+    for i in range(3):
+        always.append({"op": "admit", "payload": i})
+    assert always.syncs == 3
+    always.close()
+
+    batch = WriteAheadLog(
+        str(tmp_path / "b.wal"), fsync="batch", fsync_batch_n=2
+    )
+    for i in range(3):
+        batch.append({"op": "admit", "payload": i})
+    assert batch.syncs == 1  # after the 2nd append
+    batch.sync()
+    assert batch.syncs == 2  # the odd one out
+    batch.close()
+
+    off = WriteAheadLog(str(tmp_path / "c.wal"), fsync="off")
+    for i in range(3):
+        off.append({"op": "admit", "payload": i})
+    off.sync()
+    off.close()
+    assert off.syncs == 0
+
+
+def test_truncate_through_keeps_tail(tmp_path):
+    wal = WriteAheadLog(str(tmp_path / "t.wal"), fsync="off")
+    for i in range(5):
+        wal.append({"op": "admit", "payload": i})
+    assert wal.truncate_through(3) == 3
+    assert [r["seq"] for r in wal.records()] == [4, 5]
+    assert wal.truncate_through(3) == 0  # idempotent
+    # Appends continue the old sequence, not restart at 1.
+    assert wal.append({"op": "evict"}) == 6
+    wal.close()
+
+
+def test_append_after_close_raises(tmp_path):
+    wal = WriteAheadLog(str(tmp_path / "x.wal"), fsync="off")
+    wal.close()
+    with pytest.raises(WalError):
+        wal.append({"op": "admit"})
+
+
+def test_bad_policy_rejected(tmp_path):
+    with pytest.raises(WalError):
+        WriteAheadLog(str(tmp_path / "x.wal"), fsync="sometimes")
+
+
+def test_fault_site_wal_append_leaves_clean_prefix(tmp_path):
+    wal = WriteAheadLog(str(tmp_path / "f.wal"), fsync="off")
+    wal.append({"op": "admit", "payload": 0})
+    plan = faults.FaultPlan(
+        (faults.FaultRule("wal.append", ordinals=(1,)),), seed=7
+    )
+    with faults.fault_plan(plan):
+        with pytest.raises(FaultError):
+            wal.append({"op": "admit", "payload": 1})
+    # The failed append wrote nothing; the next one continues cleanly.
+    assert wal.append({"op": "admit", "payload": 2}) == 2
+    assert [r["seq"] for r in wal.records()] == [1, 2]
+    wal.close()
+
+
+def test_no_fsync_env_skips_physical_sync(tmp_path, monkeypatch):
+    monkeypatch.setenv(atomicio.NO_FSYNC_ENV, "1")
+    assert not atomicio.fsync_enabled()
+    wal = WriteAheadLog(str(tmp_path / "n.wal"), fsync="always")
+    wal.append({"op": "admit"})
+    assert wal.syncs == 1  # the policy accounting still runs
+    wal.close()
+    monkeypatch.delenv(atomicio.NO_FSYNC_ENV)
+    assert atomicio.fsync_enabled()
+
+
+def test_atomic_write_bytes_replaces_and_cleans_tmp(tmp_path):
+    target = tmp_path / "out.bin"
+    atomicio.atomic_write_bytes(str(target), b"one")
+    atomicio.atomic_write_bytes(str(target), b"two")
+    assert target.read_bytes() == b"two"
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "out.bin"]
+    assert leftovers == []
