@@ -153,6 +153,8 @@ elif mode == "recover":
     engine = DebloatEngine(cfg(dur_dir)).open()
     wall = time.perf_counter() - start
     write(os.path.join(root, "recovered.bin"), export_blob(engine))
+    for s in engine.federation.local_shards():
+        s.store.validate_invariants()  # includes block refcount checks
     k = sum(
         s.store.generation for s in engine.federation.local_shards()
     )

@@ -19,6 +19,9 @@ background sweeper - applies the policy:
 * ``lru`` - keep at most ``max_workloads`` per framework shard, evicting
   the least recently served beyond the cap;
 * ``pinned`` - only explicitly pinned workloads survive a sweep;
+* ``bytes`` - cap the shared content-addressed block store at
+  ``budget_bytes`` physical bytes, evicting the cheapest-to-rebuild per
+  byte freed first (rebuild cost = tracked admission virtual time);
 * ``none`` - never evict (the default).
 
 Pinned workloads (``pinned`` here, or ``AdmitRequest(pinned=True)``) are
@@ -36,7 +39,7 @@ from repro.experiments.common import DEFAULT_SCALE
 from repro.utils.retry import RetryPolicy
 
 #: Modes :class:`EvictionPolicy` accepts.
-EVICTION_MODES = ("none", "ttl", "lru", "pinned")
+EVICTION_MODES = ("none", "ttl", "lru", "pinned", "bytes")
 
 #: WAL fsync policies :class:`DurabilityConfig` accepts (strictest first).
 WAL_FSYNC_POLICIES = ("always", "batch", "off")
@@ -159,11 +162,22 @@ class EvictionPolicy:
     ttl_s: float | None = None
     #: ``lru`` mode: per-shard cap on distinct admitted workloads.
     max_workloads: int | None = None
+    #: ``bytes`` mode: cap on the shared block store's physical bytes;
+    #: sweeps evict cheapest-to-rebuild-per-byte-freed until it holds.
+    budget_bytes: int | None = None
     #: Workload ids that are never evicted, under any mode.
     pinned: frozenset[str] = frozenset()
     #: Period of the server's background sweeper (None = no background
     #: sweeps; callers can still sweep explicitly).
     sweep_interval_s: float | None = None
+
+    #: Which per-mode knob each mode consumes; setting any *other* mode's
+    #: knob is a contradiction the constructor rejects by field name.
+    _MODE_KNOBS = {
+        "ttl": "ttl_s",
+        "lru": "max_workloads",
+        "bytes": "budget_bytes",
+    }
 
     def __post_init__(self) -> None:
         if self.mode not in EVICTION_MODES:
@@ -173,21 +187,37 @@ class EvictionPolicy:
             )
         if self.mode == "ttl" and (self.ttl_s is None or self.ttl_s < 0):
             raise ConfigurationError(
-                "ttl eviction requires a non-negative ttl_s"
+                "field 'ttl_s': ttl eviction requires a non-negative ttl_s"
             )
         if self.mode == "lru" and (
             self.max_workloads is None or self.max_workloads < 1
         ):
             raise ConfigurationError(
-                "lru eviction requires max_workloads >= 1"
+                "field 'max_workloads': lru eviction requires "
+                "max_workloads >= 1"
             )
+        if self.mode == "bytes" and (
+            self.budget_bytes is None or self.budget_bytes < 1
+        ):
+            raise ConfigurationError(
+                "field 'budget_bytes': bytes eviction requires "
+                "budget_bytes > 0"
+            )
+        for knob_mode, knob in self._MODE_KNOBS.items():
+            if knob_mode != self.mode and getattr(self, knob) is not None:
+                raise ConfigurationError(
+                    f"field {knob!r}: only mode {knob_mode!r} uses {knob}; "
+                    f"it contradicts mode {self.mode!r}"
+                )
         if self.sweep_interval_s is not None:
             if self.sweep_interval_s <= 0:
-                raise ConfigurationError("sweep_interval_s must be positive")
+                raise ConfigurationError(
+                    "field 'sweep_interval_s': must be positive"
+                )
             if self.mode == "none":
                 raise ConfigurationError(
-                    "sweep_interval_s needs an eviction mode - a sweeper "
-                    "under mode 'none' would never evict anything"
+                    "field 'sweep_interval_s': needs an eviction mode - a "
+                    "sweeper under mode 'none' would never evict anything"
                 )
         object.__setattr__(self, "pinned", frozenset(self.pinned))
 

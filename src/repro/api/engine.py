@@ -408,6 +408,11 @@ class DebloatEngine:
             out = {**out, **self._durability.stats()}
         return out
 
+    def storage_stats(self) -> dict[str, int | float]:
+        """Gauges for the federation's shared content-addressed block store."""
+        self._ensure_open()
+        return self.federation.storage_stats()
+
     def health(self) -> dict:
         """One aggregated health report across every serving layer.
 
@@ -426,6 +431,8 @@ class DebloatEngine:
             self._ensure_open()
             target = self.federation.health()
             out = {"state": target["state"], "target": target}
+        if not self._closed:
+            out["storage"] = self.federation.storage_stats()
         events = fanout_events()
         out["fanout_degraded"] = len(events)
         out["quarantined_entries"] = self.cache.stats().get(
@@ -449,6 +456,7 @@ class DebloatEngine:
         """
         self._ensure_open()
         from repro.tools.inspect import (
+            block_report,
             describe_library,
             kernel_listing,
             readelf_sections,
@@ -458,18 +466,27 @@ class DebloatEngine:
         scale = self.config.scale
         archs = tuple(self.config.archs)
         framework = get_framework(request.framework, scale=scale, archs=archs)
-        lib = framework.libraries.get(request.soname)
-        if lib is None:
-            err = UsageError(
-                f"no library {request.soname!r} in {request.framework}"
-            )
-            err.available = sorted(framework.libraries)
-            raise err
-        parts = [describe_library(lib)]
+        parts = []
         source = None
-        if request.sections:
+        lib = None
+        if request.soname:
+            lib = framework.libraries.get(request.soname)
+            if lib is None:
+                err = UsageError(
+                    f"no library {request.soname!r} in {request.framework}"
+                )
+                err.available = sorted(framework.libraries)
+                raise err
+            parts.append(describe_library(lib))
+        elif not request.blocks:
+            raise UsageError(
+                "inspect needs a soname (or the blocks view)"
+            )
+        if request.blocks:
+            parts.append(block_report(self.federation.storage_report()))
+        if lib is not None and request.sections:
             parts.append(readelf_sections(lib))
-        if request.kernels and lib.has_gpu_code:
+        if lib is not None and request.kernels and lib.has_gpu_code:
             if self.config.use_cache:
                 index, source = self.cache.library_index(
                     lib, request.framework, scale, archs

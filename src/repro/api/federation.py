@@ -64,6 +64,8 @@ from repro.serving.store import (
     EvictionResult,
     StoreSnapshot,
 )
+from repro.storage.blockstore import BlockStore
+from repro.storage.evictor import CostAwareEvictor, EvictionCandidate
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -75,7 +77,7 @@ class SweptWorkload:
     workload_id: str
     #: Seconds since the workload was last served, at sweep time.
     idle_s: float
-    #: Which policy rule evicted it: ``ttl``/``lru``/``unpinned``.
+    #: Which policy rule evicted it: ``ttl``/``lru``/``unpinned``/``bytes``.
     reason: str
     result: EvictionResult
 
@@ -138,7 +140,11 @@ class FederationShard:
     """One framework's store plus the federation's per-shard traffic state."""
 
     def __init__(
-        self, framework: Framework, config: EngineConfig, cache=None
+        self,
+        framework: Framework,
+        config: EngineConfig,
+        cache=None,
+        blockstore=None,
     ) -> None:
         self.framework = framework
         self.name = framework.name
@@ -159,11 +165,18 @@ class FederationShard:
             config.options,
             use_cache=config.use_cache,
             cache=cache,
+            blockstore=blockstore,
         )
         #: workload id -> last-served clock reading; the eviction policy's
         #: only input besides pins.
         self.last_served: dict[str, float] = {}
         self.pinned: set[str] = set()
+        #: Rebuild-cost model for the byte-budget eviction mode: each
+        #: workload's observed admission virtual time and the marginal
+        #: growth of the shard's compacted union it caused.
+        self.admit_cost_s: dict[str, float] = {}
+        self.admit_bytes: dict[str, int] = {}
+        self._union_after_seen = 0
         #: ``ok`` / ``recovering`` / ``degraded`` - see ShardSnapshot.
         self.state = "ok"
         self.consecutive_failures = 0
@@ -191,6 +204,9 @@ class FederationShard:
         shard.store = client
         shard.last_served = {}
         shard.pinned = set()
+        shard.admit_cost_s = {}
+        shard.admit_bytes = {}
+        shard._union_after_seen = 0
         shard.state = "ok"
         shard.consecutive_failures = 0
         shard.retries = 0
@@ -208,6 +224,27 @@ class FederationShard:
     def forget(self, workload_id: str) -> None:
         self.last_served.pop(workload_id, None)
         self.pinned.discard(workload_id)
+        self.admit_cost_s.pop(workload_id, None)
+        self.admit_bytes.pop(workload_id, None)
+
+    def note_admission(self, workload_id: str, result) -> None:
+        """Record the byte-budget cost model's inputs for one admission.
+
+        The admission's virtual pipeline time is the workload's rebuild
+        cost (what evicting it would make a later re-admission pay), and
+        the marginal growth of the shard's compacted union is its bytes
+        estimate.  A duplicate admission grows nothing and keeps the
+        original estimates.
+        """
+        after = int(result.union_file_size_after)
+        grown = max(0, after - self._union_after_seen)
+        self._union_after_seen = max(self._union_after_seen, after)
+        if grown > 0 or workload_id not in self.admit_bytes:
+            self.admit_bytes[workload_id] = max(1, grown)
+        self.admit_cost_s[workload_id] = max(
+            self.admit_cost_s.get(workload_id, 0.0),
+            float(result.admit_virtual_s),
+        )
 
     # -- recovery state (called under the federation's routing lock) ---------
 
@@ -259,6 +296,12 @@ class StoreFederation:
         self._shards: dict[str, FederationShard] = {}
         self._stat_sweeps = 0
         self._stat_evicted = 0
+        #: One content-addressed block store shared by every local shard:
+        #: byte-identical chunks admitted into different framework shards
+        #: collapse to a single refcounted physical copy, and the
+        #: byte-budget eviction mode sweeps against its physical size.
+        #: (Remote shards' worker processes hold their own.)
+        self.blockstore = BlockStore()
 
     # -- shards ---------------------------------------------------------------
 
@@ -272,7 +315,9 @@ class StoreFederation:
         with self._lock:
             shard = self._shards.get(framework.name)
             if shard is None:
-                shard = FederationShard(framework, self.config, self._cache)
+                shard = FederationShard(
+                    framework, self.config, self._cache, self.blockstore
+                )
                 self._shards[framework.name] = shard
                 if self._durability is not None:
                     self._durability.attach(shard)
@@ -326,7 +371,9 @@ class StoreFederation:
                 # deterministic, so the instances are equivalent builds -
                 # keep the registered shard.
                 return existing
-            shard = FederationShard(framework, self.config, self._cache)
+            shard = FederationShard(
+                framework, self.config, self._cache, self.blockstore
+            )
             self._shards[framework_name] = shard
             if self._durability is not None:
                 self._durability.attach(shard)
@@ -395,6 +442,7 @@ class StoreFederation:
         result = shard.store.admit(spec, verify=verify)
         with self._lock:
             shard.touch(spec.workload_id, self._clock(), pinned)
+            shard.note_admission(spec.workload_id, result)
             shard.note_success()
         return result
 
@@ -427,6 +475,7 @@ class StoreFederation:
                 for pos, result in zip(positions, group_results):
                     results[pos] = result
                     shard.touch(specs[pos].workload_id, now, False)
+                    shard.note_admission(specs[pos].workload_id, result)
                 shard.note_success()
         return results  # type: ignore[return-value]
 
@@ -523,6 +572,8 @@ class StoreFederation:
         """
         if now is None:
             now = self._clock()
+        if self.policy.mode == "bytes":
+            return self._sweep_bytes(now)
         with self._lock:
             self._stat_sweeps += 1
             victims = [
@@ -545,6 +596,76 @@ class StoreFederation:
                     workload_id=workload_id,
                     idle_s=idle,
                     reason=reason,
+                    result=result,
+                )
+            )
+        return swept
+
+    def _sweep_bytes(self, now: float) -> list[SweptWorkload]:
+        """Byte-budget sweep: evict cheapest-rebuild-per-byte until it fits.
+
+        Victim selection runs against the **shared block store's physical
+        bytes** - what the federation actually occupies after dedupe - not
+        the sum of logical shard sizes.  Each round picks the unpinned
+        workload with the lowest tracked rebuild-cost-per-byte-freed
+        (:class:`~repro.storage.evictor.CostAwareEvictor`), evicts it, and
+        re-reads the physical size: shared blocks mean an eviction can
+        free fewer bytes than estimated, so the loop measures instead of
+        trusting the plan.  Remote shards are skipped (their bytes live in
+        worker processes, not this block store).
+        """
+        evictor = CostAwareEvictor(self.policy.budget_bytes)
+        with self._lock:
+            self._stat_sweeps += 1
+        swept: list[SweptWorkload] = []
+        while True:
+            physical = self.blockstore.stats()["bytes_physical"]
+            if not evictor.over_budget(physical):
+                break
+            with self._lock:
+                candidates = []
+                for shard in self._shards.values():
+                    if shard.remote:
+                        continue
+                    protected = shard.pinned | set(self.policy.pinned)
+                    for wid, served in shard.last_served.items():
+                        if wid in protected:
+                            continue
+                        candidates.append(
+                            EvictionCandidate(
+                                framework=shard.name,
+                                workload_id=wid,
+                                rebuild_cost_s=shard.admit_cost_s.get(
+                                    wid, 0.0
+                                ),
+                                bytes_estimate=shard.admit_bytes.get(wid, 1),
+                                idle_s=now - served,
+                            )
+                        )
+            victim = evictor.pick(candidates)
+            if victim is None:
+                break
+            with self._lock:
+                shard = self._shards.get(victim.framework)
+            if shard is None:
+                break
+            try:
+                result = shard.store.evict(victim.workload_id)
+            except UsageError:
+                # Raced with an explicit evict; drop it from the traffic
+                # state so the next round offers fresh candidates.
+                with self._lock:
+                    shard.forget(victim.workload_id)
+                continue
+            with self._lock:
+                shard.forget(victim.workload_id)
+                self._stat_evicted += 1
+            swept.append(
+                SweptWorkload(
+                    framework=shard.name,
+                    workload_id=victim.workload_id,
+                    idle_s=victim.idle_s,
+                    reason="bytes",
                     result=result,
                 )
             )
@@ -733,3 +854,28 @@ class StoreFederation:
             for key, value in shard.store.stats().items():
                 totals[key] = totals.get(key, 0) + value
         return totals
+
+    def storage_stats(self) -> dict[str, int | float]:
+        """The shared block store's gauges, ``storage_``-prefixed.
+
+        These are the exact names the Prometheus ``/metrics`` route and
+        ``engine.health()`` publish; ``storage_dedupe_ratio`` is a float
+        (logical/physical, >= 1.0), everything else an integer byte or
+        block count.
+        """
+        s = self.blockstore.stats()
+        return {
+            "storage_blocks_total": s["blocks_total"],
+            "storage_bytes_physical": s["bytes_physical"],
+            "storage_bytes_logical": s["bytes_logical"],
+            "storage_dedupe_ratio": s["dedupe_ratio"],
+            "storage_evicted_bytes_total": s["evicted_bytes_total"],
+        }
+
+    def storage_report(self) -> dict:
+        """The ``inspect --blocks`` view: per-shard bytes + top blocks."""
+        return {
+            "stats": self.blockstore.stats(),
+            "per_shard": self.blockstore.per_owner_stats(),
+            "top_blocks": self.blockstore.top_blocks(10),
+        }

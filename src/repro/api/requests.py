@@ -89,12 +89,18 @@ class InspectRequest:
     ``kernels`` renders the per-cubin kernel listing from the engine's
     cached :class:`~repro.core.kindex.KernelUsageIndex` - repeated inspects
     (and a warm disk cache) never re-parse the fatbin.
+
+    ``blocks`` renders the federation's content-addressed block-store
+    report (per-shard logical vs physical bytes, dedupe ratio, and the
+    most-referenced blocks); with ``blocks`` set, ``soname`` may be left
+    empty to inspect the store alone.
     """
 
     framework: str
-    soname: str
+    soname: str = ""
     sections: bool = False
     kernels: bool = False
+    blocks: bool = False
 
 
 @dataclass(frozen=True)

@@ -764,3 +764,199 @@ def stable_digest(*parts: Any) -> str:
     h = hashlib.blake2b(digest_size=20)
     _feed(h, parts)
     return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# content-addressed blocks: chunking + block-aware store images
+# ---------------------------------------------------------------------------
+
+#: Chunk granularity of the content-addressed block layer
+#: (:mod:`repro.storage`).  Pieces split at *absolute* multiples of this
+#: size, so byte-identical extents at equal file offsets chunk into
+#: byte-identical pieces regardless of which shard ingests them.
+DEFAULT_BLOCK_SIZE = 64 * 1024
+
+#: Payload kind of a snapshot's shared block pool: every unique block
+#: referenced by the snapshot's shard images, written exactly once.
+BLOCK_POOL_KIND = "block_pool"
+
+
+def block_digest(data: bytes) -> str:
+    """Content address of one block: blake2b over exactly its bytes."""
+    return hashlib.blake2b(bytes(data), digest_size=20).hexdigest()
+
+
+def iter_block_pieces(start: int, stop: int, block_size: int):
+    """Split ``[start, stop)`` at absolute multiples of ``block_size``.
+
+    Yields ``(piece_start, piece_stop)`` pairs covering the range exactly.
+    Alignment to absolute offsets (not extent-relative ones) is what makes
+    chunking content-addressable across shards: two extents holding the
+    same bytes at the same file offset always produce the same pieces.
+    """
+    pos = int(start)
+    stop = int(stop)
+    while pos < stop:
+        boundary = (pos // block_size + 1) * block_size
+        nxt = boundary if boundary < stop else stop
+        yield pos, nxt
+        pos = nxt
+
+
+def payload_is_deflated(payload: dict[str, Any]) -> bool:
+    """True if any debloated entry references blocks instead of a blob."""
+    return any(
+        "piece_digests" in entry["data"]
+        for entry in payload.get("debloated", {}).values()
+    )
+
+
+def deflate_store_payload(
+    payload: dict[str, Any],
+    pool: dict[str, bytes],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> dict[str, Any]:
+    """Block-aware form of a store image: blobs become digest lists.
+
+    Each debloated entry's ``data.blob`` is replaced by ``piece_digests``
+    (one digest per offset-aligned piece, in extent order) and the piece
+    bytes land in ``pool`` keyed by digest - shared across every shard of
+    a snapshot, so duplicate content is written once.  Everything else in
+    the image (extent arrays included) passes through untouched, which is
+    what lets :func:`inflate_store_payload` reconstruct the original
+    payload byte-exactly.
+    """
+    _check_store_payload(payload)
+    out = dict(payload)
+    debloated: dict[str, Any] = {}
+    for soname, entry in payload["debloated"].items():
+        data = entry["data"]
+        blob = data["blob"].tobytes()
+        digests: list[str] = []
+        offset = 0
+        for s, e in zip(data["starts"].tolist(), data["stops"].tolist()):
+            for ps, pe in iter_block_pieces(s, e, block_size):
+                piece = blob[offset : offset + (pe - ps)]
+                digest = block_digest(piece)
+                pool.setdefault(digest, piece)
+                digests.append(digest)
+                offset += pe - ps
+        new_data = dict(data)
+        del new_data["blob"]
+        new_data["block_size"] = int(block_size)
+        new_data["piece_digests"] = digests
+        new_entry = dict(entry)
+        new_entry["data"] = new_data
+        debloated[soname] = new_entry
+    out["debloated"] = debloated
+    return out
+
+
+def inflate_store_payload(
+    payload: dict[str, Any], pool: dict[str, bytes]
+) -> dict[str, Any]:
+    """Invert :func:`deflate_store_payload` byte-exactly.
+
+    ``inflate(deflate(p, pool), pool)`` reproduces ``p`` such that
+    ``payload_dumps`` of both are identical - the property the durability
+    byte-identity contract (``bench_durability``) rides on.  A digest the
+    pool lacks, or a piece whose length disagrees with the extent arrays,
+    raises :class:`~repro.errors.SnapshotError`.
+    """
+    from repro.errors import SnapshotError
+
+    out = dict(payload)
+    debloated: dict[str, Any] = {}
+    for soname, entry in payload.get("debloated", {}).items():
+        data = entry["data"]
+        if "piece_digests" not in data:
+            debloated[soname] = entry
+            continue
+        block_size = int(data["block_size"])
+        pieces: list[bytes] = []
+        digests = iter(data["piece_digests"])
+        for s, e in zip(data["starts"].tolist(), data["stops"].tolist()):
+            for ps, pe in iter_block_pieces(s, e, block_size):
+                digest = next(digests, None)
+                if digest is None:
+                    raise SnapshotError(
+                        f"{soname}: block manifest shorter than extents"
+                    )
+                piece = pool.get(digest)
+                if piece is None:
+                    raise SnapshotError(
+                        f"{soname}: block {digest} missing from pool"
+                    )
+                if len(piece) != pe - ps:
+                    raise SnapshotError(
+                        f"{soname}: block {digest} is {len(piece)} bytes, "
+                        f"extents expect {pe - ps}"
+                    )
+                pieces.append(piece)
+        if next(digests, None) is not None:
+            raise SnapshotError(
+                f"{soname}: block manifest longer than extents"
+            )
+        blob = b"".join(pieces)
+        new_data = {
+            "logical_size": data["logical_size"],
+            "starts": data["starts"],
+            "stops": data["stops"],
+            "blob": np.frombuffer(blob, dtype=np.uint8),
+        }
+        new_entry = dict(entry)
+        new_entry["data"] = new_data
+        debloated[soname] = new_entry
+    out["debloated"] = debloated
+    return out
+
+
+def block_pool_to_payload(pool: dict[str, bytes]) -> dict[str, Any]:
+    """One RDBC container holding every pool block, sorted by digest.
+
+    Digest-sorted layout makes re-exporting an unchanged federation write
+    a byte-identical pool file (the snapshot determinism contract).
+    """
+    digests = sorted(pool)
+    lengths = np.asarray([len(pool[d]) for d in digests], dtype=np.int64)
+    blob = b"".join(pool[d] for d in digests)
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": BLOCK_POOL_KIND,
+        "digests": digests,
+        "lengths": lengths,
+        "blob": np.frombuffer(blob, dtype=np.uint8),
+    }
+
+
+def block_pool_from_payload(p: dict[str, Any]) -> dict[str, bytes]:
+    """Decode a pool container, re-verifying every block's digest."""
+    from repro.errors import SnapshotError, SnapshotSchemaError
+
+    if not isinstance(p, dict) or p.get("kind") != BLOCK_POOL_KIND:
+        raise SnapshotError(
+            f"payload kind {p.get('kind')!r} is not a block pool"
+        )
+    if p.get("schema") != SCHEMA_VERSION:
+        raise SnapshotSchemaError(
+            f"block pool schema {p.get('schema')!r} != supported "
+            f"{SCHEMA_VERSION}"
+        )
+    blob = p["blob"].tobytes()
+    pool: dict[str, bytes] = {}
+    offset = 0
+    for digest, length in zip(p["digests"], p["lengths"].tolist()):
+        piece = blob[offset : offset + length]
+        if len(piece) != length:
+            raise SnapshotError("block pool blob truncated")
+        if block_digest(piece) != digest:
+            raise SnapshotError(
+                f"block pool entry {digest} fails digest re-verification"
+            )
+        pool[digest] = piece
+        offset += length
+    if offset != len(blob):
+        raise SnapshotError(
+            f"{len(blob) - offset} trailing bytes after block pool"
+        )
+    return pool

@@ -123,6 +123,16 @@ class StoreInvariantError(DebloatError):
     """
 
 
+class BlockStoreError(DebloatError):
+    """The content-addressed block store was misused or is inconsistent.
+
+    Raised by :mod:`repro.storage` on double-release of a manifest, a
+    digest collision with mismatched payload length, or a
+    :meth:`~repro.storage.blockstore.BlockStore.validate_invariants`
+    failure (refcount != live referents, leaked or dangling blocks).
+    """
+
+
 class ConfigurationError(ReproError):
     """A spec or configuration object is internally inconsistent."""
 

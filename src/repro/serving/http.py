@@ -215,6 +215,16 @@ class DebloatHttpServer:
                    "durability checkpoints completed")
         m.describe("serving_checkpoints_failed",
                    "durability checkpoints aborted by an error")
+        m.describe("storage_blocks_total",
+                   "content-addressed blocks resident in the shared store")
+        m.describe("storage_bytes_physical",
+                   "physical bytes resident across all blocks")
+        m.describe("storage_bytes_logical",
+                   "logical bytes referenced by live shard manifests")
+        m.describe("storage_dedupe_ratio",
+                   "logical over physical bytes (1.0 = no sharing)")
+        m.describe("storage_evicted_bytes_total",
+                   "physical bytes freed by block release since open")
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -471,6 +481,10 @@ class DebloatHttpServer:
         for name in ("queued", "in_flight"):
             if name in stats:
                 gauges[name] = stats[name]
+        # Block-store gauges export under their own storage_* names (no
+        # serving_ prefix); dedupe_ratio is the one float gauge.
+        storage = await loop.run_in_executor(None, self.engine.storage_stats)
+        gauges.update(storage)
         text = self.metrics.render(gauges)
         return _Response(
             200, text.encode(),

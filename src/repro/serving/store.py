@@ -72,6 +72,7 @@ from repro.cuda.costs import DEFAULT_COSTS
 from repro.errors import StoreInvariantError, UsageError, VerificationError
 from repro.frameworks.spec import Framework
 from repro.serving.usage import WorkloadUsage, cached_usage, capture_usage
+from repro.storage.blockstore import BlockStore
 from repro.testing import faults
 from repro.utils.units import pct_reduction
 from repro.workloads.spec import WorkloadSpec
@@ -176,6 +177,7 @@ class DebloatStore:
         options: DebloatOptions | None = None,
         use_cache: bool = False,
         cache=None,
+        blockstore: BlockStore | None = None,
     ) -> None:
         self.framework = framework
         self.options = options or DebloatOptions()
@@ -224,6 +226,19 @@ class DebloatStore:
         self._kernel_locator = KernelLocator(self.options.costs)
         self._function_locator = FunctionLocator(self.options.costs)
         self._compactor = Compactor(self.options.costs)
+        #: Content-addressed block layer backing every committed library's
+        #: payload bytes (compacted + original).  A federation threads one
+        #: shared store through all of its shards so cross-shard duplicates
+        #: collapse to a single physical copy; a bare store gets a private
+        #: one.  Mirrored at transaction commit (:meth:`_sync_blocks_locked`),
+        #: so rollbacks never touch refcounts and WAL replay/snapshot import
+        #: reconstruct them exactly by re-committing.
+        self._blocks = blockstore if blockstore is not None else BlockStore()
+        self._block_owner = self._blocks.new_owner(framework.name)
+        #: soname -> committed DebloatedLibrary last mirrored into the block
+        #: layer; rebind-on-write epochs make identity comparison an exact
+        #: change detector.
+        self._block_synced: dict[str, DebloatedLibrary] = {}
         self._snapshot = StoreSnapshot(
             generation=0,
             workload_ids=(),
@@ -293,6 +308,7 @@ class DebloatStore:
             raise
         else:
             self._publish_snapshot()
+            self._sync_blocks_locked()
 
     def _capture_epoch_locked(self) -> dict:
         return {
@@ -329,14 +345,109 @@ class DebloatStore:
         for name, value in state["counters"].items():
             setattr(self, name, value)
 
+    def _sync_blocks_locked(self) -> None:
+        """Mirror the committed epoch into the content-addressed block layer.
+
+        Diffs the committed library map against the last synced epoch by
+        object identity, ingesting changed payloads *first* (unchanged
+        pieces dedupe against live blocks, bumping refcounts) and releasing
+        replaced manifests after - the copy-on-write ordering that keeps
+        blocks shared between epochs from transiently hitting refcount
+        zero.  Runs only on successful commits: a rolled-back transaction
+        never reaches this hook, so rollback restores refcounts by simply
+        never having changed them, and WAL replay / snapshot import
+        reconstruct them exactly by re-committing through the ordinary
+        mutators.
+        """
+        current = self._debloated
+        previous = self._block_synced
+        for soname, d in current.items():
+            prev = previous.get(soname)
+            if prev is d:
+                continue
+            # ingest() replaces copy-on-write: a delta recompaction
+            # allocates only its changed blocks.
+            self._blocks.ingest(
+                self._block_owner, f"comp:{soname}", d.lib.data
+            )
+            if prev is None or prev.original is not d.original:
+                self._blocks.ingest(
+                    self._block_owner, f"orig:{soname}", d.original.data
+                )
+        for soname in previous:
+            if soname not in current:
+                self._blocks.release(self._block_owner, f"comp:{soname}")
+                self._blocks.release(self._block_owner, f"orig:{soname}")
+        self._block_synced = dict(current)
+
     def validate_invariants(self) -> None:
         """Check epoch consistency; raise :class:`StoreInvariantError`.
 
         Runs automatically at every transaction commit; public so tests
-        and health probes can assert the live store is consistent.
+        and health probes can assert the live store is consistent.  The
+        public form additionally cross-checks the block-layer mirror
+        (committed libraries <-> registered manifests) and the block
+        store's own refcount invariants; the commit-time form cannot,
+        because it runs *before* the epoch is mirrored.
         """
         with self._admission_lock:
             self._validate_invariants_locked()
+            self._validate_blocks_locked()
+
+    def _validate_blocks_locked(self) -> None:
+        problems: list[str] = []
+        if set(self._block_synced) != set(self._debloated):
+            problems.append(
+                f"block mirror tracks {sorted(self._block_synced)}, "
+                f"library map holds {sorted(self._debloated)}"
+            )
+        else:
+            stale = [
+                soname
+                for soname, d in self._debloated.items()
+                if self._block_synced[soname] is not d
+            ]
+            if stale:
+                problems.append(
+                    f"block mirror is stale for {sorted(stale)}"
+                )
+        expected = {
+            f"{kind}:{soname}"
+            for soname in self._block_synced
+            for kind in ("comp", "orig")
+        }
+        registered = set(self._block_owner.manifests)
+        if registered != expected:
+            problems.append(
+                f"registered manifests {sorted(registered ^ expected)} "
+                f"disagree with the mirror"
+            )
+        if problems:
+            raise StoreInvariantError("; ".join(problems))
+        self._blocks.validate_invariants()
+
+    # -- content-addressed block layer -----------------------------------------
+
+    @property
+    def blockstore(self) -> BlockStore:
+        """The block layer backing this store (possibly federation-shared)."""
+        return self._blocks
+
+    def block_manifest(self, soname: str):
+        """Committed compacted payload's block manifest, or None."""
+        with self._admission_lock:
+            return self._blocks.manifest_for(
+                self._block_owner, f"comp:{soname}"
+            )
+
+    def block_view(self, soname: str):
+        """``BlockRef``-backed read view over shared physical extents.
+
+        Reads resolve through the block store's single physical copy of
+        each chunk; ``None`` when the store does not hold ``soname``.
+        """
+        manifest = self.block_manifest(soname)
+        return None if manifest is None else self._blocks.view(manifest)
 
     def _validate_invariants_locked(self) -> None:
         problems: list[str] = []

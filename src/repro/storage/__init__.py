@@ -1,0 +1,31 @@
+"""Content-addressed block storage shared across serving shards.
+
+``repro.storage`` is the ownership layer under the serving stack:
+:class:`BlockStore` holds every compacted (and original) library payload
+as refcounted, content-addressed blocks so cross-shard duplicates
+collapse to one physical copy, and :class:`CostAwareEvictor` implements
+the byte-budget eviction mode that weighs tracked rebuild cost against
+bytes freed.  See :mod:`repro.storage.blockstore` for the dedupe/CoW
+model and :mod:`repro.storage.evictor` for victim selection.
+"""
+
+from repro.core.serialize import DEFAULT_BLOCK_SIZE
+from repro.storage.blockstore import (
+    BlockManifest,
+    BlockOwner,
+    BlockRef,
+    BlockStore,
+    BlockView,
+)
+from repro.storage.evictor import CostAwareEvictor, EvictionCandidate
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockManifest",
+    "BlockOwner",
+    "BlockRef",
+    "BlockStore",
+    "BlockView",
+    "CostAwareEvictor",
+    "EvictionCandidate",
+]

@@ -1,0 +1,417 @@
+"""Content-addressed block storage: refcounted dedupe + CoW extents.
+
+The paper's central observation is that the *same* shared-library content
+recurs massively across workloads, frameworks, and architectures - yet
+until this layer existed, every :class:`~repro.core.compact.DebloatedLibrary`
+in every shard owned a private copy of its bytes.  The
+:class:`BlockStore` collapses those duplicates: compacted (and original)
+library payloads are chunked into pieces split at **absolute** multiples
+of the block size (:data:`~repro.core.serialize.DEFAULT_BLOCK_SIZE`),
+each piece keyed by its content digest and stored exactly once with a
+refcount.  Byte-identical extents at equal offsets - the common case for
+shards built from the same framework build, e.g. the torch-family
+frameworks sharing one build id - therefore share physical blocks no
+matter which shard ingested them first.
+
+Copy-on-write falls out of the refcounts: :meth:`BlockStore.ingest` with
+a name that is already registered ingests the *new* payload first (every
+unchanged piece dedupes against the existing blocks, bumping refcounts)
+and only then releases the old manifest - so a delta recompaction that
+changes a few chunks allocates only the changed blocks, and shared blocks
+never transiently hit refcount zero.
+
+Ownership is explicit: each client (one per :class:`DebloatStore`)
+registers through :meth:`BlockStore.new_owner` and every live manifest is
+recorded against its owner.  That registry is what makes
+:meth:`validate_invariants` exact - expected refcounts are *recomputed*
+from the registered manifests and compared against the live counters, so
+a leaked block, a dangling reference, or a drifted counter is always
+detectable, not just statistically likely.
+
+The store is process-local and rebuilt from commits: snapshot import and
+WAL replay drive the ordinary store mutators, whose commit hooks re-ingest
+every library - which is how refcounts stay crash-consistent without the
+block layer writing a single byte of its own to disk.  (The on-disk block
+layout lives in :mod:`repro.serving.snapshot`'s pool file instead.)
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.serialize import (
+    DEFAULT_BLOCK_SIZE,
+    block_digest,
+    iter_block_pieces,
+)
+from repro.errors import BlockStoreError
+from repro.utils.intervals import RangeSet
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """One piece of a file: ``length`` bytes at logical ``offset``.
+
+    The digest is the content address; equal content at equal offsets in
+    two different files produces equal refs pointing at one physical
+    block.
+    """
+
+    digest: str
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class BlockManifest:
+    """A file's payload as an ordered run of block references.
+
+    Refs are in ascending offset order and partition the file's extents
+    exactly: rebuilding by writing each ref's block at its offset
+    reproduces the original :class:`~repro.utils.sparsefile.SparseFile`
+    structure (adjacent pieces of one extent re-merge on write).
+    """
+
+    logical_size: int
+    refs: tuple[BlockRef, ...]
+
+    @property
+    def payload_bytes(self) -> int:
+        """Materialized (extent) bytes this manifest references."""
+        return sum(r.length for r in self.refs)
+
+
+class BlockOwner:
+    """Registration handle: one per client store, holds its live manifests."""
+
+    __slots__ = ("label", "manifests")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.manifests: dict[str, BlockManifest] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockOwner({self.label!r}, {len(self.manifests)} manifests)"
+
+
+class BlockView:
+    """Read-only view of a manifest's bytes served from shared blocks.
+
+    The ``BlockRef``-backed counterpart of a materialized
+    :class:`SparseFile`: reads resolve through the block store's single
+    physical copy, and :meth:`to_sparsefile` rebuilds an exact structural
+    clone on demand.
+    """
+
+    __slots__ = ("_store", "manifest")
+
+    def __init__(self, store: "BlockStore", manifest: BlockManifest):
+        self._store = store
+        self.manifest = manifest
+
+    @property
+    def logical_size(self) -> int:
+        return self.manifest.logical_size
+
+    def extents(self) -> RangeSet:
+        """Materialized ranges (adjacent pieces merge, like SparseFile)."""
+        return RangeSet(
+            (r.offset, r.offset + r.length) for r in self.manifest.refs
+        )
+
+    def read(self, offset: int, size: int) -> bytes:
+        """``size`` bytes at ``offset``; holes read as zeros."""
+        if offset < 0 or size < 0:
+            raise ValueError("negative read offset/size")
+        out = bytearray(size)
+        end = offset + size
+        for ref in self.manifest.refs:
+            r_end = ref.offset + ref.length
+            if r_end <= offset:
+                continue
+            if ref.offset >= end:
+                break
+            block = self._store.block_bytes(ref.digest)
+            lo = max(offset, ref.offset)
+            hi = min(end, r_end)
+            out[lo - offset : hi - offset] = block[
+                lo - ref.offset : hi - ref.offset
+            ]
+        return bytes(out)
+
+    def to_sparsefile(self):
+        """Materialize an exact structural clone of the ingested file."""
+        from repro.utils.sparsefile import SparseFile
+
+        sf = SparseFile(self.manifest.logical_size)
+        for ref in self.manifest.refs:
+            sf.write(ref.offset, self._store.block_bytes(ref.digest))
+        return sf
+
+
+class BlockStore:
+    """Refcounted, content-addressed block storage shared across shards."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE):
+        if block_size < 1:
+            raise BlockStoreError(f"block_size must be >= 1, got {block_size}")
+        self._lock = threading.RLock()
+        self._block_size = int(block_size)
+        self._blocks: dict[str, bytes] = {}
+        self._refs: dict[str, int] = {}
+        self._owners: list[BlockOwner] = []
+        self._bytes_physical = 0
+        self._bytes_logical = 0
+        self._ingested_bytes_total = 0
+        self._deduped_bytes_total = 0
+        self._evicted_bytes_total = 0
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    # -- ownership ---------------------------------------------------------
+
+    def new_owner(self, label: str) -> BlockOwner:
+        owner = BlockOwner(label)
+        with self._lock:
+            self._owners.append(owner)
+        return owner
+
+    def drop_owner(self, owner: BlockOwner) -> int:
+        """Release every manifest the owner holds; returns bytes freed."""
+        with self._lock:
+            freed = 0
+            for name in sorted(owner.manifests):
+                freed += self._release_locked(owner, name)
+            self._owners.remove(owner)
+            return freed
+
+    # -- ingest / release --------------------------------------------------
+
+    def ingest(self, owner: BlockOwner, name: str, sf) -> BlockManifest:
+        """Chunk + dedupe one payload; replaces ``name`` copy-on-write.
+
+        If ``name`` is already registered for this owner, the new payload
+        is ingested *first* (unchanged pieces bump the refcounts of the
+        blocks they dedupe against) and the old manifest is released
+        after - the CoW ordering that keeps shared blocks alive across a
+        delta recompaction.
+        """
+        extents = sf.extents()
+        with self._lock:
+            refs: list[BlockRef] = []
+            for s, e in zip(extents.starts.tolist(), extents.stops.tolist()):
+                for ps, pe in iter_block_pieces(s, e, self._block_size):
+                    piece = sf.read(ps, pe - ps)
+                    digest = block_digest(piece)
+                    existing = self._blocks.get(digest)
+                    if existing is None:
+                        self._blocks[digest] = bytes(piece)
+                        self._refs[digest] = 1
+                        self._bytes_physical += len(piece)
+                    else:
+                        if len(existing) != len(piece):
+                            raise BlockStoreError(
+                                f"digest collision on {digest}: "
+                                f"{len(existing)} vs {len(piece)} bytes"
+                            )
+                        self._refs[digest] += 1
+                        self._deduped_bytes_total += len(piece)
+                    self._ingested_bytes_total += len(piece)
+                    refs.append(BlockRef(digest, ps, pe - ps))
+            manifest = BlockManifest(int(sf.logical_size), tuple(refs))
+            if name in owner.manifests:
+                self._release_locked(owner, name)
+            owner.manifests[name] = manifest
+            self._bytes_logical += manifest.payload_bytes
+            return manifest
+
+    def release(self, owner: BlockOwner, name: str) -> int:
+        """Drop one registered manifest; returns physical bytes freed."""
+        with self._lock:
+            return self._release_locked(owner, name)
+
+    def _release_locked(self, owner: BlockOwner, name: str) -> int:
+        manifest = owner.manifests.pop(name, None)
+        if manifest is None:
+            raise BlockStoreError(
+                f"{owner.label}: release of unregistered manifest {name!r}"
+            )
+        freed = 0
+        for ref in manifest.refs:
+            count = self._refs.get(ref.digest)
+            if count is None:
+                raise BlockStoreError(
+                    f"{owner.label}: manifest {name!r} references missing "
+                    f"block {ref.digest}"
+                )
+            if count > 1:
+                self._refs[ref.digest] = count - 1
+            else:
+                del self._refs[ref.digest]
+                block = self._blocks.pop(ref.digest)
+                self._bytes_physical -= len(block)
+                freed += len(block)
+        self._bytes_logical -= manifest.payload_bytes
+        self._evicted_bytes_total += freed
+        return freed
+
+    # -- lookups -----------------------------------------------------------
+
+    def manifest_for(self, owner: BlockOwner, name: str) -> BlockManifest | None:
+        with self._lock:
+            return owner.manifests.get(name)
+
+    def view(self, manifest: BlockManifest) -> BlockView:
+        return BlockView(self, manifest)
+
+    def block_bytes(self, digest: str) -> bytes:
+        with self._lock:
+            block = self._blocks.get(digest)
+            if block is None:
+                raise BlockStoreError(f"no block with digest {digest}")
+            return block
+
+    def refcount(self, digest: str) -> int:
+        with self._lock:
+            return self._refs.get(digest, 0)
+
+    def snapshot_refcounts(self) -> dict[str, int]:
+        """A copy of the live refcount map (test/diagnostic hook)."""
+        with self._lock:
+            return dict(self._refs)
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            physical = self._bytes_physical
+            logical = self._bytes_logical
+            return {
+                "blocks_total": len(self._blocks),
+                "bytes_physical": physical,
+                "bytes_logical": logical,
+                "dedupe_ratio": (logical / physical) if physical else 1.0,
+                "evicted_bytes_total": self._evicted_bytes_total,
+                "ingested_bytes_total": self._ingested_bytes_total,
+                "deduped_bytes_total": self._deduped_bytes_total,
+                "owners": len(self._owners),
+            }
+
+    def top_blocks(self, limit: int = 10) -> list[dict]:
+        """The most-referenced blocks, ties broken by size then digest."""
+        with self._lock:
+            ranked = sorted(
+                self._refs.items(),
+                key=lambda kv: (-kv[1], -len(self._blocks[kv[0]]), kv[0]),
+            )
+            return [
+                {
+                    "digest": digest,
+                    "bytes": len(self._blocks[digest]),
+                    "refs": count,
+                }
+                for digest, count in ranked[:limit]
+            ]
+
+    def per_owner_stats(self) -> list[dict]:
+        """Per-owner logical vs resident bytes (shared blocks counted once
+        per owner that references them)."""
+        with self._lock:
+            rows = []
+            for owner in self._owners:
+                logical = 0
+                resident_digests: set[str] = set()
+                for manifest in owner.manifests.values():
+                    logical += manifest.payload_bytes
+                    resident_digests.update(r.digest for r in manifest.refs)
+                resident = sum(
+                    len(self._blocks[d]) for d in resident_digests
+                )
+                rows.append(
+                    {
+                        "owner": owner.label,
+                        "manifests": len(owner.manifests),
+                        "bytes_logical": logical,
+                        "bytes_resident": resident,
+                    }
+                )
+            rows.sort(key=lambda r: r["owner"])
+            return rows
+
+    # -- invariants --------------------------------------------------------
+
+    def validate_invariants(self) -> None:
+        """Exact consistency check; raises :class:`BlockStoreError`.
+
+        Recomputes what the refcounts, logical bytes, and physical bytes
+        *must* be from the registered manifests and compares against the
+        live state - catching leaked blocks (physical bytes no manifest
+        references), dangling refs (manifests naming absent blocks), and
+        counter drift.
+        """
+        with self._lock:
+            problems: list[str] = []
+            expected_refs: dict[str, int] = {}
+            expected_logical = 0
+            for owner in self._owners:
+                for name, manifest in owner.manifests.items():
+                    expected_logical += manifest.payload_bytes
+                    for ref in manifest.refs:
+                        expected_refs[ref.digest] = (
+                            expected_refs.get(ref.digest, 0) + 1
+                        )
+                        block = self._blocks.get(ref.digest)
+                        if block is None:
+                            problems.append(
+                                f"{owner.label}/{name}: dangling ref to "
+                                f"{ref.digest}"
+                            )
+                        elif len(block) != ref.length:
+                            problems.append(
+                                f"{owner.label}/{name}: ref length "
+                                f"{ref.length} != block {len(block)}"
+                            )
+            if expected_refs != self._refs:
+                drifted = {
+                    d
+                    for d in set(expected_refs) | set(self._refs)
+                    if expected_refs.get(d, 0) != self._refs.get(d, 0)
+                }
+                problems.append(
+                    f"refcount drift on {len(drifted)} block(s): "
+                    + ", ".join(
+                        f"{d}={self._refs.get(d, 0)} (expected "
+                        f"{expected_refs.get(d, 0)})"
+                        for d in sorted(drifted)[:5]
+                    )
+                )
+            leaked = set(self._blocks) - set(expected_refs)
+            if leaked:
+                problems.append(
+                    f"{len(leaked)} leaked block(s) with no referent: "
+                    + ", ".join(sorted(leaked)[:5])
+                )
+            if expected_logical != self._bytes_logical:
+                problems.append(
+                    f"logical bytes counter {self._bytes_logical} != "
+                    f"recomputed {expected_logical}"
+                )
+            actual_physical = sum(len(b) for b in self._blocks.values())
+            if actual_physical != self._bytes_physical:
+                problems.append(
+                    f"physical bytes counter {self._bytes_physical} != "
+                    f"recomputed {actual_physical}"
+                )
+            zero = [d for d, c in self._refs.items() if c < 1]
+            if zero:
+                problems.append(
+                    f"{len(zero)} block(s) with refcount < 1 still live"
+                )
+            if problems:
+                raise BlockStoreError(
+                    "block store invariants violated: "
+                    + "; ".join(problems)
+                )

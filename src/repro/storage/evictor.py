@@ -1,0 +1,90 @@
+"""Cost-aware victim selection for ``EvictionPolicy(mode="bytes")``.
+
+TTL/LRU eviction asks "who is idle?"; the byte-budget mode asks a
+different question: **which workload frees the most physical bytes for
+the least rebuild pain?**  The federation records each admission's
+virtual pipeline time (``AdmissionResult.admit_virtual_s``) as that
+workload's rebuild cost and the marginal growth of its shard's compacted
+union as its bytes estimate; while the shared block store's physical
+bytes exceed ``budget_bytes``, the sweeper evicts the candidate with the
+lowest rebuild-cost-per-byte-freed until the budget holds (or no
+evictable candidates remain - pinned workloads are never offered).
+
+Victim selection is deterministic: ties on the cost/byte score fall to
+the larger bytes estimate (frees more per sweep step), then the longer
+idle time, then lexical (framework, workload) order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EvictionCandidate:
+    """One evictable workload with its tracked cost model inputs."""
+
+    framework: str
+    workload_id: str
+    rebuild_cost_s: float
+    bytes_estimate: int
+    idle_s: float = 0.0
+
+    @property
+    def score(self) -> float:
+        """Rebuild seconds per byte freed - lower evicts first."""
+        return self.rebuild_cost_s / max(1, self.bytes_estimate)
+
+
+class CostAwareEvictor:
+    """Picks cheapest-to-rebuild-per-byte-freed victims under a budget."""
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes < 1:
+            raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+
+    def over_budget(self, physical_bytes: int) -> int:
+        """Bytes above budget (0 when the store fits)."""
+        return max(0, int(physical_bytes) - self.budget_bytes)
+
+    def pick(
+        self, candidates: list[EvictionCandidate]
+    ) -> EvictionCandidate | None:
+        """The next victim, or None when nothing is evictable."""
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda c: (
+                c.score,
+                -c.bytes_estimate,
+                -c.idle_s,
+                c.framework,
+                c.workload_id,
+            ),
+        )
+
+    def plan(
+        self,
+        candidates: list[EvictionCandidate],
+        physical_bytes: int,
+    ) -> list[EvictionCandidate]:
+        """Victim order until the *estimated* freed bytes cover the excess.
+
+        A planning helper for callers without live re-measurement; the
+        federation sweep instead re-reads the block store's physical
+        bytes after every eviction, because shared blocks mean an
+        eviction can free fewer bytes than the candidate's estimate.
+        """
+        excess = self.over_budget(physical_bytes)
+        remaining = list(candidates)
+        picked: list[EvictionCandidate] = []
+        while excess > 0 and remaining:
+            victim = self.pick(remaining)
+            if victim is None:
+                break
+            remaining.remove(victim)
+            picked.append(victim)
+            excess -= victim.bytes_estimate
+        return picked

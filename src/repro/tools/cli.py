@@ -69,9 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_inspect = sub.add_parser("inspect", help="describe a shared library")
     p_inspect.add_argument("framework", choices=FRAMEWORK_NAMES)
-    p_inspect.add_argument("soname")
+    p_inspect.add_argument("soname", nargs="?", default="")
     p_inspect.add_argument("--sections", action="store_true")
     p_inspect.add_argument("--kernels", action="store_true")
+    p_inspect.add_argument("--blocks", action="store_true",
+                           help="show the content-addressed block store "
+                           "(admits the framework's catalog workloads first)")
 
     p_debloat = sub.add_parser("debloat", help="debloat a workload's libraries")
     p_debloat.add_argument("workload_id", help="e.g. pytorch/train/mobilenetv2")
@@ -111,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "into one union merge + delta pass per library "
                          "(1 = admit one at a time)")
     p_serve.add_argument("--evict", default="none",
-                         choices=("none", "ttl", "lru", "pinned"),
+                         choices=("none", "ttl", "lru", "pinned", "bytes"),
                          help="traffic-driven eviction policy applied on "
                          "sweeps (default: none)")
     p_serve.add_argument("--ttl-s", type=float, default=None,
@@ -120,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-workloads", type=int, default=None,
                          help="lru mode: per-framework cap on admitted "
                          "workloads")
+    p_serve.add_argument("--budget-bytes", type=int, default=None,
+                         metavar="N",
+                         help="bytes mode: cap on the shared block store's "
+                         "physical bytes; sweeps evict the cheapest-to-"
+                         "rebuild per byte freed until the store fits")
     p_serve.add_argument("--pin", action="append", default=[],
                          metavar="WORKLOAD_ID",
                          help="workload id a sweep must never evict "
@@ -243,18 +251,27 @@ def engine_config(args: argparse.Namespace, **serving) -> EngineConfig:
 
 def cmd_inspect(args: argparse.Namespace) -> int:
     with DebloatEngine(engine_config(args)) as engine:
+        if args.blocks:
+            for spec in TABLE1_WORKLOADS:
+                if spec.framework == args.framework:
+                    engine.admit(AdmitRequest(spec=spec))
         try:
             result = engine.inspect(InspectRequest(
                 framework=args.framework,
                 soname=args.soname,
                 sections=args.sections,
                 kernels=args.kernels,
+                blocks=args.blocks,
             ))
         except UsageError as err:
-            print(f"no library {args.soname!r} in {args.framework}; available:",
-                  file=sys.stderr)
-            for soname in getattr(err, "available", []):
-                print(f"  {soname}", file=sys.stderr)
+            available = getattr(err, "available", [])
+            if available:
+                print(f"no library {args.soname!r} in {args.framework}; "
+                      "available:", file=sys.stderr)
+                for soname in available:
+                    print(f"  {soname}", file=sys.stderr)
+            else:
+                print(err, file=sys.stderr)
             return 1
     print(result.text)
     return 0
@@ -322,6 +339,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             mode=args.evict,
             ttl_s=args.ttl_s,
             max_workloads=args.max_workloads,
+            budget_bytes=args.budget_bytes,
             pinned=frozenset(args.pin),
             sweep_interval_s=args.sweep_interval,
         )

@@ -69,6 +69,47 @@ def describe_library(lib: SharedLibrary, verbose: bool = False) -> str:
     return out
 
 
+def block_report(report: dict) -> str:
+    """Render the federation's block-store report (``inspect --blocks``).
+
+    ``report`` is :meth:`~repro.api.federation.StoreFederation.storage_report`
+    output: aggregate store gauges, per-shard logical vs resident bytes,
+    and the most-referenced blocks.
+    """
+    stats = report["stats"]
+    pairs = [
+        ("blocks", fmt_count(stats["blocks_total"])),
+        ("physical bytes", fmt_bytes(stats["bytes_physical"])),
+        ("logical bytes", fmt_bytes(stats["bytes_logical"])),
+        ("dedupe ratio", f"{stats['dedupe_ratio']:.3f}x"),
+        ("evicted bytes (total)", fmt_bytes(stats["evicted_bytes_total"])),
+        ("shards", fmt_count(stats["owners"])),
+    ]
+    parts = [kv_block("block store", pairs)]
+
+    shards = Table(
+        ["Shard", "Manifests", "Logical", "Resident"],
+        title="Per-shard bytes",
+    )
+    for row in report["per_shard"]:
+        shards.add_row(
+            row["owner"],
+            fmt_count(row["manifests"]),
+            fmt_bytes(row["bytes_logical"]),
+            fmt_bytes(row["bytes_resident"]),
+        )
+    parts.append(shards.render())
+
+    top = Table(
+        ["Digest", "Bytes", "Refs"],
+        title=f"Top {len(report['top_blocks'])} most-referenced blocks",
+    )
+    for row in report["top_blocks"]:
+        top.add_row(row["digest"][:16], fmt_bytes(row["bytes"]), row["refs"])
+    parts.append(top.render())
+    return "\n\n".join(parts)
+
+
 def kernel_listing(
     lib: SharedLibrary, limit: int = 30, index=None
 ) -> str:

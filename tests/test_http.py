@@ -131,6 +131,14 @@ class TestRoutes:
         assert "negativa_admissions_served_total 1" in text
         assert "negativa_admission_latency_seconds_bucket" in text
         assert "negativa_serving_served 1" in text
+        for gauge in (
+            "storage_blocks_total",
+            "storage_bytes_physical",
+            "storage_bytes_logical",
+            "storage_dedupe_ratio",
+            "storage_evicted_bytes_total",
+        ):
+            assert f"negativa_{gauge} " in text, gauge
 
         audit = list(served.server.audit)
         admit_records = [r for r in audit if r["path"] == "/v1/admit"]
